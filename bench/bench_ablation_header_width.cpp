@@ -1,0 +1,56 @@
+// Ablation: 4-byte vs 1-byte block headers (Section 5.1.1 / 5.3).
+// CereSZ stores each block's fixed length in 32 bits to honor the fabric's
+// transfer units, capping sparse-data ratios at 32x where a byte-header
+// codec caps at 128x; the penalty shrinks as the bound tightens.
+#include "bench_util.h"
+
+using namespace ceresz;
+
+int main() {
+  std::printf("=== Ablation: block header width (4B CereSZ vs 1B "
+              "SZp-style) ===\n\n");
+
+  core::CodecConfig four;
+  four.header_bytes = 4;
+  core::CodecConfig one;
+  one.header_bytes = 1;
+  const core::StreamCodec codec4(four);
+  const core::StreamCodec codec1(one);
+
+  TextTable table({"Dataset", "REL", "ratio 4B", "ratio 1B", "penalty",
+                   "zero blocks"});
+  for (data::DatasetId id :
+       {data::DatasetId::kRtm, data::DatasetId::kNyx,
+        data::DatasetId::kHacc}) {
+    const data::Field field =
+        data::generate_field(id, 0, 42, bench::bench_scale(0.4));
+    for (f64 rel : bench::kRelBounds) {
+      const core::ErrorBound bound = core::ErrorBound::relative(rel);
+      const auto r4 = codec4.compress(field.view(), bound);
+      const auto r1 = codec1.compress(field.view(), bound);
+      table.add_row(
+          {data::dataset_spec(id).name, bench::rel_name(rel),
+           fmt_f64(r4.compression_ratio(), 2),
+           fmt_f64(r1.compression_ratio(), 2),
+           fmt_f64(100.0 * (1.0 - r4.compression_ratio() /
+                                      r1.compression_ratio()),
+                   1) +
+               "%",
+           fmt_f64(100.0 * r4.stats.zero_fraction(), 1) + "%"});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // The all-zero extreme: the theoretical caps.
+  const std::vector<f32> zeros(32 * 4096, 0.0f);
+  const auto z4 = codec4.compress(zeros, core::ErrorBound::absolute(1e-2));
+  const auto z1 = codec1.compress(zeros, core::ErrorBound::absolute(1e-2));
+  std::printf("all-zero data caps: 4B header %.2fx, 1B header %.2fx "
+              "(paper: RTM 31.99 vs 127.94)\n\n",
+              z4.compression_ratio(), z1.compression_ratio());
+  std::printf("shape check: the penalty is largest on sparse data at loose "
+              "bounds (many zero blocks, header-dominated) and fades at "
+              "tight bounds — Section 5.3's argument that CereSZ suits "
+              "strict-bound workloads.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation: data generation rate (Section 4.4, assumption 1: "the data is
+// generated fast enough to saturate all the TC pipelines in a row").
+// Sweeping the ingress rate shows the regime change: when the producer is
+// slower than the row's compute capacity, throughput is ingress-bound and
+// adding PEs buys nothing — the situation in which the pipeline-length
+// choice stops mattering.
+#include "bench_util.h"
+
+using namespace ceresz;
+
+int main() {
+  std::printf("=== Ablation: ingress rate vs throughput "
+              "(QMCPack, 1 row) ===\n\n");
+
+  const data::Field field = data::generate_field(
+      data::DatasetId::kQmcpack, 0, 42, bench::bench_scale(0.35));
+  const core::ErrorBound bound = core::ErrorBound::relative(1e-3);
+
+  for (u32 cols : {4u, 16u}) {
+    std::printf("%u columns:\n", cols);
+    TextTable table({"cycles/wavelet", "ingress bound (MB/s)",
+                     "throughput (MB/s)", "regime"});
+    for (f64 rate : {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0}) {
+      mapping::MapperOptions opt;
+      opt.rows = 1;
+      opt.cols = cols;
+      opt.collect_output = false;
+      opt.ingress_cycles_per_wavelet = rate;
+      const auto run =
+          mapping::WaferMapper(opt).compress(field.view(), bound);
+      const f64 mbps = run.throughput_gbps * 1000.0;
+      const f64 ingress_mbps = 4.0 * 850.0 / rate;  // 4 B per wavelet
+      table.add_row({fmt_f64(rate, 0), fmt_f64(ingress_mbps, 1),
+                     fmt_f64(mbps, 1),
+                     mbps > 0.8 * ingress_mbps ? "ingress-bound"
+                                               : "compute-bound"});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  std::printf("shape check: at saturated ingress (1 cycle/wavelet, the "
+              "paper's evaluation setting) throughput scales with columns; "
+              "once the producer is the bottleneck, both mesh widths "
+              "converge to the ingress bound — assumption 1 of Section 4.4 "
+              "is what makes the wafer's PE count useful.\n");
+  return 0;
+}

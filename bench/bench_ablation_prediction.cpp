@@ -1,0 +1,63 @@
+// Ablation: 1-D vs tile-local 2-D Lorenzo prediction (the extension of
+// Section 3's "higher dimensional Lorenzo prediction methods ... can lead
+// to a higher compression ratio" remark, kept block-independent so the
+// wafer mapping is unchanged).
+#include "bench_util.h"
+
+#include "core/tiled_codec.h"
+
+using namespace ceresz;
+
+int main() {
+  std::printf("=== Ablation: 1-D vs tiled 2-D Lorenzo prediction ===\n\n");
+
+  const core::StreamCodec codec1d;
+
+  TextTable table({"Field", "REL", "1-D ratio", "2-D ratio", "gain",
+                   "extra cycles/block"});
+  const core::PeCostModel cost;
+  // 2-D Lorenzo per element: 3 subtractions vs 1 -> ~3x the Lorenzo stage,
+  // which is ~2% of the block budget.
+  const Cycles lorenzo1d =
+      cost.substage_cycles({core::SubStageKind::kLorenzo}, 32);
+  const Cycles extra = 2 * lorenzo1d;
+
+  for (data::DatasetId id :
+       {data::DatasetId::kCesmAtm, data::DatasetId::kHurricane,
+        data::DatasetId::kHacc}) {
+    const data::Field f =
+        data::generate_field(id, 0, 42, bench::bench_scale(0.35));
+    // 2-D view: CESM is natively 2-D; 3-D fields use the trailing plane
+    // dims; 1-D data (HACC) degenerates to 32x1 tiles, i.e. the 2-D
+    // transform reduces to the 1-D one and the gain is ~0.
+    std::size_t h = 1, w = f.size();
+    if (f.dims.size() >= 2) {
+      h = f.size() / f.dims.back();
+      w = f.dims.back();
+    }
+    core::TiledCodecConfig tcfg;
+    if (h == 1) {
+      tcfg.tile_w = 32;
+      tcfg.tile_h = 1;
+    }
+    const core::Tiled2dCodec codec_for_field(tcfg);
+    for (f64 rel : bench::kRelBounds) {
+      const core::ErrorBound bound = core::ErrorBound::relative(rel);
+      const f64 r1 = codec1d.compress(f.view(), bound).compression_ratio();
+      const f64 r2 = codec_for_field.compress(f.view(), w, h, bound)
+                         .compression_ratio();
+      table.add_row({std::string(data::dataset_spec(id).name) + "/" + f.name,
+                     bench::rel_name(rel), fmt_f64(r1, 2), fmt_f64(r2, 2),
+                     fmt_f64(100.0 * (r2 / r1 - 1.0), 1) + "%",
+                     std::to_string(extra)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("shape check: 2-D prediction buys ratio on 2-D-smooth fields "
+              "for ~%llu extra cycles/block (~2%% of the block budget); on "
+              "1-D particle data it does nothing — matching the paper's "
+              "rationale for defaulting to the cheaper 1-D transform when "
+              "throughput is the goal.\n",
+              static_cast<unsigned long long>(extra));
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation: the zero-block shortcut (Section 5.2). A looser bound creates
+// more all-zero quantized blocks; the shortcut stores a bare header and
+// skips encoding, which is the mechanism behind the error-bound ->
+// throughput coupling. Disabling it flattens the curve.
+#include "bench_util.h"
+
+using namespace ceresz;
+
+int main() {
+  std::printf("=== Ablation: zero-block shortcut on/off (RTM) ===\n\n");
+
+  const data::Field field =
+      data::generate_field(data::DatasetId::kRtm, 0, 42, bench::bench_scale(0.4));
+
+  TextTable table({"REL", "zero blocks", "GB/s with shortcut",
+                   "GB/s without", "gain", "ratio with", "ratio without"});
+  for (f64 rel : {1e-1, 1e-2, 1e-3, 1e-4}) {
+    const core::ErrorBound bound = core::ErrorBound::relative(rel);
+
+    core::CodecConfig on;
+    on.zero_block_shortcut = true;
+    core::CodecConfig off;
+    off.zero_block_shortcut = false;
+
+    // Throughput on the simulated mesh.
+    mapping::MapperOptions mo;
+    mo.rows = 16;
+    mo.cols = 32;
+    mo.max_exact_rows = 1;
+    mo.collect_output = false;
+    mo.codec = on;
+    const auto run_on = mapping::WaferMapper(mo).compress(field.view(), bound);
+    mo.codec = off;
+    const auto run_off = mapping::WaferMapper(mo).compress(field.view(), bound);
+
+    const auto ratio_on =
+        core::StreamCodec(on).compress(field.view(), bound);
+    const auto ratio_off =
+        core::StreamCodec(off).compress(field.view(), bound);
+
+    table.add_row(
+        {bench::rel_name(rel),
+         fmt_f64(100.0 * ratio_on.stats.zero_fraction(), 1) + "%",
+         fmt_f64(run_on.throughput_gbps, 3),
+         fmt_f64(run_off.throughput_gbps, 3),
+         fmt_f64(100.0 * (run_on.throughput_gbps / run_off.throughput_gbps -
+                          1.0),
+                 1) +
+             "%",
+         fmt_f64(ratio_on.compression_ratio(), 2),
+         fmt_f64(ratio_off.compression_ratio(), 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("shape check: with the shortcut, throughput rises as the "
+              "bound loosens (more zero blocks skip encoding); without it "
+              "the curve flattens and sparse-data ratios collapse — the "
+              "Section 5.2 mechanism, isolated.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 11: compression throughput (GB/s) of CereSZ vs SZ, SZp, cuSZ,
+// and cuSZp on the six datasets at REL 1e-2 / 1e-3 / 1e-4.
+//
+// CereSZ runs at pipeline length 1 on a 512x512 mesh, exactly as in the
+// paper: one saturated row is simulated event-by-event and scaled by the
+// (validated, Fig. 7) linear row count. Baseline columns are modeled from
+// each reimplementation's measured stream shape via the calibrated
+// DeviceModel (see DESIGN.md); CereSZ numbers are simulated, baselines are
+// labeled modeled.
+#include "bench_util.h"
+
+using namespace ceresz;
+
+namespace {
+constexpr u32 kMeshRows = 512;
+constexpr u32 kMeshCols = 512;
+constexpr u32 kMaxFields = 2;  // per dataset, to bound bench runtime
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 11: compression throughput (GB/s), 512x512 PEs, "
+              "PL=1 ===\n");
+  std::printf("paper: CereSZ 277.93-773.8 GB/s (avg 457.35), 4.9x over "
+              "cuSZp\n\n");
+
+  TextTable table({"Dataset", "REL", "CereSZ(sim)", "cuSZp(model)",
+                   "SZp(model)", "cuSZ(model)", "SZ(model)",
+                   "vs cuSZp"});
+  const auto cuszp = baselines::make_cuszp();
+  const auto szp = baselines::make_szp();
+  const auto cusz = baselines::make_cusz();
+  const auto sz3 = baselines::make_sz3();
+
+  f64 ceresz_sum = 0, cuszp_sum = 0;
+  int cells = 0;
+
+  for (data::DatasetId id : data::kAllDatasets) {
+    const auto& spec = data::dataset_spec(id);
+    const u32 n_fields = std::min<u32>(kMaxFields, spec.fields_generated);
+    std::vector<data::Field> fields;
+    for (u32 fi = 0; fi < n_fields; ++fi) {
+      fields.push_back(
+          data::generate_field(id, fi, 42, bench::bench_scale(0.5)));
+    }
+    for (f64 rel : bench::kRelBounds) {
+      const core::ErrorBound bound = core::ErrorBound::relative(rel);
+      f64 ceresz_gbps = 0, m_cuszp = 0, m_szp = 0, m_cusz = 0, m_sz3 = 0;
+      for (const auto& field : fields) {
+        const auto sim = bench::simulate_compression(
+            field.view(), bound, kMeshCols, 1, kMeshRows);
+        ceresz_gbps += sim.gbps_full_mesh;
+
+        baselines::BaselineStats s;
+        cuszp->compress(field, bound, &s);
+        m_cuszp += baselines::cuszp_model().compress_gbps(s);
+        szp->compress(field, bound, &s);
+        m_szp += baselines::szp_model().compress_gbps(s);
+        cusz->compress(field, bound, &s);
+        m_cusz += baselines::cusz_model().compress_gbps(s);
+        sz3->compress(field, bound, &s);
+        m_sz3 += baselines::sz3_model().compress_gbps(s);
+      }
+      const f64 n = static_cast<f64>(fields.size());
+      ceresz_gbps /= n;
+      m_cuszp /= n;
+      m_szp /= n;
+      m_cusz /= n;
+      m_sz3 /= n;
+      ceresz_sum += ceresz_gbps;
+      cuszp_sum += m_cuszp;
+      ++cells;
+      table.add_row({spec.name, bench::rel_name(rel),
+                     fmt_f64(ceresz_gbps, 2), fmt_f64(m_cuszp, 2),
+                     fmt_f64(m_szp, 2), fmt_f64(m_cusz, 2),
+                     fmt_f64(m_sz3, 2),
+                     fmt_f64(ceresz_gbps / m_cuszp, 2) + "x"});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("averages: CereSZ %.2f GB/s, cuSZp %.2f GB/s -> %.2fx "
+              "(paper: 457.35 vs ~93, 4.9x)\n",
+              ceresz_sum / cells, cuszp_sum / cells,
+              ceresz_sum / cuszp_sum);
+  std::printf("shape checks: CereSZ wins every cell; throughput falls as "
+              "the bound tightens (fewer zero blocks, longer encoding); "
+              "SZ is orders of magnitude slower.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 7: throughput (MB/s) of compressing the NYX temperature field
+// with different numbers of PE rows, running the whole compression on the
+// first PE of each row (parallelization strategy 1). The paper observes
+// linear scaling because rows never communicate.
+#include "bench_util.h"
+
+using namespace ceresz;
+
+int main() {
+  std::printf("=== Figure 7: throughput vs number of PE rows "
+              "(NYX temperature, block 32, first PE of each row) ===\n\n");
+
+  const data::Field field = data::generate_field(
+      data::DatasetId::kNyx, 4 /*temperature*/, 42, bench::bench_scale(0.5));
+  const core::ErrorBound bound = core::ErrorBound::relative(1e-3);
+
+  TextTable table({"PE rows", "throughput (MB/s)", "speedup", "linearity"});
+  f64 base_mbps = 0.0;
+  for (u32 rows : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    mapping::MapperOptions opt;
+    opt.rows = rows;
+    opt.cols = 1;  // whole kernel on the first PE of each row
+    opt.max_exact_rows = rows;
+    opt.collect_output = false;
+    const mapping::WaferMapper mapper(opt);
+    const auto run = mapper.compress(field.view(), bound);
+    const f64 mbps = run.throughput_gbps * 1000.0;
+    if (rows == 1) base_mbps = mbps;
+    table.add_row({std::to_string(rows), fmt_f64(mbps, 2),
+                   fmt_f64(mbps / base_mbps, 2) + "x",
+                   fmt_f64(100.0 * mbps / (base_mbps * rows), 1) + "%"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("shape check: throughput increases linearly with the row "
+              "count (the paper's Fig. 7), because rows process disjoint "
+              "block streams with no communication.\n");
+  return 0;
+}

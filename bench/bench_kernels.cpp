@@ -1,0 +1,100 @@
+// Google-benchmark microbenchmarks of the host-side CereSZ kernels: the
+// per-stage primitives, the block codec, and the stream codec. These are
+// the numbers a CPU deployment of the same algorithm would care about,
+// and a regression guard for the library itself.
+#include <benchmark/benchmark.h>
+
+#include "ceresz.h"
+#include "core/flenc.h"
+#include "core/lorenzo.h"
+#include "core/prequant.h"
+
+namespace {
+
+using namespace ceresz;
+
+std::vector<f32> bench_data(std::size_t n) {
+  Rng rng(7);
+  std::vector<f32> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<f32>(std::sin(i / 64.0) + 0.01 * rng.next_gaussian());
+  }
+  return v;
+}
+
+void BM_Prequant(benchmark::State& state) {
+  const auto data = bench_data(static_cast<std::size_t>(state.range(0)));
+  std::vector<i32> out(data.size());
+  for (auto _ : state) {
+    core::prequant(data, out, 2e-3);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * data.size() * sizeof(f32));
+}
+BENCHMARK(BM_Prequant)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_LorenzoForward(benchmark::State& state) {
+  std::vector<i32> data(static_cast<std::size_t>(state.range(0)));
+  Rng rng(3);
+  for (auto& v : data) v = static_cast<i32>(rng.next_below(1000));
+  std::vector<i32> out(data.size());
+  for (auto _ : state) {
+    core::lorenzo_forward(data, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * data.size() * sizeof(i32));
+}
+BENCHMARK(BM_LorenzoForward)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_BitShuffle(benchmark::State& state) {
+  const u32 fl = static_cast<u32>(state.range(0));
+  std::vector<u32> absv(32);
+  Rng rng(5);
+  for (auto& v : absv) v = static_cast<u32>(rng.next_below(1u << fl));
+  std::vector<u8> out(fl * 4);
+  for (auto _ : state) {
+    core::bit_shuffle(absv, fl, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_BitShuffle)->Arg(4)->Arg(12)->Arg(17)->Arg(32);
+
+void BM_BlockCompress(benchmark::State& state) {
+  const core::BlockCodec codec{core::CodecConfig{}};
+  const auto data = bench_data(32);
+  std::vector<u8> out;
+  for (auto _ : state) {
+    out.clear();
+    codec.compress(data, 1e-3, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_BlockCompress);
+
+void BM_StreamCompress(benchmark::State& state) {
+  const core::StreamCodec codec;
+  const auto data = bench_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto result = codec.compress(data, core::ErrorBound::absolute(1e-3));
+    benchmark::DoNotOptimize(result.stream.data());
+  }
+  state.SetBytesProcessed(state.iterations() * data.size() * sizeof(f32));
+}
+BENCHMARK(BM_StreamCompress)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_StreamDecompress(benchmark::State& state) {
+  const core::StreamCodec codec;
+  const auto data = bench_data(static_cast<std::size_t>(state.range(0)));
+  const auto result = codec.compress(data, core::ErrorBound::absolute(1e-3));
+  for (auto _ : state) {
+    auto back = codec.decompress(result.stream);
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetBytesProcessed(state.iterations() * data.size() * sizeof(f32));
+}
+BENCHMARK(BM_StreamDecompress)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Table 5: compression ratios (range and average across fields) of CereSZ
+// and the four baselines on all six datasets at REL 1e-2/1e-3/1e-4.
+// Everything here is measured from the real codecs — no modeling.
+#include <limits>
+
+#include "bench_util.h"
+
+using namespace ceresz;
+
+namespace {
+
+struct Ratios {
+  f64 lo = std::numeric_limits<f64>::max();
+  f64 hi = 0.0;
+  f64 sum = 0.0;
+  int n = 0;
+
+  void add(f64 r) {
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+    sum += r;
+    ++n;
+  }
+  std::string cell() const {
+    if (n == 0) return "-";
+    return fmt_f64(lo, 2) + "~" + fmt_f64(hi, 2) + " avg " +
+           fmt_f64(sum / n, 2);
+  }
+  f64 avg() const { return n ? sum / n : 0.0; }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 5: compression ratios (measured), range ~ avg "
+              "across fields ===\n\n");
+
+  const core::StreamCodec ceresz_codec;  // 4-byte headers
+  const auto szp = baselines::make_szp();
+  const auto cuszp = baselines::make_cuszp();
+  const auto sz3 = baselines::make_sz3();
+  const auto cusz = baselines::make_cusz();
+
+  for (f64 rel : bench::kRelBounds) {
+    const core::ErrorBound bound = core::ErrorBound::relative(rel);
+    std::printf("REL %s:\n", bench::rel_name(rel).c_str());
+    TextTable table({"Dataset", "CereSZ", "SZp", "cuSZp", "SZ", "cuSZ"});
+    for (data::DatasetId id : data::kAllDatasets) {
+      Ratios r_ceresz, r_szp, r_cuszp, r_sz3, r_cusz;
+      const auto& spec = data::dataset_spec(id);
+      for (u32 fi = 0; fi < spec.fields_generated; ++fi) {
+        const data::Field field =
+            data::generate_field(id, fi, 42, bench::bench_scale(0.35));
+        r_ceresz.add(
+            ceresz_codec.compress(field.view(), bound).compression_ratio());
+        baselines::BaselineStats s;
+        szp->compress(field, bound, &s);
+        r_szp.add(s.compression_ratio());
+        cuszp->compress(field, bound, &s);
+        r_cuszp.add(s.compression_ratio());
+        sz3->compress(field, bound, &s);
+        r_sz3.add(s.compression_ratio());
+        cusz->compress(field, bound, &s);
+        r_cusz.add(s.compression_ratio());
+      }
+      table.add_row({spec.name, r_ceresz.cell(), r_szp.cell(),
+                     r_cuszp.cell(), r_sz3.cell(), r_cusz.cell()});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  std::printf("shape checks (Table 5): SZ highest everywhere (spatial "
+              "prediction + entropy/run coding); SZp >= cuSZp (offset "
+              "table) > CereSZ (4-byte vs 1-byte block headers, caps 128x "
+              "vs 32x on sparse data); CereSZ's penalty shrinks as the "
+              "bound tightens.\n");
+  return 0;
+}

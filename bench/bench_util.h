@@ -1,0 +1,112 @@
+// Shared helpers for the experiment benches.
+//
+// Methodology notes (see DESIGN.md for the full substitution table):
+//  - CereSZ throughput comes from the event-driven WSE simulation. Rows
+//    never communicate, so we simulate ONE saturated row (several full
+//    rounds of its pipelines) and scale by the row count of the target
+//    mesh — the row-linearity this relies on is itself validated by the
+//    Fig. 7 bench and the exact small-mesh runs in Fig. 14.
+//  - Baseline GPU/CPU throughput is modeled (baselines::DeviceModel),
+//    calibrated to the paper's reported numbers; compression ratios and
+//    quality are always measured from the real reimplementations.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "ceresz.h"
+
+namespace ceresz::bench {
+
+/// Scale factor for generated datasets, overridable for quick runs:
+///   CERESZ_BENCH_SCALE=0.2 ./bench_...
+inline f64 bench_scale(f64 default_scale = 0.5) {
+  if (const char* env = std::getenv("CERESZ_BENCH_SCALE")) {
+    const f64 v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return default_scale;
+}
+
+struct SimulatedRun {
+  f64 gbps_simulated = 0.0;   ///< on the simulated rows
+  f64 gbps_full_mesh = 0.0;   ///< scaled to `full_rows` rows
+  u32 rows_simulated = 0;
+  u32 rows_saturated = 0;     ///< rows the data can actually keep busy
+  mapping::WaferRunResult run;
+};
+
+/// Simulate CereSZ compression on one saturated row of `cols` columns and
+/// scale to a `full_rows`-row mesh of the same width.
+inline SimulatedRun simulate_compression(std::span<const f32> data,
+                                         core::ErrorBound bound, u32 cols,
+                                         u32 pipeline_length, u32 full_rows,
+                                         u32 target_rounds = 4) {
+  const u32 L = 32;
+  const u64 blocks = (data.size() + L - 1) / L;
+  const u32 n_pipes = cols / pipeline_length;
+  // Rows such that each simulated row sees ~target_rounds rounds.
+  u32 rows = static_cast<u32>(
+      std::max<u64>(1, blocks / (static_cast<u64>(target_rounds) * n_pipes)));
+  rows = std::min(rows, full_rows);
+
+  mapping::MapperOptions opt;
+  opt.rows = rows;
+  opt.cols = cols;
+  opt.pipeline_length = pipeline_length;
+  opt.max_exact_rows = 1;
+  opt.collect_output = false;
+  const mapping::WaferMapper mapper(opt);
+
+  SimulatedRun out;
+  out.run = mapper.compress(data, bound);
+  out.rows_simulated = 1;
+  out.rows_saturated = rows;
+  out.gbps_simulated = out.run.throughput_gbps;
+  out.gbps_full_mesh =
+      out.run.throughput_gbps * static_cast<f64>(full_rows) / rows;
+  return out;
+}
+
+/// Same for decompression of a CereSZ stream.
+inline SimulatedRun simulate_decompression(std::span<const u8> stream,
+                                           u64 element_count, u32 cols,
+                                           u32 pipeline_length, u32 full_rows,
+                                           u32 target_rounds = 4) {
+  const u32 L = 32;
+  const u64 blocks = (element_count + L - 1) / L;
+  const u32 n_pipes = cols / pipeline_length;
+  u32 rows = static_cast<u32>(
+      std::max<u64>(1, blocks / (static_cast<u64>(target_rounds) * n_pipes)));
+  rows = std::min(rows, full_rows);
+
+  mapping::MapperOptions opt;
+  opt.rows = rows;
+  opt.cols = cols;
+  opt.pipeline_length = pipeline_length;
+  opt.max_exact_rows = 1;
+  opt.collect_output = false;
+  const mapping::WaferMapper mapper(opt);
+
+  SimulatedRun out;
+  out.run = mapper.decompress(stream);
+  out.rows_simulated = 1;
+  out.rows_saturated = rows;
+  out.gbps_simulated = out.run.throughput_gbps;
+  out.gbps_full_mesh =
+      out.run.throughput_gbps * static_cast<f64>(full_rows) / rows;
+  return out;
+}
+
+/// The three REL bounds the paper evaluates.
+inline constexpr f64 kRelBounds[] = {1e-2, 1e-3, 1e-4};
+
+inline std::string rel_name(f64 rel) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "1E-%d",
+                static_cast<int>(0.5 - std::log10(rel)));
+  return buf;
+}
+
+}  // namespace ceresz::bench

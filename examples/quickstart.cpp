@@ -1,0 +1,54 @@
+// Quickstart: compress and decompress a float array with CereSZ.
+//
+//   ./quickstart [rel_bound]
+//
+// Demonstrates the three-line host API (StreamCodec), the error-bound
+// guarantee, and basic metrics.
+#include <cstdio>
+#include <cstdlib>
+
+#include "ceresz.h"
+
+int main(int argc, char** argv) {
+  using namespace ceresz;
+  const double rel = argc > 1 ? std::atof(argv[1]) : 1e-3;
+
+  // Some scientific-looking data: a synthetic Hurricane velocity field.
+  const data::Field field =
+      data::generate_field(data::DatasetId::kHurricane, 0, /*seed=*/42,
+                           /*scale=*/0.5);
+  std::printf("field: %s/%s, %zu elements (%s)\n", field.dataset.c_str(),
+              field.name.c_str(), field.size(),
+              fmt_bytes(field.bytes()).c_str());
+
+  // 1. Compress with a value-range-relative error bound.
+  const core::StreamCodec codec;
+  WallTimer timer;
+  const core::CompressionResult result =
+      codec.compress(field.view(), core::ErrorBound::relative(rel));
+  const double compress_s = timer.seconds();
+
+  // 2. Decompress.
+  timer.reset();
+  const std::vector<f32> restored = codec.decompress(result.stream);
+  const double decompress_s = timer.seconds();
+
+  // 3. Verify and report.
+  const double worst = max_abs_diff(field.view(), restored);
+  std::printf("REL bound          : %g  (abs eps = %g)\n", rel,
+              result.eps_abs);
+  std::printf("compression ratio  : %.2fx (%s -> %s)\n",
+              result.compression_ratio(), fmt_bytes(field.bytes()).c_str(),
+              fmt_bytes(result.stream.size()).c_str());
+  std::printf("zero blocks        : %.1f%%\n",
+              100.0 * result.stats.zero_fraction());
+  std::printf("max |error|        : %g (bound %g) -> %s\n", worst,
+              result.eps_abs, worst <= result.eps_abs ? "OK" : "VIOLATED");
+  std::printf("PSNR               : %.2f dB\n",
+              metrics::psnr(field.view(), restored));
+  std::printf("host compress      : %.1f MB/s\n",
+              field.bytes() / compress_s / 1e6);
+  std::printf("host decompress    : %.1f MB/s\n",
+              field.bytes() / decompress_s / 1e6);
+  return worst <= result.eps_abs ? 0 : 1;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# One-shot reproduction: build, test, and regenerate every table/figure.
+#
+#   scripts/reproduce.sh [quick]
+#
+# "quick" scales the synthetic datasets down (CERESZ_BENCH_SCALE=0.2) for
+# a fast smoke pass; omit it for the numbers recorded in EXPERIMENTS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+if [[ "${1:-}" == "quick" ]]; then
+  export CERESZ_BENCH_SCALE=0.2
+fi
+
+for b in build/bench/*; do
+  "$b"
+  echo
+done 2>&1 | tee bench_output.txt
+
+echo "done: see test_output.txt and bench_output.txt"

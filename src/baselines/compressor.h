@@ -1,0 +1,58 @@
+// Common interface of the baseline compressors the paper compares against
+// (Section 5.1.3): SZ (SZ3), SZp, cuSZ, and cuSZp — all error-bounded and
+// prediction-based. Each is reimplemented here as a real, bit-exact
+// round-trip codec so compression ratios and data quality are measured,
+// not modeled; only cross-device *throughput* uses the DeviceModel.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/config.h"
+#include "data/field.h"
+
+namespace ceresz::baselines {
+
+/// Per-run information a baseline reports alongside its stream.
+struct BaselineStats {
+  f64 eps_abs = 0.0;
+  u64 element_count = 0;
+  std::size_t compressed_bytes = 0;
+  f64 zero_fraction = 0.0;     ///< zero/near-zero block fraction (if blockwise)
+  f64 mean_code_bits = 0.0;    ///< mean encoded bits per element
+  u64 outliers = 0;            ///< unpredictable values stored raw
+
+  f64 compression_ratio() const {
+    return compressed_bytes == 0
+               ? 0.0
+               : static_cast<f64>(element_count * sizeof(f32)) /
+                     static_cast<f64>(compressed_bytes);
+  }
+};
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Compress one field under `bound`; `stats` (optional) receives run
+  /// information used by the device throughput model.
+  virtual std::vector<u8> compress(const data::Field& field,
+                                   core::ErrorBound bound,
+                                   BaselineStats* stats = nullptr) const = 0;
+
+  /// Reconstruct the field's values from a stream this codec produced.
+  virtual std::vector<f32> decompress(std::span<const u8> stream) const = 0;
+};
+
+/// Factory helpers for the four baselines.
+std::unique_ptr<Compressor> make_szp();
+std::unique_ptr<Compressor> make_cuszp();
+std::unique_ptr<Compressor> make_sz3();
+std::unique_ptr<Compressor> make_cusz();
+
+}  // namespace ceresz::baselines

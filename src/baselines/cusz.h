@@ -1,0 +1,28 @@
+// cuSZ-style baseline: pre-quantization ("dual-quant") + exact integer
+// N-dimensional Lorenzo + Huffman-coded residuals.
+//
+// cuSZ shares CereSZ's pre-quantization, so at the same error bound it
+// reconstructs the *same* values as CereSZ/cuSZp/SZp (the basis of
+// Section 5.4's identical-PSNR/SSIM observation); only the lossless
+// encoding differs (Huffman vs fixed-length). Residuals outside the bin
+// radius are stored as raw 32-bit integers.
+#pragma once
+
+#include "baselines/compressor.h"
+
+namespace ceresz::baselines {
+
+class CuszCompressor : public Compressor {
+ public:
+  explicit CuszCompressor(u32 radius = 1u << 15) : radius_(radius) {}
+
+  std::string name() const override { return "cuSZ"; }
+  std::vector<u8> compress(const data::Field& field, core::ErrorBound bound,
+                           BaselineStats* stats) const override;
+  std::vector<f32> decompress(std::span<const u8> stream) const override;
+
+ private:
+  u32 radius_;
+};
+
+}  // namespace ceresz::baselines

@@ -1,0 +1,63 @@
+// N-dimensional (1/2/3-D) Lorenzo predictors shared by the SZ3- and
+// cuSZ-style baselines.
+//
+// The d-dimensional Lorenzo predictor estimates an element from its
+// already-visited corner neighbors with alternating signs:
+//   1-D:  v[i-1]
+//   2-D:  v[i-1,j] + v[i,j-1] - v[i-1,j-1]
+//   3-D:  faces - edges + corner (7 terms)
+// Out-of-range neighbors read as zero.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace ceresz::baselines {
+
+/// Row-major geometry helper over up to 3 dims (last dim fastest).
+struct GridShape {
+  std::array<std::size_t, 3> dims{1, 1, 1};  // {z, y, x} sizes
+  int ndims = 1;
+
+  static GridShape from_dims(const std::vector<std::size_t>& d) {
+    CERESZ_CHECK(!d.empty() && d.size() <= 3,
+                 "GridShape: only 1-3 dimensional fields supported");
+    GridShape s;
+    s.ndims = static_cast<int>(d.size());
+    // Right-align: dims {a} -> {1,1,a}; {a,b} -> {1,a,b}.
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      s.dims[3 - d.size() + i] = d[i];
+    }
+    return s;
+  }
+
+  std::size_t size() const { return dims[0] * dims[1] * dims[2]; }
+};
+
+/// Lorenzo prediction from reconstructed values at flat position (z,y,x).
+/// Works for any arithmetic T (f64 for SZ3, i64 for cuSZ's integer form).
+template <typename T, typename Src>
+T lorenzo_predict(const Src& v, const GridShape& g, std::size_t z,
+                  std::size_t y, std::size_t x) {
+  const std::size_t sy = g.dims[2];           // stride of y
+  const std::size_t sz = g.dims[1] * g.dims[2];  // stride of z
+  const std::size_t i = z * sz + y * sy + x;
+  auto at = [&](std::size_t dz, std::size_t dy, std::size_t dx) -> T {
+    if ((dz && z == 0) || (dy && y == 0) || (dx && x == 0)) return T{0};
+    return static_cast<T>(v[i - dz * sz - dy * sy - dx]);
+  };
+  switch (g.ndims) {
+    case 1:
+      return at(0, 0, 1);
+    case 2:
+      return at(0, 1, 0) + at(0, 0, 1) - at(0, 1, 1);
+    default:
+      return at(0, 0, 1) + at(0, 1, 0) + at(1, 0, 0) - at(0, 1, 1) -
+             at(1, 0, 1) - at(1, 1, 0) + at(1, 1, 1);
+  }
+}
+
+}  // namespace ceresz::baselines

@@ -1,0 +1,36 @@
+// SZ3-style baseline: error-controlled multi-dimensional Lorenzo
+// prediction + Huffman-coded quantization bins + raw outlier storage.
+//
+// This is the high-ratio/low-throughput end of the design space (Table 5:
+// SZ wins every ratio column; Section 5.2: "routinely less than 1 GB/s").
+// The predictor uses previously *reconstructed* neighbors, so prediction
+// errors cannot accumulate and the ε guarantee holds element-wise. Values
+// whose quantized residual falls outside the bin radius are stored raw
+// ("unpredictable" outliers), as in SZ.
+//
+// Differences from the real SZ3: no spline interpolation mode and no
+// best-fit lossless backend — multi-dim Lorenzo + Huffman is the part of
+// SZ3's design space that drives the paper's comparison (spatial
+// aggregation + entropy coding vs CereSZ's throughput-first design).
+#pragma once
+
+#include "baselines/compressor.h"
+
+namespace ceresz::baselines {
+
+class Sz3Compressor : public Compressor {
+ public:
+  /// `radius`: quantization bins span [-radius, radius); residuals outside
+  /// become outliers. 2^15 matches SZ's default capacity.
+  explicit Sz3Compressor(u32 radius = 1u << 15) : radius_(radius) {}
+
+  std::string name() const override { return "SZ"; }
+  std::vector<u8> compress(const data::Field& field, core::ErrorBound bound,
+                           BaselineStats* stats) const override;
+  std::vector<f32> decompress(std::span<const u8> stream) const override;
+
+ private:
+  u32 radius_;
+};
+
+}  // namespace ceresz::baselines

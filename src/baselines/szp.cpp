@@ -1,0 +1,59 @@
+#include "baselines/szp.h"
+
+#include "common/error.h"
+
+namespace ceresz::baselines {
+
+namespace {
+core::CodecConfig szp_codec_config() {
+  core::CodecConfig cfg;
+  cfg.block_size = 32;
+  cfg.header_bytes = 1;  // the CPU/GPU codecs are not bound to 32-bit units
+  cfg.zero_block_shortcut = true;
+  return cfg;
+}
+}  // namespace
+
+SzpCompressor::SzpCompressor(std::string name, u32 chunk_offset_blocks)
+    : name_(std::move(name)),
+      chunk_offset_blocks_(chunk_offset_blocks),
+      codec_(szp_codec_config()) {}
+
+std::vector<u8> SzpCompressor::compress(const data::Field& field,
+                                        core::ErrorBound bound,
+                                        BaselineStats* stats) const {
+  core::CompressionResult r = codec_.compress(field.view(), bound);
+  if (chunk_offset_blocks_ > 0) {
+    // cuSZp bookkeeping: one u32 offset per chunk of blocks, appended so
+    // decompression stays compatible with the plain stream parser.
+    const u64 chunks =
+        (r.stats.total_blocks + chunk_offset_blocks_ - 1) /
+        std::max<u64>(1, chunk_offset_blocks_);
+    r.stream.insert(r.stream.end(), chunks * 4, 0);
+  }
+  if (stats != nullptr) {
+    stats->eps_abs = r.eps_abs;
+    stats->element_count = r.element_count;
+    stats->compressed_bytes = r.stream.size();
+    stats->zero_fraction = r.stats.zero_fraction();
+    stats->mean_code_bits = r.stats.mean_fixed_length + 1.0;  // + sign bit
+    stats->outliers = 0;
+  }
+  return std::move(r.stream);
+}
+
+std::vector<f32> SzpCompressor::decompress(std::span<const u8> stream) const {
+  // The optional trailing offset table is ignored by the sequential
+  // parser — record sizes are self-describing.
+  return codec_.decompress(stream);
+}
+
+std::unique_ptr<Compressor> make_szp() {
+  return std::make_unique<SzpCompressor>("SZp");
+}
+
+std::unique_ptr<Compressor> make_cuszp() {
+  return std::make_unique<SzpCompressor>("cuSZp", /*chunk_offset_blocks=*/256);
+}
+
+}  // namespace ceresz::baselines

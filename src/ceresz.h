@@ -1,0 +1,33 @@
+// CereSZ — error-bounded lossy compression on a simulated Cerebras CS-2.
+//
+// Umbrella header: the public API a downstream application needs.
+//
+//   StreamCodec        — host-side CereSZ compression/decompression
+//   WaferMapper        — CereSZ mapped onto the simulated wafer-scale
+//                        engine (cycle-accurate throughput, bit-identical
+//                        streams)
+//   wse::Fabric        — the WSE simulator itself (for custom kernels)
+//   baselines::*       — SZ/SZp/cuSZ/cuSZp reimplementations
+//   data::*            — synthetic SDRBench-style dataset generators
+//   metrics::*         — PSNR / SSIM / throughput
+#pragma once
+
+#include "baselines/compressor.h"
+#include "baselines/device_model.h"
+#include "common/format.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "core/block_codec.h"
+#include "core/config.h"
+#include "core/costmodel.h"
+#include "core/stream_codec.h"
+#include "data/generators.h"
+#include "io/archive.h"
+#include "io/file_io.h"
+#include "mapping/perf_model.h"
+#include "mapping/profile.h"
+#include "mapping/scheduler.h"
+#include "mapping/wafer_mapper.h"
+#include "metrics/quality.h"
+#include "wse/fabric.h"

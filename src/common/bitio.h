@@ -1,0 +1,103 @@
+// Bit-granular writer/reader over a byte buffer.
+//
+// Used by the Huffman coder (SZ3/cuSZ baselines). Bits are packed LSB-first
+// within each byte, which keeps the writer branch-free and matches the
+// reader below; the on-disk layout is private to this library.
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace ceresz {
+
+class BitWriter {
+ public:
+  /// Append the low `nbits` bits of `value` (0 <= nbits <= 57).
+  void put(u64 value, int nbits) {
+    CERESZ_CHECK(nbits >= 0 && nbits <= 57, "BitWriter::put: nbits out of range");
+    if (nbits == 0) return;
+    acc_ |= (value & mask(nbits)) << fill_;
+    fill_ += nbits;
+    while (fill_ >= 8) {
+      bytes_.push_back(static_cast<u8>(acc_ & 0xff));
+      acc_ >>= 8;
+      fill_ -= 8;
+    }
+  }
+
+  /// Flush any partial byte and return the buffer. The writer is left empty.
+  std::vector<u8> finish() {
+    if (fill_ > 0) {
+      bytes_.push_back(static_cast<u8>(acc_ & 0xff));
+      acc_ = 0;
+      fill_ = 0;
+    }
+    return std::move(bytes_);
+  }
+
+  /// Number of bits written so far (excluding flush padding).
+  u64 bit_count() const { return bytes_.size() * 8 + static_cast<u64>(fill_); }
+
+ private:
+  static u64 mask(int nbits) {
+    return nbits >= 64 ? ~0ull : ((1ull << nbits) - 1);
+  }
+
+  std::vector<u8> bytes_;
+  u64 acc_ = 0;
+  int fill_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const u8* data, std::size_t size) : data_(data), size_(size) {}
+
+  /// Read `nbits` bits (0 <= nbits <= 57). Reading past the end throws.
+  u64 get(int nbits) {
+    CERESZ_CHECK(nbits >= 0 && nbits <= 57, "BitReader::get: nbits out of range");
+    while (fill_ < nbits) {
+      CERESZ_CHECK(pos_ < size_, "BitReader: read past end of stream");
+      acc_ |= static_cast<u64>(data_[pos_++]) << fill_;
+      fill_ += 8;
+    }
+    const u64 value = acc_ & mask(nbits);
+    acc_ >>= nbits;
+    fill_ -= nbits;
+    return value;
+  }
+
+  /// Peek up to `nbits` without consuming; missing tail bits read as zero.
+  u64 peek(int nbits) {
+    CERESZ_CHECK(nbits >= 0 && nbits <= 57, "BitReader::peek: nbits out of range");
+    while (fill_ < nbits && pos_ < size_) {
+      acc_ |= static_cast<u64>(data_[pos_++]) << fill_;
+      fill_ += 8;
+    }
+    return acc_ & mask(nbits);
+  }
+
+  /// Consume `nbits` previously peeked bits.
+  void skip(int nbits) {
+    CERESZ_CHECK(nbits <= fill_, "BitReader::skip: more bits than buffered");
+    acc_ >>= nbits;
+    fill_ -= nbits;
+  }
+
+  u64 bits_consumed() const { return pos_ * 8 - static_cast<u64>(fill_); }
+
+ private:
+  static u64 mask(int nbits) {
+    return nbits >= 64 ? ~0ull : ((1ull << nbits) - 1);
+  }
+
+  const u8* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  u64 acc_ = 0;
+  int fill_ = 0;
+};
+
+}  // namespace ceresz

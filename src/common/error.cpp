@@ -1,0 +1,14 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace ceresz::detail {
+
+void throw_error(const char* file, int line, const char* cond,
+                 const std::string& message) {
+  std::ostringstream oss;
+  oss << message << " [" << cond << " at " << file << ':' << line << ']';
+  throw Error(oss.str());
+}
+
+}  // namespace ceresz::detail

@@ -1,0 +1,40 @@
+// Error handling: a single exception type plus CHECK-style macros.
+//
+// Following the C++ Core Guidelines (E.2, E.3) we throw exceptions for
+// contract violations and unrecoverable conditions rather than returning
+// error codes; all public API entry points document what they throw.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ceresz {
+
+/// Exception thrown on any contract violation or malformed input inside the
+/// CereSZ library (bad configuration, corrupt compressed stream, simulator
+/// misuse such as routing a color that was never configured, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* file, int line, const char* cond,
+                              const std::string& message);
+}  // namespace detail
+
+}  // namespace ceresz
+
+/// Check a runtime condition; throws ceresz::Error with location info when
+/// the condition is false. Used for argument validation and stream parsing,
+/// so it stays enabled in release builds.
+#define CERESZ_CHECK(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::ceresz::detail::throw_error(__FILE__, __LINE__, #cond, (msg));  \
+    }                                                                   \
+  } while (false)
+
+/// Unconditional failure with a message.
+#define CERESZ_FAIL(msg) \
+  ::ceresz::detail::throw_error(__FILE__, __LINE__, "failure", (msg))

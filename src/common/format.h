@@ -1,0 +1,33 @@
+// Plain-text table formatting used by the benchmark harnesses to print the
+// rows/series that the paper's tables and figures report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ceresz {
+
+/// Accumulates rows of strings and renders an aligned ASCII table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule, columns padded to the widest cell.
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` digits after the decimal point.
+std::string fmt_f64(double value, int digits = 2);
+
+/// Format a byte count as a human-readable size (e.g. "12.5 MB").
+std::string fmt_bytes(std::size_t bytes);
+
+}  // namespace ceresz

@@ -1,0 +1,89 @@
+// Deterministic random number generation for synthetic dataset creation.
+//
+// We use xoshiro256** (public domain, Blackman & Vigna) seeded through
+// SplitMix64 so every generator state is fully determined by a single u64
+// seed. Determinism matters here: compression-ratio benches must produce
+// the same fields on every run for the numbers in EXPERIMENTS.md to be
+// reproducible.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "common/types.h"
+
+namespace ceresz {
+
+/// SplitMix64: used only to expand a single seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(u64 seed) : state_(seed) {}
+
+  u64 next() {
+    u64 z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  u64 state_;
+};
+
+/// xoshiro256**: fast, high-quality, deterministic PRNG.
+class Rng {
+ public:
+  explicit Rng(u64 seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  u64 next_u64() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  f64 next_double() {
+    return static_cast<f64>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  f64 uniform(f64 lo, f64 hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [0, n).
+  u64 next_below(u64 n) { return n == 0 ? 0 : next_u64() % n; }
+
+  /// Standard normal via Box-Muller (cached second value).
+  f64 next_gaussian() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    f64 u1 = next_double();
+    f64 u2 = next_double();
+    // Avoid log(0).
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const f64 r = std::sqrt(-2.0 * std::log(u1));
+    const f64 theta = 2.0 * M_PI * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+ private:
+  static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::array<u64, 4> state_{};
+  f64 cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace ceresz

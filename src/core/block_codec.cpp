@@ -1,0 +1,159 @@
+#include "core/block_codec.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "core/flenc.h"
+#include "core/lorenzo.h"
+#include "core/prequant.h"
+
+namespace ceresz::core {
+
+BlockCodec::BlockCodec(CodecConfig config) : config_(config) {
+  config_.validate();
+}
+
+std::size_t BlockCodec::compressed_size(u32 fl) const {
+  const std::size_t plane_bytes = config_.block_size / 8;
+  if (fl == 0) return config_.header_bytes;
+  if (fl == kConstantMarker) return config_.header_bytes + sizeof(i32);
+  return config_.header_bytes + plane_bytes + fl * plane_bytes;
+}
+
+void BlockCodec::write_header(u32 fl, std::vector<u8>& out) const {
+  // Little-endian, header_bytes wide. fl <= 32 always fits in one byte;
+  // CereSZ pads to 4 bytes to honor the fabric's 32-bit transfer units.
+  for (u32 b = 0; b < config_.header_bytes; ++b) {
+    out.push_back(static_cast<u8>((fl >> (8 * b)) & 0xff));
+  }
+}
+
+u32 BlockCodec::read_header(std::span<const u8> in) const {
+  CERESZ_CHECK(in.size() >= config_.header_bytes,
+               "BlockCodec: truncated block header");
+  u32 fl = 0;
+  for (u32 b = 0; b < config_.header_bytes; ++b) {
+    fl |= static_cast<u32>(in[b]) << (8 * b);
+  }
+  const u32 max_valid =
+      config_.constant_block_shortcut ? kConstantMarker : 32;
+  CERESZ_CHECK(fl <= max_valid, "BlockCodec: corrupt header");
+  return fl;
+}
+
+BlockInfo BlockCodec::compress(std::span<const f32> input, f64 eps,
+                               std::vector<u8>& out) const {
+  const u32 L = config_.block_size;
+  CERESZ_CHECK(input.size() == L, "BlockCodec::compress: wrong block size");
+  CERESZ_CHECK(eps > 0.0, "BlockCodec::compress: eps must be positive");
+
+  // Stage 1: pre-quantization.
+  std::vector<i32> quant(L);
+  prequant(input, quant, 2.0 * eps);
+
+  // Stage 2: 1-D Lorenzo prediction (in place).
+  lorenzo_forward(quant, quant);
+
+  // Stage 3: fixed-length encoding.
+  std::vector<u32> abs_values(L);
+  std::vector<u8> signs(L / 8);
+  split_sign(quant, abs_values, signs);
+  const u32 maxval = block_max(abs_values);
+  const u32 fl = effective_bits(maxval);
+
+  BlockInfo info;
+  if (config_.zero_block_shortcut && maxval == 0) {
+    // All-zero quantized block: a bare header with fixed length 0.
+    write_header(0, out);
+    info.fixed_length = 0;
+    info.zero_block = true;
+    info.compressed_bytes = config_.header_bytes;
+    return info;
+  }
+
+  if (config_.constant_block_shortcut) {
+    // Extension: residuals (p0, p1-p0, ...) of a constant block are
+    // (p0, 0, 0, ...) — detect and store just the value.
+    bool constant = true;
+    for (std::size_t i = 1; i < quant.size(); ++i) {
+      if (quant[i] != 0) {
+        constant = false;
+        break;
+      }
+    }
+    if (constant) {
+      write_header(kConstantMarker, out);
+      const u32 value = static_cast<u32>(quant[0]);
+      for (int b = 0; b < 4; ++b) {
+        out.push_back(static_cast<u8>((value >> (8 * b)) & 0xff));
+      }
+      info.fixed_length = 0;
+      info.constant_block = true;
+      info.compressed_bytes =
+          static_cast<u32>(compressed_size(kConstantMarker));
+      return info;
+    }
+  }
+
+  // A non-zero block always has fl >= 1; fl == 0 on the wire means "zero
+  // block", so when the shortcut is disabled an all-zero block is encoded
+  // with fl = 1 (one explicit zero plane).
+  const u32 encoded_fl = std::max(fl, 1u);
+  write_header(encoded_fl, out);
+  out.insert(out.end(), signs.begin(), signs.end());
+  const std::size_t plane_bytes = L / 8;
+  const std::size_t payload_at = out.size();
+  out.resize(out.size() + encoded_fl * plane_bytes);
+  bit_shuffle(abs_values, encoded_fl,
+              std::span<u8>(out.data() + payload_at, encoded_fl * plane_bytes));
+
+  info.fixed_length = encoded_fl;
+  info.zero_block = false;
+  info.compressed_bytes =
+      static_cast<u32>(compressed_size(encoded_fl));
+  return info;
+}
+
+std::size_t BlockCodec::decompress(std::span<const u8> in, f64 eps,
+                                   std::span<f32> output) const {
+  const u32 L = config_.block_size;
+  CERESZ_CHECK(output.size() == L, "BlockCodec::decompress: wrong block size");
+  const u32 fl = read_header(in);
+  const std::size_t total = compressed_size(fl);
+  CERESZ_CHECK(in.size() >= total, "BlockCodec: truncated block record");
+
+  if (fl == 0) {
+    std::fill(output.begin(), output.end(), 0.0f);
+    return total;
+  }
+
+  if (fl == kConstantMarker) {
+    u32 bits = 0;
+    for (int b = 0; b < 4; ++b) {
+      bits |= static_cast<u32>(in[config_.header_bytes + b]) << (8 * b);
+    }
+    const f32 value =
+        static_cast<f32>(static_cast<f64>(static_cast<i32>(bits)) * 2.0 * eps);
+    std::fill(output.begin(), output.end(), value);
+    return total;
+  }
+
+  const std::size_t plane_bytes = L / 8;
+  const std::span<const u8> signs = in.subspan(config_.header_bytes, plane_bytes);
+  const std::span<const u8> planes =
+      in.subspan(config_.header_bytes + plane_bytes, fl * plane_bytes);
+
+  std::vector<u32> abs_values(L);
+  bit_unshuffle(planes, fl, abs_values);
+  std::vector<i32> quant(L);
+  apply_sign(abs_values, signs, quant);
+  lorenzo_inverse(quant, quant);
+  dequant(quant, output, 2.0 * eps);
+  return total;
+}
+
+std::size_t BlockCodec::record_size(std::span<const u8> in) const {
+  return compressed_size(read_header(in));
+}
+
+}  // namespace ceresz::core

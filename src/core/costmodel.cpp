@@ -1,0 +1,59 @@
+#include "core/costmodel.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ceresz::core {
+
+namespace {
+Cycles to_cycles(f64 v) { return static_cast<Cycles>(std::llround(v)); }
+}  // namespace
+
+Cycles PeCostModel::substage_cycles(const SubStage& stage,
+                                    u32 block_size) const {
+  const f64 L = static_cast<f64>(block_size);
+  switch (stage.kind) {
+    case SubStageKind::kPrequantMul: return to_cycles(mul_per_elem * L);
+    case SubStageKind::kPrequantAdd: return to_cycles(add_per_elem * L);
+    case SubStageKind::kLorenzo: return to_cycles(lorenzo_per_elem * L);
+    case SubStageKind::kSign: return to_cycles(sign_per_elem * L);
+    case SubStageKind::kMax: return to_cycles(max_per_elem * L);
+    case SubStageKind::kGetLength: return getlength_per_block;
+    case SubStageKind::kShuffleBit: return to_cycles(shuffle_per_elem_bit * L);
+    case SubStageKind::kUnshuffleBit:
+      return to_cycles(shuffle_per_elem_bit * unshuffle_factor * L);
+    case SubStageKind::kPrefixSum: return to_cycles(lorenzo_per_elem * L);
+    case SubStageKind::kDequantMul: return to_cycles(mul_per_elem * L);
+  }
+  CERESZ_FAIL("substage_cycles: unknown sub-stage kind");
+}
+
+Cycles PeCostModel::compress_block_cycles(u32 block_size, u32 fl,
+                                          bool zero_block) const {
+  const f64 L = static_cast<f64>(block_size);
+  // Quantization, prediction, and the max search always run — the block is
+  // only known to be zero after Max.
+  Cycles total = to_cycles((mul_per_elem + add_per_elem + lorenzo_per_elem +
+                            sign_per_elem + max_per_elem) *
+                           L);
+  if (zero_block) return total + zero_block_tail;
+  total += getlength_per_block;
+  total += to_cycles(shuffle_per_elem_bit * L * static_cast<f64>(fl));
+  return total;
+}
+
+Cycles PeCostModel::decompress_block_cycles(u32 block_size, u32 fl,
+                                            bool zero_block) const {
+  const f64 L = static_cast<f64>(block_size);
+  if (zero_block) {
+    // Reading the flag and emitting zeros: memset-rate output.
+    return zero_block_tail + to_cycles(add_per_elem * L);
+  }
+  Cycles total =
+      to_cycles(shuffle_per_elem_bit * unshuffle_factor * L * fl);
+  total += to_cycles((lorenzo_per_elem + mul_per_elem) * L);
+  return total;
+}
+
+}  // namespace ceresz::core

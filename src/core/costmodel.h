@@ -1,0 +1,55 @@
+// Calibrated per-PE cycle model of the CereSZ kernels.
+//
+// We cannot run CSL on real hardware, so per-operation cycle costs are
+// calibrated against the paper's own profiling of CereSZ on the CS-2
+// (Tables 1-3, block size 32, 850 MHz):
+//
+//   Multiplication ~5074 cycles/block, Addition ~1040, Lorenzo 975,
+//   Sign ~1044, Max ~1037, GetLength ~1380, and Bit-shuffle ~1975.5 cycles
+//   per effective bit (33609/17 ≈ 25675/13 ≈ 23694/12 — "a uniform
+//   encoding overhead per effective bit", Section 4.2).
+//
+// Costs scale linearly with block size (all kernels are element-wise
+// loops), except GetLength which is per block. Decompression reuses the
+// same constants: un-shuffle per bit at a configurable factor of shuffle
+// (slightly cheaper: gather instead of scatter plus no max search),
+// prefix-sum at the Lorenzo rate, and the dequant multiply at the
+// quantization multiply rate — reproducing Section 3's observation that
+// decompression does strictly less work.
+#pragma once
+
+#include "common/types.h"
+#include "core/stage.h"
+
+namespace ceresz::core {
+
+struct PeCostModel {
+  // Per-element compression costs (cycles), calibrated at block size 32.
+  f64 mul_per_elem = 5074.0 / 32;       // 158.56
+  f64 add_per_elem = 1040.0 / 32;       // 32.50
+  f64 lorenzo_per_elem = 975.0 / 32;    // 30.47
+  f64 sign_per_elem = 1044.0 / 32;      // 32.63
+  f64 max_per_elem = 1037.0 / 32;       // 32.41
+  Cycles getlength_per_block = 1380;
+  f64 shuffle_per_elem_bit = 1975.5 / 32;  // 61.73
+
+  // Decompression.
+  f64 unshuffle_factor = 0.80;  ///< un-shuffle cost relative to shuffle
+
+  // A zero block skips everything after Max; the residual cost is the
+  // header write (Section 5.2: "only needs to store a byte flag").
+  Cycles zero_block_tail = 60;
+
+  /// Cycles of one sub-stage on a block of `block_size` elements.
+  Cycles substage_cycles(const SubStage& stage, u32 block_size) const;
+
+  /// Total cycles to compress one block with fixed length `fl`
+  /// (`zero_block` = true means the shortcut path).
+  Cycles compress_block_cycles(u32 block_size, u32 fl, bool zero_block) const;
+
+  /// Total cycles to decompress such a block.
+  Cycles decompress_block_cycles(u32 block_size, u32 fl,
+                                 bool zero_block) const;
+};
+
+}  // namespace ceresz::core

@@ -1,0 +1,97 @@
+#include "core/flenc.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace ceresz::core {
+
+void split_sign(std::span<const i32> input, std::span<u32> abs_out,
+                std::span<u8> sign_bytes) {
+  CERESZ_CHECK(input.size() == abs_out.size(), "split_sign: size mismatch");
+  CERESZ_CHECK(input.size() % 8 == 0,
+               "split_sign: block size must be a multiple of 8");
+  CERESZ_CHECK(sign_bytes.size() == input.size() / 8,
+               "split_sign: sign buffer size mismatch");
+  std::memset(sign_bytes.data(), 0, sign_bytes.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const i32 v = input[i];
+    if (v < 0) {
+      sign_bytes[i / 8] |= static_cast<u8>(1u << (i % 8));
+      abs_out[i] = static_cast<u32>(-static_cast<i64>(v));
+    } else {
+      abs_out[i] = static_cast<u32>(v);
+    }
+  }
+}
+
+u32 block_max(std::span<const u32> abs_values) {
+  u32 m = 0;
+  for (u32 v : abs_values) {
+    if (v > m) m = v;
+  }
+  return m;
+}
+
+u32 effective_bits(u32 value) {
+  return static_cast<u32>(std::bit_width(value));
+}
+
+void bit_shuffle_plane(std::span<const u32> abs_values, u32 bit,
+                       std::span<u8> plane_out) {
+  CERESZ_CHECK(abs_values.size() % 8 == 0,
+               "bit_shuffle_plane: block size must be a multiple of 8");
+  CERESZ_CHECK(plane_out.size() == abs_values.size() / 8,
+               "bit_shuffle_plane: plane buffer size mismatch");
+  CERESZ_CHECK(bit < 32, "bit_shuffle_plane: bit index out of range");
+  std::memset(plane_out.data(), 0, plane_out.size());
+  for (std::size_t j = 0; j < abs_values.size(); ++j) {
+    const u8 b = static_cast<u8>((abs_values[j] >> bit) & 1u);
+    plane_out[j / 8] |= static_cast<u8>(b << (j % 8));
+  }
+}
+
+void bit_shuffle(std::span<const u32> abs_values, u32 fixed_length,
+                 std::span<u8> out) {
+  const std::size_t plane_bytes = abs_values.size() / 8;
+  CERESZ_CHECK(out.size() == plane_bytes * fixed_length,
+               "bit_shuffle: output buffer size mismatch");
+  for (u32 k = 0; k < fixed_length; ++k) {
+    bit_shuffle_plane(abs_values, k,
+                      out.subspan(k * plane_bytes, plane_bytes));
+  }
+}
+
+void bit_unshuffle(std::span<const u8> planes, u32 fixed_length,
+                   std::span<u32> abs_out) {
+  CERESZ_CHECK(abs_out.size() % 8 == 0,
+               "bit_unshuffle: block size must be a multiple of 8");
+  const std::size_t plane_bytes = abs_out.size() / 8;
+  CERESZ_CHECK(planes.size() == plane_bytes * fixed_length,
+               "bit_unshuffle: input buffer size mismatch");
+  CERESZ_CHECK(fixed_length <= 32, "bit_unshuffle: fixed length exceeds 32");
+  for (auto& v : abs_out) v = 0;
+  for (u32 k = 0; k < fixed_length; ++k) {
+    const u8* plane = planes.data() + k * plane_bytes;
+    for (std::size_t j = 0; j < abs_out.size(); ++j) {
+      const u32 b = (plane[j / 8] >> (j % 8)) & 1u;
+      abs_out[j] |= b << k;
+    }
+  }
+}
+
+void apply_sign(std::span<const u32> abs_values,
+                std::span<const u8> sign_bytes, std::span<i32> output) {
+  CERESZ_CHECK(abs_values.size() == output.size(),
+               "apply_sign: size mismatch");
+  CERESZ_CHECK(sign_bytes.size() == abs_values.size() / 8,
+               "apply_sign: sign buffer size mismatch");
+  for (std::size_t i = 0; i < abs_values.size(); ++i) {
+    const bool negative = (sign_bytes[i / 8] >> (i % 8)) & 1u;
+    const i64 magnitude = static_cast<i64>(abs_values[i]);
+    output[i] = static_cast<i32>(negative ? -magnitude : magnitude);
+  }
+}
+
+}  // namespace ceresz::core

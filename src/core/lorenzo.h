@@ -1,0 +1,26 @@
+// Stage 2: 1-D Lorenzo prediction.
+//
+// Within one block the forward transform emits the first-order difference
+// (p_1, p_2 - p_1, ..., p_L - p_{L-1}); smooth data turns into small
+// residuals that fixed-length encoding packs tightly. The inverse is a
+// sequential prefix sum (Section 3, Decompression Steps). Blocks never
+// reference each other, which is what lets every block compress
+// independently on its own PE.
+#pragma once
+
+#include <span>
+
+#include "common/types.h"
+
+namespace ceresz::core {
+
+/// Forward 1-D Lorenzo: out[0] = in[0], out[i] = in[i] - in[i-1].
+/// Throws if a difference overflows 32 bits. In-place operation (aliasing
+/// input and output) is supported.
+void lorenzo_forward(std::span<const i32> input, std::span<i32> output);
+
+/// Inverse 1-D Lorenzo (prefix sum): out[i] = sum of in[0..i].
+/// In-place operation is supported.
+void lorenzo_inverse(std::span<const i32> input, std::span<i32> output);
+
+}  // namespace ceresz::core

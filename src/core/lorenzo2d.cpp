@@ -1,0 +1,97 @@
+#include "core/lorenzo2d.h"
+
+#include <limits>
+
+#include "common/error.h"
+
+namespace ceresz::core {
+
+namespace {
+void check_tile(std::size_t in, std::size_t out, u32 tile_w, u32 tile_h) {
+  CERESZ_CHECK(tile_w >= 1 && tile_h >= 1, "lorenzo2d: empty tile");
+  CERESZ_CHECK(in == static_cast<std::size_t>(tile_w) * tile_h,
+               "lorenzo2d: input size does not match tile dims");
+  CERESZ_CHECK(in == out, "lorenzo2d: size mismatch");
+}
+
+i32 checked_narrow(i64 v, const char* what) {
+  CERESZ_CHECK(v >= std::numeric_limits<i32>::min() &&
+                   v <= std::numeric_limits<i32>::max(),
+               what);
+  return static_cast<i32>(v);
+}
+}  // namespace
+
+void lorenzo2d_forward(std::span<const i32> input, std::span<i32> output,
+                       u32 tile_w, u32 tile_h) {
+  check_tile(input.size(), output.size(), tile_w, tile_h);
+  CERESZ_CHECK(input.data() != output.data(),
+               "lorenzo2d_forward: in-place operation not supported");
+  for (u32 y = 0; y < tile_h; ++y) {
+    for (u32 x = 0; x < tile_w; ++x) {
+      const std::size_t i = static_cast<std::size_t>(y) * tile_w + x;
+      i64 r = input[i];
+      if (x > 0) r -= input[i - 1];
+      if (y > 0) r -= input[i - tile_w];
+      if (x > 0 && y > 0) r += input[i - tile_w - 1];
+      output[i] =
+          checked_narrow(r, "lorenzo2d_forward: residual overflows 32 bits");
+    }
+  }
+}
+
+void lorenzo2d_inverse(std::span<const i32> input, std::span<i32> output,
+                       u32 tile_w, u32 tile_h) {
+  check_tile(input.size(), output.size(), tile_w, tile_h);
+  CERESZ_CHECK(input.data() != output.data(),
+               "lorenzo2d_inverse: in-place operation not supported");
+  for (u32 y = 0; y < tile_h; ++y) {
+    for (u32 x = 0; x < tile_w; ++x) {
+      const std::size_t i = static_cast<std::size_t>(y) * tile_w + x;
+      i64 p = input[i];
+      if (x > 0) p += output[i - 1];
+      if (y > 0) p += output[i - tile_w];
+      if (x > 0 && y > 0) p -= output[i - tile_w - 1];
+      output[i] =
+          checked_narrow(p, "lorenzo2d_inverse: value overflows 32 bits");
+    }
+  }
+}
+
+void gather_tile(std::span<const f32> field, std::size_t width,
+                 std::size_t height, std::size_t x0, std::size_t y0,
+                 u32 tile_w, u32 tile_h, std::span<f32> tile_out) {
+  CERESZ_CHECK(field.size() == width * height,
+               "gather_tile: field size does not match dims");
+  CERESZ_CHECK(tile_out.size() == static_cast<std::size_t>(tile_w) * tile_h,
+               "gather_tile: tile buffer size mismatch");
+  for (u32 ty = 0; ty < tile_h; ++ty) {
+    for (u32 tx = 0; tx < tile_w; ++tx) {
+      const std::size_t x = x0 + tx;
+      const std::size_t y = y0 + ty;
+      tile_out[static_cast<std::size_t>(ty) * tile_w + tx] =
+          (x < width && y < height) ? field[y * width + x] : 0.0f;
+    }
+  }
+}
+
+void scatter_tile(std::span<const f32> tile, std::size_t width,
+                  std::size_t height, std::size_t x0, std::size_t y0,
+                  u32 tile_w, u32 tile_h, std::span<f32> field_out) {
+  CERESZ_CHECK(field_out.size() == width * height,
+               "scatter_tile: field size does not match dims");
+  CERESZ_CHECK(tile.size() == static_cast<std::size_t>(tile_w) * tile_h,
+               "scatter_tile: tile buffer size mismatch");
+  for (u32 ty = 0; ty < tile_h; ++ty) {
+    for (u32 tx = 0; tx < tile_w; ++tx) {
+      const std::size_t x = x0 + tx;
+      const std::size_t y = y0 + ty;
+      if (x < width && y < height) {
+        field_out[y * width + x] =
+            tile[static_cast<std::size_t>(ty) * tile_w + tx];
+      }
+    }
+  }
+}
+
+}  // namespace ceresz::core

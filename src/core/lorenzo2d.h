@@ -1,0 +1,48 @@
+// Extension: block-wise 2-D Lorenzo prediction (Section 3 notes CereSZ
+// "can support such prediction methods"; Section 7 lists more compression
+// algorithms for the dataflow architecture as future work).
+//
+// To stay block-independent — the property that lets every block compress
+// on its own PE with no communication — the 2-D predictor works on tiles:
+// a block of L elements is a tile_h x tile_w patch of the field, and every
+// element is predicted only from neighbors inside its own tile:
+//
+//   r(0,0)  = p(0,0)
+//   r(x,0)  = p(x,0) - p(x-1,0)             (top row: 1-D)
+//   r(0,y)  = p(0,y) - p(0,y-1)             (left column: 1-D)
+//   r(x,y)  = p(x,y) - p(x-1,y) - p(x,y-1) + p(x-1,y-1)
+//
+// The residuals then go through the same fixed-length encoding as the 1-D
+// codec, so only stage 2 changes. On 2-D smooth fields the residuals are
+// second-order differences and pack tighter; on rough data the extra
+// subtraction adds nothing (see bench_ablation_prediction).
+#pragma once
+
+#include <span>
+
+#include "common/types.h"
+
+namespace ceresz::core {
+
+/// Forward tiled 2-D Lorenzo on a tile of tile_h rows x tile_w columns
+/// stored row-major in `input` (tile_h * tile_w elements). In-place
+/// operation is NOT supported (the transform reads original neighbors).
+void lorenzo2d_forward(std::span<const i32> input, std::span<i32> output,
+                       u32 tile_w, u32 tile_h);
+
+/// Inverse: reconstruct quantized values from residuals (2-D prefix sum).
+void lorenzo2d_inverse(std::span<const i32> input, std::span<i32> output,
+                       u32 tile_w, u32 tile_h);
+
+/// Gather a tile from a row-major field into a dense tile buffer; tiles on
+/// the right/bottom edge are zero-padded. `x0`, `y0` are the tile origin.
+void gather_tile(std::span<const f32> field, std::size_t width,
+                 std::size_t height, std::size_t x0, std::size_t y0,
+                 u32 tile_w, u32 tile_h, std::span<f32> tile_out);
+
+/// Scatter a dense tile back into a row-major field (padding discarded).
+void scatter_tile(std::span<const f32> tile, std::size_t width,
+                  std::size_t height, std::size_t x0, std::size_t y0,
+                  u32 tile_w, u32 tile_h, std::span<f32> field_out);
+
+}  // namespace ceresz::core

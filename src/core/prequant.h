@@ -1,0 +1,32 @@
+// Stage 1: pre-quantization — the only lossy step of CereSZ.
+//
+// p_i = round(e_i / 2ε), reconstructed as e'_i = p_i · 2ε, guaranteeing
+// |e_i - e'_i| ≤ ε. Following the paper's implementation (Section 4.2) the
+// division is a multiplication by the precomputed reciprocal of 2ε and the
+// rounding is an addition of 0.5 followed by a floor; the two halves are
+// exposed separately because they are distinct pipeline sub-stages with
+// very different cycle costs (Table 2).
+#pragma once
+
+#include <span>
+
+#include "common/types.h"
+
+namespace ceresz::core {
+
+/// Sub-stage 1a (Multiplication): scratch_i = e_i · (1/2ε).
+void prequant_multiply(std::span<const f32> input, std::span<f64> scratch,
+                       f64 recip_two_eps);
+
+/// Sub-stage 1b (Addition): p_i = floor(scratch_i + 0.5).
+/// Throws if a quantized value does not fit in 32 bits (error bound too
+/// small for the data's magnitude).
+void prequant_add_floor(std::span<const f64> scratch, std::span<i32> output);
+
+/// Fused convenience form of the two sub-stages.
+void prequant(std::span<const f32> input, std::span<i32> output, f64 two_eps);
+
+/// Inverse: e'_i = p_i · 2ε.
+void dequant(std::span<const i32> input, std::span<f32> output, f64 two_eps);
+
+}  // namespace ceresz::core

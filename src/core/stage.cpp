@@ -1,0 +1,55 @@
+#include "core/stage.h"
+
+namespace ceresz::core {
+
+const char* to_string(SubStageKind kind) {
+  switch (kind) {
+    case SubStageKind::kPrequantMul: return "Multiplication";
+    case SubStageKind::kPrequantAdd: return "Addition";
+    case SubStageKind::kLorenzo: return "Lorenzo";
+    case SubStageKind::kSign: return "Sign";
+    case SubStageKind::kMax: return "Max";
+    case SubStageKind::kGetLength: return "GetLength";
+    case SubStageKind::kShuffleBit: return "1-bit Shuffle";
+    case SubStageKind::kUnshuffleBit: return "1-bit Unshuffle";
+    case SubStageKind::kPrefixSum: return "PrefixSum";
+    case SubStageKind::kDequantMul: return "DequantMul";
+  }
+  return "?";
+}
+
+std::string SubStage::name() const {
+  std::string n = to_string(kind);
+  if (kind == SubStageKind::kShuffleBit || kind == SubStageKind::kUnshuffleBit) {
+    n += " #" + std::to_string(bit_index);
+  }
+  return n;
+}
+
+std::vector<SubStage> compression_substages(u32 fixed_length) {
+  std::vector<SubStage> stages;
+  stages.reserve(6 + fixed_length);
+  stages.push_back({SubStageKind::kPrequantMul});
+  stages.push_back({SubStageKind::kPrequantAdd});
+  stages.push_back({SubStageKind::kLorenzo});
+  stages.push_back({SubStageKind::kSign});
+  stages.push_back({SubStageKind::kMax});
+  stages.push_back({SubStageKind::kGetLength});
+  for (u32 k = 0; k < fixed_length; ++k) {
+    stages.push_back({SubStageKind::kShuffleBit, k, k + 1 == fixed_length});
+  }
+  return stages;
+}
+
+std::vector<SubStage> decompression_substages(u32 fixed_length) {
+  std::vector<SubStage> stages;
+  stages.reserve(2 + fixed_length);
+  for (u32 k = 0; k < fixed_length; ++k) {
+    stages.push_back({SubStageKind::kUnshuffleBit, k, k + 1 == fixed_length});
+  }
+  stages.push_back({SubStageKind::kPrefixSum});
+  stages.push_back({SubStageKind::kDequantMul});
+  return stages;
+}
+
+}  // namespace ceresz::core

@@ -1,0 +1,59 @@
+// Sub-stage registry: the fine-grained decomposition of the compression and
+// decompression kernels that the pipeline scheduler (Algorithm 1)
+// distributes across PEs.
+//
+// Compression decomposes into Multiplication, Addition (the two halves of
+// pre-quantization, Table 2), Lorenzo, Sign, Max, GetLength, and one 1-bit
+// Shuffle sub-stage per effective bit (Table 3 and Figure 8). Decompression
+// decomposes into one 1-bit Unshuffle per effective bit, an indivisible
+// prefix sum, and an indivisible dequantization multiply (Section 4.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ceresz::core {
+
+enum class SubStageKind : u8 {
+  // Compression.
+  kPrequantMul,
+  kPrequantAdd,
+  kLorenzo,
+  kSign,
+  kMax,
+  kGetLength,
+  kShuffleBit,  ///< one bit-plane of Bit-shuffle
+  // Decompression.
+  kUnshuffleBit,  ///< one bit-plane of the reverse Bit-shuffle
+  kPrefixSum,     ///< reverse Lorenzo (indivisible)
+  kDequantMul,    ///< reverse pre-quantization (indivisible)
+};
+
+const char* to_string(SubStageKind kind);
+
+/// One schedulable unit of work on a block.
+struct SubStage {
+  SubStageKind kind;
+  u32 bit_index = 0;  ///< which plane, for kShuffleBit / kUnshuffleBit
+
+  /// Set on the last planned shuffle/unshuffle sub-stage: it handles every
+  /// remaining plane (bit_index and above). The plan is built from the
+  /// *sampled* fixed-length estimate (Section 4.2); blocks whose true
+  /// length exceeds the estimate overflow into this tail stage — a real
+  /// imbalance source the simulator should reproduce, not an error.
+  bool tail = false;
+
+  std::string name() const;
+};
+
+/// The ordered sub-stages of compressing a block whose fixed length is
+/// `fixed_length` (the per-bit shuffle count is data-dependent, which is
+/// why the scheduler estimates it by sampling — Section 4.2).
+std::vector<SubStage> compression_substages(u32 fixed_length);
+
+/// The ordered sub-stages of decompressing such a block.
+std::vector<SubStage> decompression_substages(u32 fixed_length);
+
+}  // namespace ceresz::core

@@ -1,0 +1,80 @@
+// Whole-array compression: block partitioning, REL bound resolution, the
+// self-describing stream container, and (de)compression statistics.
+//
+// This is the host-side reference implementation of CereSZ — the WSE
+// mapping in src/mapping produces bit-identical streams, which the
+// integration tests assert.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "core/block_codec.h"
+#include "core/config.h"
+
+namespace ceresz::core {
+
+/// Aggregate statistics of one compression run.
+struct StreamStats {
+  u64 total_blocks = 0;
+  u64 zero_blocks = 0;
+  u64 constant_blocks = 0;  ///< constant-block shortcut hits (extension)
+  u32 max_fixed_length = 0;
+  f64 mean_fixed_length = 0.0;  ///< over non-zero blocks
+  std::array<u64, 33> fl_histogram{};  ///< count of blocks per fixed length
+
+  f64 zero_fraction() const {
+    return total_blocks == 0
+               ? 0.0
+               : static_cast<f64>(zero_blocks) / static_cast<f64>(total_blocks);
+  }
+};
+
+/// Result of StreamCodec::compress.
+struct CompressionResult {
+  std::vector<u8> stream;  ///< container header + block records
+  f64 eps_abs = 0.0;       ///< resolved absolute bound
+  u64 element_count = 0;
+  StreamStats stats;
+
+  f64 compression_ratio() const {
+    return stream.empty() ? 0.0
+                          : static_cast<f64>(element_count * sizeof(f32)) /
+                                static_cast<f64>(stream.size());
+  }
+};
+
+class StreamCodec {
+ public:
+  explicit StreamCodec(CodecConfig config = {});
+
+  const CodecConfig& config() const { return block_codec_.config(); }
+  const BlockCodec& block_codec() const { return block_codec_; }
+
+  /// Compress `data` under `bound`. A REL bound is resolved against the
+  /// data's value range. The input may have any length; a partial tail
+  /// block is zero-padded internally and trimmed on decompression.
+  CompressionResult compress(std::span<const f32> data,
+                             ErrorBound bound) const;
+
+  /// Decompress a stream produced by compress(). Throws on corrupt input.
+  std::vector<f32> decompress(std::span<const u8> stream) const;
+
+  /// Container header size in bytes.
+  static constexpr std::size_t header_size() { return 24; }
+
+ private:
+  struct StreamHeader {
+    u32 header_bytes = 0;
+    u32 block_size = 0;
+    u64 element_count = 0;
+    f64 eps_abs = 0.0;
+  };
+  StreamHeader parse_header(std::span<const u8> stream) const;
+
+  BlockCodec block_codec_;
+};
+
+}  // namespace ceresz::core

@@ -1,0 +1,190 @@
+#include "core/tiled_codec.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "core/flenc.h"
+#include "core/lorenzo2d.h"
+#include "core/prequant.h"
+
+namespace ceresz::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'S', 'Z', '2'};
+
+void append_u64(std::vector<u8>& out, u64 v) {
+  for (int b = 0; b < 8; ++b) out.push_back(static_cast<u8>((v >> (8 * b)) & 0xff));
+}
+u64 read_u64(const u8* p) {
+  u64 v = 0;
+  for (int b = 0; b < 8; ++b) v |= static_cast<u64>(p[b]) << (8 * b);
+  return v;
+}
+
+}  // namespace
+
+void TiledCodecConfig::validate() const {
+  CERESZ_CHECK(tile_w >= 1 && tile_h >= 1, "TiledCodecConfig: empty tile");
+  CERESZ_CHECK(block_size() % 8 == 0,
+               "TiledCodecConfig: tile element count must be a multiple of 8");
+  CERESZ_CHECK(header_bytes == 1 || header_bytes == 2 || header_bytes == 4,
+               "TiledCodecConfig: header_bytes must be 1, 2, or 4");
+}
+
+Tiled2dCodec::Tiled2dCodec(TiledCodecConfig config) : config_(config) {
+  config_.validate();
+}
+
+CompressionResult Tiled2dCodec::compress(std::span<const f32> field,
+                                         std::size_t width,
+                                         std::size_t height,
+                                         ErrorBound bound) const {
+  CERESZ_CHECK(field.size() == width * height,
+               "Tiled2dCodec: field size does not match dims");
+  const u32 L = config_.block_size();
+  const f64 eps = bound.resolve(summarize(field).range());
+
+  CompressionResult result;
+  result.eps_abs = eps;
+  result.element_count = field.size();
+
+  auto& out = result.stream;
+  out.insert(out.end(), kMagic, kMagic + 4);
+  out.push_back(static_cast<u8>(config_.header_bytes));
+  out.push_back(config_.zero_block_shortcut ? u8{1} : u8{0});
+  out.push_back(static_cast<u8>(config_.tile_w));
+  out.push_back(static_cast<u8>(config_.tile_h));
+  append_u64(out, width);
+  append_u64(out, height);
+  u64 eps_bits;
+  std::memcpy(&eps_bits, &eps, sizeof(eps_bits));
+  append_u64(out, eps_bits);
+  out.insert(out.end(), 8, 0);  // reserved
+  CERESZ_CHECK(out.size() == header_size(), "Tiled2dCodec: header drift");
+  if (field.empty()) return result;
+
+  const std::size_t tiles_x = (width + config_.tile_w - 1) / config_.tile_w;
+  const std::size_t tiles_y = (height + config_.tile_h - 1) / config_.tile_h;
+
+  std::vector<f32> tile(L);
+  std::vector<i32> quant(L), resid(L);
+  std::vector<u32> absv(L);
+  std::vector<u8> signs(L / 8);
+
+  auto write_header = [&](u32 fl) {
+    for (u32 b = 0; b < config_.header_bytes; ++b) {
+      out.push_back(static_cast<u8>((fl >> (8 * b)) & 0xff));
+    }
+  };
+
+  for (std::size_t ty = 0; ty < tiles_y; ++ty) {
+    for (std::size_t tx = 0; tx < tiles_x; ++tx) {
+      gather_tile(field, width, height, tx * config_.tile_w,
+                  ty * config_.tile_h, config_.tile_w, config_.tile_h, tile);
+      prequant(tile, quant, 2.0 * eps);
+      lorenzo2d_forward(quant, resid, config_.tile_w, config_.tile_h);
+      split_sign(resid, absv, signs);
+      const u32 maxval = block_max(absv);
+      ++result.stats.total_blocks;
+      if (config_.zero_block_shortcut && maxval == 0) {
+        write_header(0);
+        ++result.stats.zero_blocks;
+        ++result.stats.fl_histogram[0];
+        continue;
+      }
+      const u32 fl = std::max(effective_bits(maxval), 1u);
+      write_header(fl);
+      out.insert(out.end(), signs.begin(), signs.end());
+      const std::size_t at = out.size();
+      out.resize(out.size() + static_cast<std::size_t>(fl) * (L / 8));
+      bit_shuffle(absv, fl,
+                  std::span<u8>(out.data() + at, fl * (L / 8)));
+      result.stats.max_fixed_length =
+          std::max(result.stats.max_fixed_length, fl);
+      ++result.stats.fl_histogram[fl];
+      result.stats.mean_fixed_length += fl;  // normalized below
+    }
+  }
+  const u64 nonzero = result.stats.total_blocks - result.stats.zero_blocks;
+  if (nonzero > 0) result.stats.mean_fixed_length /= static_cast<f64>(nonzero);
+  return result;
+}
+
+std::vector<f32> Tiled2dCodec::decompress(std::span<const u8> stream,
+                                          std::size_t& width,
+                                          std::size_t& height) const {
+  CERESZ_CHECK(stream.size() >= header_size(),
+               "Tiled2dCodec: truncated stream");
+  CERESZ_CHECK(std::memcmp(stream.data(), kMagic, 4) == 0,
+               "Tiled2dCodec: bad magic — not a tiled CereSZ stream");
+  CERESZ_CHECK(stream[4] == config_.header_bytes &&
+                   stream[6] == config_.tile_w && stream[7] == config_.tile_h,
+               "Tiled2dCodec: stream written with a different configuration");
+  width = read_u64(stream.data() + 8);
+  height = read_u64(stream.data() + 16);
+  f64 eps;
+  const u64 eps_bits = read_u64(stream.data() + 24);
+  std::memcpy(&eps, &eps_bits, sizeof(eps));
+  CERESZ_CHECK(width < (u64{1} << 32) && height < (u64{1} << 32),
+               "Tiled2dCodec: corrupt header (absurd dims)");
+  CERESZ_CHECK(eps > 0.0 || width * height == 0,
+               "Tiled2dCodec: corrupt header (non-positive bound)");
+  // Every tile record is at least header_bytes: a corrupt dim pair cannot
+  // claim more tiles than the stream could hold.
+  {
+    const u64 claim_tiles = ((width + config_.tile_w - 1) / config_.tile_w) *
+                            ((height + config_.tile_h - 1) / config_.tile_h);
+    CERESZ_CHECK(claim_tiles <= (stream.size() - header_size()) /
+                                    config_.header_bytes,
+                 "Tiled2dCodec: corrupt header (tile count exceeds what the "
+                 "stream could hold)");
+  }
+
+  std::vector<f32> field(width * height, 0.0f);
+  if (field.empty()) return field;
+
+  const u32 L = config_.block_size();
+  const std::size_t tiles_x = (width + config_.tile_w - 1) / config_.tile_w;
+  const std::size_t tiles_y = (height + config_.tile_h - 1) / config_.tile_h;
+
+  std::vector<f32> tile(L);
+  std::vector<i32> quant(L), resid(L);
+  std::vector<u32> absv(L);
+  std::size_t pos = header_size();
+
+  for (std::size_t ty = 0; ty < tiles_y; ++ty) {
+    for (std::size_t tx = 0; tx < tiles_x; ++tx) {
+      CERESZ_CHECK(pos + config_.header_bytes <= stream.size(),
+                   "Tiled2dCodec: truncated tile header");
+      u32 fl = 0;
+      for (u32 b = 0; b < config_.header_bytes; ++b) {
+        fl |= static_cast<u32>(stream[pos + b]) << (8 * b);
+      }
+      pos += config_.header_bytes;
+      CERESZ_CHECK(fl <= 32, "Tiled2dCodec: corrupt tile header");
+      if (fl == 0) {
+        std::fill(tile.begin(), tile.end(), 0.0f);
+      } else {
+        const std::size_t plane_bytes = L / 8;
+        CERESZ_CHECK(pos + plane_bytes * (1 + fl) <= stream.size(),
+                     "Tiled2dCodec: truncated tile payload");
+        std::span<const u8> signs = stream.subspan(pos, plane_bytes);
+        pos += plane_bytes;
+        bit_unshuffle(stream.subspan(pos, fl * plane_bytes), fl, absv);
+        pos += fl * plane_bytes;
+        apply_sign(absv, signs, resid);
+        lorenzo2d_inverse(resid, quant, config_.tile_w, config_.tile_h);
+        dequant(quant, tile, 2.0 * eps);
+      }
+      scatter_tile(tile, width, height, tx * config_.tile_w,
+                   ty * config_.tile_h, config_.tile_w, config_.tile_h,
+                   field);
+    }
+  }
+  return field;
+}
+
+}  // namespace ceresz::core

@@ -1,0 +1,33 @@
+// A scientific field: named, multi-dimensional, single-precision — the unit
+// the paper's evaluation compresses (each SDRBench dataset is a set of
+// fields; Table 4).
+#pragma once
+
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ceresz::data {
+
+struct Field {
+  std::string dataset;
+  std::string name;
+  std::vector<std::size_t> dims;  ///< row-major, last dimension fastest
+  std::vector<f32> values;
+
+  std::size_t size() const { return values.size(); }
+  std::size_t bytes() const { return values.size() * sizeof(f32); }
+
+  std::span<const f32> view() const { return values; }
+
+  /// Product of dims (should equal values.size()).
+  std::size_t dim_product() const {
+    return std::accumulate(dims.begin(), dims.end(), std::size_t{1},
+                           std::multiplies<>());
+  }
+};
+
+}  // namespace ceresz::data

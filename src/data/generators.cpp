@@ -1,0 +1,317 @@
+#include "data/generators.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ceresz::data {
+
+namespace {
+
+std::vector<std::size_t> scaled_dims(const std::vector<std::size_t>& dims,
+                                     f64 scale) {
+  std::vector<std::size_t> out;
+  out.reserve(dims.size());
+  for (std::size_t d : dims) {
+    out.push_back(std::max<std::size_t>(
+        8, static_cast<std::size_t>(std::llround(d * scale))));
+  }
+  return out;
+}
+
+/// Sum of `n_modes` random low-frequency cosine waves over the unit cube,
+/// evaluated at normalized coordinates. The workhorse for smooth fields.
+class WaveMix {
+ public:
+  WaveMix(Rng& rng, int n_modes, f64 max_freq) {
+    modes_.reserve(n_modes);
+    for (int k = 0; k < n_modes; ++k) {
+      Mode m;
+      for (auto& f : m.freq) f = rng.uniform(-max_freq, max_freq);
+      m.phase = rng.uniform(0.0, 2.0 * M_PI);
+      m.amp = rng.uniform(0.3, 1.0) / std::sqrt(static_cast<f64>(n_modes));
+      modes_.push_back(m);
+    }
+  }
+
+  f64 operator()(f64 x, f64 y, f64 z) const {
+    f64 v = 0.0;
+    for (const Mode& m : modes_) {
+      v += m.amp * std::cos(2.0 * M_PI *
+                                (m.freq[0] * x + m.freq[1] * y + m.freq[2] * z) +
+                            m.phase);
+    }
+    return v;
+  }
+
+ private:
+  struct Mode {
+    f64 freq[3];
+    f64 phase;
+    f64 amp;
+  };
+  std::vector<Mode> modes_;
+};
+
+/// Iterate a (up to 3-D) grid in row-major order, calling
+/// fn(x, y, z, flat_index) with coordinates normalized to [0, 1).
+template <typename Fn>
+void for_grid(const std::vector<std::size_t>& dims, Fn&& fn) {
+  // Treat missing leading dims as size 1: dims {a} -> 1 x 1 x a, {a, b} ->
+  // 1 x a x b, {a, b, c} stays.
+  std::size_t dz = 1, dy = 1, dx = 1;
+  if (dims.size() == 1) {
+    dx = dims[0];
+  } else if (dims.size() == 2) {
+    dy = dims[0];
+    dx = dims[1];
+  } else if (dims.size() == 3) {
+    dz = dims[0];
+    dy = dims[1];
+    dx = dims[2];
+  } else {
+    CERESZ_FAIL("for_grid: only 1-3 dimensional fields supported");
+  }
+  std::size_t idx = 0;
+  for (std::size_t z = 0; z < dz; ++z) {
+    const f64 nz = static_cast<f64>(z) / static_cast<f64>(dz);
+    for (std::size_t y = 0; y < dy; ++y) {
+      const f64 ny = static_cast<f64>(y) / static_cast<f64>(dy);
+      for (std::size_t x = 0; x < dx; ++x) {
+        const f64 nx = static_cast<f64>(x) / static_cast<f64>(dx);
+        fn(nx, ny, nz, idx++);
+      }
+    }
+  }
+}
+
+u64 field_seed(u64 seed, DatasetId id, u32 field_index) {
+  SplitMix64 sm(seed ^ (static_cast<u64>(id) << 32) ^ field_index);
+  return sm.next();
+}
+
+// ---------------------------------------------------------------------------
+// Per-dataset generators
+// ---------------------------------------------------------------------------
+
+// CESM-ATM: 2-D climate fields shaped like the cloud/moisture fraction
+// fields that dominate SDRBench CESM: exact-zero plateaus (no cloud) with
+// smooth bumps. The zero plateau keeps the ratio healthy even at REL 1e-4
+// (Table 5: 8.73 -> 5.11), because zero blocks do not depend on the bound.
+void gen_cesm(Field& f, u32 field_index, Rng& rng) {
+  const WaveMix base(rng, 8, 2.5);
+  const WaveMix detail(rng, 12, 14.0);
+  const f64 threshold = 0.03 * (field_index % 4);
+  const f64 detail_amp = 0.01 + 0.01 * (field_index % 3);
+  for_grid(f.dims, [&](f64 x, f64 y, f64, std::size_t i) {
+    const f64 b = base(x, y, 0.0) + detail_amp * detail(x, y, 0.0);
+    const f64 v = b > threshold ? (b - threshold) * (b - threshold) : 0.0;
+    f.values[i] = static_cast<f32>(v);
+  });
+}
+
+// Hurricane: 3-D vortex flow, strong near the tilted core and decaying to
+// (near) zero outside it — most of the volume away from the storm is calm.
+void gen_hurricane(Field& f, u32 field_index, Rng& rng) {
+  const f64 cx = rng.uniform(0.4, 0.6);
+  const f64 cy = rng.uniform(0.4, 0.6);
+  const f64 radius = rng.uniform(0.06, 0.10);
+  const f64 strength = rng.uniform(30.0, 60.0);
+  const bool tangential = field_index % 2 == 0;
+  for_grid(f.dims, [&](f64 x, f64 y, f64 z, std::size_t i) {
+    const f64 dx = x - cx;
+    const f64 dy = y - cy - 0.1 * (z - 0.5);  // tilted eye
+    const f64 r2 = dx * dx + dy * dy;
+    const f64 swirl = strength * std::exp(-r2 / (radius * radius));
+    const f64 v = (tangential ? -dy : dx) * swirl;
+    // Calm regions are exactly calm at single precision.
+    f.values[i] = std::fabs(v) < 2e-3 * strength ? 0.0f : static_cast<f32>(v);
+  });
+}
+
+// QMCPack: orbitals — oscillatory structure under a steeply decaying
+// envelope. At loose bounds the tail region quantizes to zero; tightening
+// the bound exposes more of the tail, which is why QMCPack's ratio falls
+// steeply from REL 1e-2 to 1e-4 in Table 5 (14.6 -> 4.2).
+void gen_qmcpack(Field& f, u32 field_index, Rng& rng) {
+  const WaveMix oscillation(rng, 14, 8.0 + 3.0 * field_index);
+  for_grid(f.dims, [&](f64 x, f64 y, f64 z, std::size_t i) {
+    const f64 rx = x - 0.5, ry = y - 0.5, rz = z - 0.5;
+    const f64 envelope = std::exp(-22.0 * (rx * rx + ry * ry + rz * rz));
+    f.values[i] = static_cast<f32>(envelope * oscillation(x, y, z));
+  });
+}
+
+// NYX: cosmology. Baryon density and temperature are log-normal (huge
+// dynamic range: most of the volume is orders of magnitude below the
+// range-defining peaks and quantizes to zero); velocities are smooth bulk
+// flows around zero mean.
+void gen_nyx(Field& f, u32 field_index, Rng& rng) {
+  if (field_index == 0 || field_index == 4) {  // density / temperature
+    const WaveMix logfield(rng, 12, 4.0);
+    const f64 sharpness = field_index == 0 ? 8.0 : 6.0;
+    for_grid(f.dims, [&](f64 x, f64 y, f64 z, std::size_t i) {
+      const f64 g = logfield(x, y, z);
+      f.values[i] = static_cast<f32>(std::exp(sharpness * g));
+    });
+    return;
+  }
+  const WaveMix flow(rng, 8, 2.0);
+  const WaveMix turbulence(rng, 10, 10.0);
+  for_grid(f.dims, [&](f64 x, f64 y, f64 z, std::size_t i) {
+    const f64 base = flow(x, y, z) + 0.01 * turbulence(x, y, z);
+    // Cubing concentrates velocities near zero while rare collapsed
+    // regions define the range, as in the real velocity fields.
+    const f64 v = base * base * base;
+    f.values[i] = static_cast<f32>(v * 1.0e7);  // cm/s velocity scale
+  });
+}
+
+// RTM: one time-step of a seismic wavefield — an expanding spherical
+// wavefront band; the volume outside the band is exactly zero, producing
+// the near-cap ratios (31.99 at the 32x zero-block cap) of Table 5.
+void gen_rtm(Field& f, u32 field_index, Rng& rng) {
+  const f64 front_radius = 0.12 + 0.08 * field_index;
+  const f64 width = 0.012;
+  const f64 wavenumber = 60.0 + 10.0 * field_index;
+  const f64 cx = 0.5, cy = 0.5, cz = 0.1;
+  (void)rng;
+  for_grid(f.dims, [&](f64 x, f64 y, f64 z, std::size_t i) {
+    const f64 dx = x - cx, dy = y - cy, dz = z - cz;
+    const f64 r = std::sqrt(dx * dx + dy * dy + dz * dz);
+    const f64 band = (r - front_radius) / width;
+    f64 v = 0.0;
+    if (std::fabs(band) < 2.0) {
+      v = std::exp(-band * band) * std::cos(wavenumber * r) /
+          (1.0 + 60.0 * r * r);
+    }
+    f.values[i] = static_cast<f32>(v);
+  });
+}
+
+// HACC: 1-D particle data. Positions are a jittered cluster walk and
+// velocities heavy-tailed correlated noise — low smoothness, hence the
+// flat, low ratios of Table 5 (6.8 -> 2.8) that barely improve with a
+// looser bound.
+void gen_hacc(Field& f, u32 field_index, Rng& rng) {
+  const bool is_position = field_index < 3;
+  if (is_position) {
+    // Particles laid out cluster by cluster: most positions sit near their
+    // cluster center (small quantized magnitudes), with the box size set
+    // by the farthest clusters.
+    f64 cluster_center = rng.uniform(0.0, 64.0);
+    std::size_t until_jump = 64 + rng.next_below(192);
+    for (std::size_t i = 0; i < f.values.size(); ++i) {
+      if (until_jump-- == 0) {
+        // Cluster centers concentrate near the origin corner of the box
+        // (squared uniform), with rare far clusters defining the range.
+        const f64 u = rng.next_double();
+        cluster_center = 256.0 * u * u * u;
+        until_jump = 64 + rng.next_below(192);
+      }
+      f.values[i] =
+          static_cast<f32>(cluster_center + 1.5 * rng.next_gaussian());
+    }
+  } else {
+    // Velocities: heavy-tailed AR(1) noise. Typical magnitudes are far
+    // below the range-defining tail, keeping quantized values modest.
+    f64 v = 0.0;
+    for (std::size_t i = 0; i < f.values.size(); ++i) {
+      const f64 g = rng.next_gaussian();
+      v = 0.85 * v + 120.0 * g * g * g;  // cubed: heavy tails
+      f.values[i] = static_cast<f32>(v);
+    }
+  }
+}
+
+const char* cesm_names[] = {"CLDHGH", "CLDLOW", "FLDSC", "FREQSH",
+                            "PHIS",   "PSL",    "TS",    "UBOT"};
+const char* hurricane_names[] = {"Uf", "Vf", "Wf", "Pf", "TCf", "QVAPORf"};
+const char* qmcpack_names[] = {"einspline_288", "einspline_115"};
+const char* nyx_names[] = {"baryon_density", "velocity_x", "velocity_y",
+                           "velocity_z", "temperature"};
+const char* rtm_names[] = {"snapshot_0800", "snapshot_1600", "snapshot_2400",
+                           "snapshot_3200"};
+const char* hacc_names[] = {"x", "y", "z", "vx", "vy", "vz"};
+
+}  // namespace
+
+const std::vector<DatasetSpec>& dataset_catalog() {
+  static const std::vector<DatasetSpec> catalog = {
+      {DatasetId::kCesmAtm, "CESM-ATM", "Climate Simulation", 79,
+       {1800, 3600}, 8, {320, 640}},
+      {DatasetId::kHurricane, "Hurricane", "Weather Simulation", 13,
+       {100, 500, 500}, 6, {40, 160, 160}},
+      {DatasetId::kQmcpack, "QMCPack", "Quantum Monte Carlo", 2,
+       {33120, 69, 69}, 2, {144, 69, 69}},
+      {DatasetId::kNyx, "NYX", "Cosmic Simulation", 6, {512, 512, 512}, 5,
+       {96, 96, 96}},
+      {DatasetId::kRtm, "RTM", "Seismic Imaging", 36, {235, 449, 449}, 4,
+       {64, 112, 112}},
+      {DatasetId::kHacc, "HACC", "Cosmic Simulation", 6, {280953867}, 6,
+       {1 << 21}},
+  };
+  return catalog;
+}
+
+const DatasetSpec& dataset_spec(DatasetId id) {
+  for (const auto& spec : dataset_catalog()) {
+    if (spec.id == id) return spec;
+  }
+  CERESZ_FAIL("dataset_spec: unknown dataset id");
+}
+
+Field generate_field(DatasetId id, u32 field_index, u64 seed, f64 scale) {
+  const DatasetSpec& spec = dataset_spec(id);
+  CERESZ_CHECK(field_index < spec.fields_generated,
+               "generate_field: field index out of range");
+  CERESZ_CHECK(scale > 0.0, "generate_field: scale must be positive");
+
+  Field f;
+  f.dataset = spec.name;
+  f.dims = scale == 1.0 ? spec.dims_generated
+                        : scaled_dims(spec.dims_generated, scale);
+  f.values.resize(f.dim_product());
+
+  Rng rng(field_seed(seed, id, field_index));
+  switch (id) {
+    case DatasetId::kCesmAtm:
+      f.name = cesm_names[field_index % 8];
+      gen_cesm(f, field_index, rng);
+      break;
+    case DatasetId::kHurricane:
+      f.name = hurricane_names[field_index % 6];
+      gen_hurricane(f, field_index, rng);
+      break;
+    case DatasetId::kQmcpack:
+      f.name = qmcpack_names[field_index % 2];
+      gen_qmcpack(f, field_index, rng);
+      break;
+    case DatasetId::kNyx:
+      f.name = nyx_names[field_index % 5];
+      gen_nyx(f, field_index, rng);
+      break;
+    case DatasetId::kRtm:
+      f.name = rtm_names[field_index % 4];
+      gen_rtm(f, field_index, rng);
+      break;
+    case DatasetId::kHacc:
+      f.name = hacc_names[field_index % 6];
+      gen_hacc(f, field_index, rng);
+      break;
+  }
+  return f;
+}
+
+std::vector<Field> generate_dataset(DatasetId id, u64 seed, f64 scale) {
+  const DatasetSpec& spec = dataset_spec(id);
+  std::vector<Field> fields;
+  fields.reserve(spec.fields_generated);
+  for (u32 i = 0; i < spec.fields_generated; ++i) {
+    fields.push_back(generate_field(id, i, seed, scale));
+  }
+  return fields;
+}
+
+}  // namespace ceresz::data

@@ -1,0 +1,63 @@
+// Deterministic synthetic stand-ins for the six SDRBench datasets of
+// Table 4.
+//
+// We do not ship the real datasets (multi-GB, external), so each generator
+// produces fields with the *statistical character* that drives a
+// prediction-based block compressor: local smoothness (which sets the
+// Lorenzo residual magnitude and hence each block's fixed length),
+// sparsity (which sets the zero-block fraction, the mechanism behind the
+// error-bound/throughput coupling of Section 5.2), and dynamic range.
+// Generators are tuned so per-dataset compression ratios land in the
+// ballpark of Table 5; EXPERIMENTS.md records the achieved values.
+//
+// All generation is deterministic in (dataset, field index, seed).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "data/field.h"
+
+namespace ceresz::data {
+
+enum class DatasetId : u8 {
+  kCesmAtm,
+  kHurricane,
+  kQmcpack,
+  kNyx,
+  kRtm,
+  kHacc,
+};
+
+inline constexpr DatasetId kAllDatasets[] = {
+    DatasetId::kCesmAtm, DatasetId::kHurricane, DatasetId::kQmcpack,
+    DatasetId::kNyx,     DatasetId::kRtm,       DatasetId::kHacc,
+};
+
+/// Catalog entry: the real dataset's shape (Table 4) plus the default
+/// generated shape (scaled down so benches run on one host core).
+struct DatasetSpec {
+  DatasetId id;
+  const char* name;
+  const char* domain;
+  u32 fields_full;                       ///< field count in SDRBench
+  std::vector<std::size_t> dims_full;    ///< per-field dims in SDRBench
+  u32 fields_generated;                  ///< fields we synthesize
+  std::vector<std::size_t> dims_generated;
+};
+
+const std::vector<DatasetSpec>& dataset_catalog();
+const DatasetSpec& dataset_spec(DatasetId id);
+
+/// Generate one field. `field_index` < spec.fields_generated selects the
+/// field's character (per-field smoothness/sparsity variation, mirroring
+/// the wide per-field ratio ranges of Table 5). `scale` multiplies every
+/// dimension (1.0 = the catalog's generated shape).
+Field generate_field(DatasetId id, u32 field_index, u64 seed = 42,
+                     f64 scale = 1.0);
+
+/// Generate all of a dataset's fields.
+std::vector<Field> generate_dataset(DatasetId id, u64 seed = 42,
+                                    f64 scale = 1.0);
+
+}  // namespace ceresz::data

@@ -1,0 +1,75 @@
+// Canonical Huffman coding over 32-bit symbols.
+//
+// Substrate for the SZ3- and cuSZ-style baselines, which entropy-code
+// quantization bins (Section 5.1.3). Code lengths come from a standard
+// heap-built Huffman tree, limited to kMaxCodeLen bits with a Kraft-sum
+// repair pass; codes are canonical so the table serializes as just
+// (symbol, length) pairs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitio.h"
+#include "common/types.h"
+
+namespace ceresz::huffman {
+
+class HuffmanCodec {
+ public:
+  /// Longest permitted code. 48 bits stays comfortably inside the bit I/O
+  /// limit and is unreachable for any realistic histogram.
+  static constexpr int kMaxCodeLen = 48;
+
+  /// Build a codec for the symbols in `histogram` (count > 0 each).
+  /// A single-symbol alphabet gets a 1-bit code.
+  static HuffmanCodec from_histogram(
+      const std::unordered_map<u32, u64>& histogram);
+
+  /// Convenience: histogram + build from raw symbols.
+  static HuffmanCodec from_symbols(std::span<const u32> symbols);
+
+  /// Append the code table to `out` (self-delimiting).
+  void serialize_table(std::vector<u8>& out) const;
+
+  /// Parse a table produced by serialize_table starting at `in`;
+  /// `consumed` receives the number of bytes read.
+  static HuffmanCodec deserialize_table(std::span<const u8> in,
+                                        std::size_t& consumed);
+
+  /// Encode `symbols`; every symbol must be in the table (throws if not).
+  void encode(std::span<const u32> symbols, BitWriter& writer) const;
+
+  /// Encode a single symbol (for token streams interleaved with raw bits).
+  void encode_one(u32 symbol, BitWriter& writer) const;
+
+  /// Decode exactly `count` symbols.
+  std::vector<u32> decode(BitReader& reader, std::size_t count) const;
+
+  /// Decode a single symbol.
+  u32 decode_one(BitReader& reader) const;
+
+  /// Code length in bits of `symbol`; 0 if the symbol is not in the table.
+  int code_length(u32 symbol) const;
+
+  std::size_t alphabet_size() const { return lengths_.size(); }
+
+ private:
+  HuffmanCodec() = default;
+  void assign_canonical_codes();
+
+  // Sorted by (length, symbol) after assign_canonical_codes().
+  std::vector<std::pair<u32, int>> lengths_;        // (symbol, code length)
+  std::unordered_map<u32, std::pair<u64, int>> codes_;  // symbol -> (code, len)
+
+  // Canonical decoding tables, indexed by code length.
+  std::vector<u64> first_code_;    // first canonical code of each length
+  std::vector<u32> first_index_;   // index into symbols_ of that code
+  std::vector<u32> count_;         // number of codes of each length
+  std::vector<u32> symbols_;       // symbols in canonical order
+  int max_len_ = 0;
+};
+
+}  // namespace ceresz::huffman

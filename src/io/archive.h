@@ -1,0 +1,63 @@
+// Multi-field archive: one file holding every compressed field of a
+// dataset, with names and dims — the unit the paper's evaluation operates
+// on (each SDRBench dataset is a set of fields, Table 4).
+//
+// Layout: magic "CSZA", u32 version, u32 field count, then per field a
+// self-delimiting entry (name, dims, original element count, compressed
+// CereSZ stream). All integers little-endian.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/stream_codec.h"
+#include "data/field.h"
+
+namespace ceresz::io {
+
+/// One compressed field inside an archive.
+struct ArchiveEntry {
+  std::string name;
+  std::vector<std::size_t> dims;
+  std::vector<u8> stream;  ///< CereSZ stream (self-describing)
+
+  f64 compression_ratio() const;
+};
+
+class Archive {
+ public:
+  /// Compress `fields` under `bound` with `codec` into an archive.
+  static Archive compress_fields(const std::vector<data::Field>& fields,
+                                 core::ErrorBound bound,
+                                 const core::StreamCodec& codec);
+
+  /// Serialize to bytes / parse from bytes. Parsing validates structure
+  /// and throws ceresz::Error on corruption.
+  std::vector<u8> serialize() const;
+  static Archive parse(std::span<const u8> bytes);
+
+  /// Convenience file round trip.
+  void save(const std::filesystem::path& path) const;
+  static Archive load(const std::filesystem::path& path);
+
+  /// Decompress one entry back into a Field.
+  data::Field decompress_field(std::size_t index,
+                               const core::StreamCodec& codec) const;
+
+  /// Entry lookup by name (nullopt if absent).
+  std::optional<std::size_t> find(const std::string& name) const;
+
+  const std::vector<ArchiveEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Aggregate ratio across all entries.
+  f64 total_ratio() const;
+
+ private:
+  std::vector<ArchiveEntry> entries_;
+};
+
+}  // namespace ceresz::io

@@ -1,0 +1,55 @@
+#include "io/file_io.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace ceresz::io {
+
+void write_bytes(const std::filesystem::path& path,
+                 std::span<const u8> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  CERESZ_CHECK(out.good(), "write_bytes: cannot open " + path.string());
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  CERESZ_CHECK(out.good(), "write_bytes: write failed for " + path.string());
+}
+
+std::vector<u8> read_bytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  CERESZ_CHECK(in.good(), "read_bytes: cannot open " + path.string());
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<u8> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  CERESZ_CHECK(in.good(), "read_bytes: read failed for " + path.string());
+  return bytes;
+}
+
+data::Field read_raw_f32(const std::filesystem::path& path,
+                         std::vector<std::size_t> dims, std::string dataset,
+                         std::string name) {
+  data::Field field;
+  field.dataset = std::move(dataset);
+  field.name = name.empty() ? path.filename().string() : std::move(name);
+  field.dims = std::move(dims);
+
+  const std::vector<u8> bytes = read_bytes(path);
+  CERESZ_CHECK(bytes.size() % sizeof(f32) == 0,
+               "read_raw_f32: file size is not a multiple of 4");
+  field.values.resize(bytes.size() / sizeof(f32));
+  std::memcpy(field.values.data(), bytes.data(), bytes.size());
+  CERESZ_CHECK(field.dim_product() == field.values.size(),
+               "read_raw_f32: dims do not match file size");
+  return field;
+}
+
+void write_raw_f32(const std::filesystem::path& path,
+                   const data::Field& field) {
+  std::vector<u8> bytes(field.values.size() * sizeof(f32));
+  std::memcpy(bytes.data(), field.values.data(), bytes.size());
+  write_bytes(path, bytes);
+}
+
+}  // namespace ceresz::io

@@ -1,0 +1,32 @@
+// File I/O for compressed streams and fields: the minimal container layer
+// a downstream user needs to persist CereSZ output or feed real SDRBench
+// binaries (raw little-endian f32, the SDRBench convention) into the
+// library.
+#pragma once
+
+#include <filesystem>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "data/field.h"
+
+namespace ceresz::io {
+
+/// Write raw bytes; throws ceresz::Error on failure.
+void write_bytes(const std::filesystem::path& path, std::span<const u8> bytes);
+
+/// Read a whole file; throws ceresz::Error on failure.
+std::vector<u8> read_bytes(const std::filesystem::path& path);
+
+/// Read an SDRBench-style raw field: little-endian f32, row-major, with
+/// dims supplied by the caller (SDRBench ships them out-of-band).
+data::Field read_raw_f32(const std::filesystem::path& path,
+                         std::vector<std::size_t> dims,
+                         std::string dataset = "file",
+                         std::string name = "");
+
+/// Write a field as raw little-endian f32.
+void write_raw_f32(const std::filesystem::path& path, const data::Field& field);
+
+}  // namespace ceresz::io

@@ -1,0 +1,54 @@
+// CSL code generation: emit the Cerebras SDK source (CSL, as in the
+// paper's Figures 4 and 9(b)) that realizes a scheduled CereSZ pipeline on
+// real hardware.
+//
+// The simulator executes semantically equivalent programs; this module
+// produces the deployment artifact — a layout file plus per-role PE
+// programs (pipeline head with the counting relay, interior stage PEs) —
+// so the repository documents exactly what would run on a CS-2. The
+// generated code targets the SDK 0.8-era dialect the paper used
+// (@get_dsd / fabin_dsd / @mov32 / @bind_task / @activate).
+#pragma once
+
+#include <string>
+
+#include "mapping/pipeline_program.h"
+#include "mapping/scheduler.h"
+#include "wse/config.h"
+
+namespace ceresz::mapping {
+
+struct CslProgram {
+  std::string layout;    ///< layout.csl: mesh, colors, per-PE role params
+  std::string head_pe;   ///< head_pe.csl: relay + first stage group
+  std::string stage_pe;  ///< stage_pe.csl: interior pipeline stages
+  std::string readme;    ///< build/run notes for the SDK
+};
+
+class CslCodegen {
+ public:
+  CslCodegen(wse::WseConfig wse, u32 block_size)
+      : wse_(wse), block_size_(block_size) {}
+
+  /// Generate the CSL sources for `plan` on a rows x cols mesh.
+  /// `direction` selects the compression or decompression kernel bodies;
+  /// the relay/layout scaffolding is shared.
+  CslProgram generate(const PipelinePlan& plan,
+                      PipeDirection direction = PipeDirection::kCompress)
+      const;
+
+ private:
+  std::string generate_layout(const PipelinePlan& plan,
+                              PipeDirection direction) const;
+  std::string generate_head(const PipelinePlan& plan,
+                            PipeDirection direction) const;
+  std::string generate_stage(const PipelinePlan& plan,
+                             PipeDirection direction) const;
+  std::string generate_readme(const PipelinePlan& plan,
+                              PipeDirection direction) const;
+
+  wse::WseConfig wse_;
+  u32 block_size_;
+};
+
+}  // namespace ceresz::mapping

@@ -1,0 +1,57 @@
+#include "mapping/perf_model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "mapping/pipeline_program.h"
+
+namespace ceresz::mapping {
+
+Cycles PerfModel::relay_c1(u32 extent) const {
+  // One relay at a head: relay-task dispatch (task overhead + counter
+  // update) followed by the streaming forward (setup + extent wavelets).
+  return wse_.task_overhead_cycles + kRelayTaskConsume +
+         wse_.relay_overhead_cycles + extent;
+}
+
+Cycles PerfModel::forward_c2(u32 extent) const {
+  // Memory -> fabric DSD setup plus streaming the burst out and one hop.
+  return wse_.send_overhead_cycles + extent + wse_.hop_cycles;
+}
+
+PerfPrediction PerfModel::predict(const PipelinePlan& plan, u32 rows,
+                                  u32 cols, u64 blocks_total,
+                                  u32 block_extent, u32 block_bytes) const {
+  CERESZ_CHECK(rows >= 1 && cols >= 1, "PerfModel: empty mesh");
+  const u32 pl = plan.length();
+  CERESZ_CHECK(pl <= cols, "PerfModel: pipeline longer than the row");
+  const u32 n_pipes = cols / pl;
+
+  PerfPrediction p;
+  p.c1 = relay_c1(block_extent);
+  p.c2 = forward_c2(block_extent);
+
+  // One round processes n_pipes blocks per row. The busiest head (head 0)
+  // relays n_pipes - 1 blocks, receives its own, and computes; within a
+  // pipeline each stage boundary forwards the intermediate block once.
+  // Steady state is bound by the slowest stage group, but a single PE also
+  // serializes its relay work with its compute (Formula 2 + Formula 3).
+  const Cycles relay_per_round =
+      static_cast<Cycles>(n_pipes > 0 ? n_pipes - 1 : 0) * p.c1;
+  const Cycles recv_own = wse_.task_overhead_cycles + kRelayTaskConsume +
+                          wse_.recv_overhead_cycles + block_extent;
+  const Cycles compute =
+      wse_.task_overhead_cycles + plan.bottleneck_cycles() +
+      static_cast<Cycles>(pl > 1 ? pl - 1 : 0) * p.c2;
+  p.round_cycles = relay_per_round + recv_own + compute;
+
+  const u64 blocks_per_row = (blocks_total + rows - 1) / rows;
+  const u64 rounds = (blocks_per_row + n_pipes - 1) / n_pipes;
+  p.total_cycles = rounds * p.round_cycles;
+  p.seconds = wse_.seconds(p.total_cycles);
+  p.throughput_gbps = static_cast<f64>(blocks_total) * block_bytes /
+                      p.seconds / 1.0e9;
+  return p;
+}
+
+}  // namespace ceresz::mapping

@@ -1,0 +1,58 @@
+// Analytic performance model: Formulas (2)-(4) of Section 4.3/4.4.
+//
+// Per execution round of one row with TC usable columns, pipeline length
+// PL, and P = TC/PL pipelines:
+//   - relay time ~ P · C1 (Formula 2): every pipeline head forwards the
+//     blocks destined for heads east of it, at C1 cycles per block;
+//   - compute time ~ C/PL + PL · C2 (Formula 3): the per-block budget C
+//     split across the pipeline plus one intermediate forward per stage
+//     boundary;
+// giving a total of O(C/TC + PL·C1 + PL²·C2) per block (Formula 4), i.e.
+// near-linear speedup in columns and a small penalty quadratic in the
+// pipeline length — which is why PL = 1 wins when memory and ingress rate
+// permit (Fig. 13).
+//
+// C1 and C2 are derived from the same simulator constants the programs
+// run under, so the model's predictions can be validated against the
+// event-driven simulation (tests do exactly that).
+#pragma once
+
+#include "common/types.h"
+#include "mapping/scheduler.h"
+#include "wse/config.h"
+
+namespace ceresz::mapping {
+
+struct PerfPrediction {
+  Cycles c1 = 0;            ///< per-block software relay cost at one head
+  Cycles c2 = 0;            ///< per-block intermediate forward cost
+  Cycles round_cycles = 0;  ///< one round: P blocks per row
+  Cycles total_cycles = 0;  ///< whole run
+  f64 seconds = 0.0;
+  f64 throughput_gbps = 0.0;
+};
+
+class PerfModel {
+ public:
+  explicit PerfModel(wse::WseConfig wse) : wse_(wse) {}
+
+  /// C1: one block (of `extent` wavelets) software-relayed through a head:
+  /// the relay task dispatch plus the streaming forward.
+  Cycles relay_c1(u32 extent) const;
+
+  /// C2: moving one intermediate block from a PE's memory onto the fabric
+  /// and into the next PE.
+  Cycles forward_c2(u32 extent) const;
+
+  /// Predict a full run. `plan` supplies the per-PE stage costs, `rows` and
+  /// `cols` the mesh, `blocks_total` the workload, `block_bytes` the
+  /// original bytes per block.
+  PerfPrediction predict(const PipelinePlan& plan, u32 rows, u32 cols,
+                         u64 blocks_total, u32 block_extent,
+                         u32 block_bytes) const;
+
+ private:
+  wse::WseConfig wse_;
+};
+
+}  // namespace ceresz::mapping

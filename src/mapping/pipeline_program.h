@@ -1,0 +1,94 @@
+// Builds the CereSZ programs that run on the simulated wafer: the three
+// parallelization strategies of Section 4 realized as tasks, colors, and
+// routes on a Fabric.
+//
+// Layout of one PE row (Figure 6, right):
+//   - the row holds n_pipes = cols / pipeline_length pipelines; pipeline p
+//     occupies columns [p*PL, (p+1)*PL);
+//   - raw blocks stream west-to-east through the pipeline-head PEs, which
+//     run the Figure 9(b) relay program: forward (n_pipes-1-h) blocks per
+//     round, then keep one and start computing;
+//   - within a pipeline, each PE executes one stage group of the
+//     Algorithm 1 plan and forwards the partially processed block east;
+//   - the last PE of a pipeline emits the finished record.
+//
+// Colors: consecutive hops alternate between two colors (as the paper's
+// Figure 9(b) pseudocode does with its recv/send color pair), so a PE's
+// inbound and outbound routes never collide.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "mapping/block_work.h"
+#include "mapping/scheduler.h"
+#include "wse/fabric.h"
+
+namespace ceresz::mapping {
+
+/// Fixed color assignments of the CereSZ wafer program.
+namespace colors {
+inline constexpr wse::Color kRaw[2] = {0, 1};    ///< head-to-head block relay
+inline constexpr wse::Color kInter[2] = {2, 3};  ///< intra-pipeline stages
+inline constexpr wse::Color kRelayTask = 10;
+inline constexpr wse::Color kComputeTask = 11;
+}  // namespace colors
+
+/// Cycles the relay task body consumes per invocation (counter update and
+/// async-mov setup, Figure 9(b)); part of the paper's C1.
+inline constexpr Cycles kRelayTaskConsume = 4;
+
+/// Direction of the pipeline's data flow.
+enum class PipeDirection { kCompress, kDecompress };
+
+/// One block queued for a row: its payload extent in wavelets, its global
+/// tag, and the work state it will accumulate.
+struct RowBlock {
+  u32 extent = 0;
+  u64 tag = 0;
+  std::shared_ptr<BlockWork> work;
+};
+
+/// Install the CereSZ program for one PE row onto `fabric` and inject the
+/// row's block stream. `row_blocks.size()` must be a multiple of the row's
+/// pipeline count (the mapper pads). The plan's group count is the
+/// pipeline length.
+///
+/// `ingress_cycles_per_wavelet` models the data generation rate (Section
+/// 4.4, assumption 1): successive blocks arrive at the row's first PE
+/// spaced by extent * rate cycles. 1.0 is a saturated stream (one wavelet
+/// per cycle, the paper's evaluation setting); larger values model a
+/// producer slower than the fabric, which caps the row's throughput at
+/// the generation rate regardless of the PE count.
+void build_row_program(wse::Fabric& fabric, u32 row,
+                       const PipelinePlan& plan, PipeDirection direction,
+                       std::shared_ptr<const SubStageExecutor> executor,
+                       std::vector<RowBlock> row_blocks,
+                       f64 ingress_cycles_per_wavelet = 1.0);
+
+/// Estimated local SRAM one stage group needs (message staging plus the
+/// buffers its sub-stages read and write).
+std::size_t estimate_group_memory(const StageGroup& group, u32 block_size,
+                                  PipeDirection direction);
+
+/// Section 4.4's pipeline configuration, operationalized: the shortest
+/// cycle-balanced pipeline (fastest, by Formula 4) whose widest stage
+/// group fits in `sram_bytes`. When no cycle-balanced split fits — the
+/// cycle-greedy Algorithm 1 does not minimize memory — falls back to a
+/// memory-greedy partition (fill each PE up to its SRAM budget), trading
+/// balance for feasibility. Throws ceresz::Error if even single-stage
+/// groups exceed SRAM (the block is too large for the hardware under any
+/// split).
+PipelinePlan plan_with_sram(const GreedyScheduler& scheduler,
+                            const std::vector<core::SubStage>& stages,
+                            u32 block_size, PipeDirection direction,
+                            std::size_t sram_bytes);
+
+/// Convenience: plan_with_sram(...).length().
+u32 choose_pipeline_length(const GreedyScheduler& scheduler,
+                           const std::vector<core::SubStage>& stages,
+                           u32 block_size, PipeDirection direction,
+                           std::size_t sram_bytes);
+
+}  // namespace ceresz::mapping

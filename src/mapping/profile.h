@@ -1,0 +1,45 @@
+// Stage profiling: estimate the per-block cycle budget of a dataset before
+// mapping it onto the wafer.
+//
+// The bit-shuffle cost is data-dependent (one sub-stage per effective bit),
+// so — following Section 4.2 — the profiler samples 5% of the data points,
+// quantizes and predicts them, and uses the sampled maximum residual to
+// approximate the dataset's fixed length. From that it derives the total
+// per-block cycle count C that Algorithm 1 divides across PEs.
+#pragma once
+
+#include <span>
+
+#include "common/types.h"
+#include "core/config.h"
+#include "core/costmodel.h"
+#include "core/stage.h"
+
+namespace ceresz::mapping {
+
+/// Profile of one field at one error bound.
+struct DataProfile {
+  f64 eps_abs = 0.0;
+  u32 est_fixed_length = 0;   ///< sampled estimate of the encoding length
+  f64 zero_fraction = 0.0;    ///< sampled fraction of all-zero blocks
+  Cycles compress_cycles = 0;   ///< modeled C for compression
+  Cycles decompress_cycles = 0; ///< modeled C for decompression
+};
+
+class StageProfiler {
+ public:
+  StageProfiler(core::CodecConfig codec, core::PeCostModel cost,
+                f64 sample_fraction = 0.05)
+      : codec_(codec), cost_(cost), sample_fraction_(sample_fraction) {}
+
+  /// Sample `data` and estimate the pipeline cycle budget under `bound`.
+  DataProfile profile(std::span<const f32> data, core::ErrorBound bound,
+                      u64 seed = 1) const;
+
+ private:
+  core::CodecConfig codec_;
+  core::PeCostModel cost_;
+  f64 sample_fraction_;
+};
+
+}  // namespace ceresz::mapping

@@ -1,0 +1,38 @@
+#include "mapping/report.h"
+
+#include <sstream>
+
+#include "common/format.h"
+
+namespace ceresz::mapping {
+
+std::string utilization_report(const WaferRunResult& result) {
+  TextTable table({"col", "busy %", "relayed", "received", "sent", "tasks"});
+  for (std::size_t c = 0; c < result.row0_stats.size(); ++c) {
+    const auto& st = result.row0_stats[c];
+    const f64 busy = result.makespan == 0
+                         ? 0.0
+                         : 100.0 * static_cast<f64>(st.busy_cycles) /
+                               static_cast<f64>(result.makespan);
+    table.add_row({std::to_string(c), fmt_f64(busy, 1),
+                   std::to_string(st.messages_relayed),
+                   std::to_string(st.messages_received),
+                   std::to_string(st.messages_sent),
+                   std::to_string(st.tasks_run)});
+  }
+  return table.render();
+}
+
+std::string run_summary(const WaferRunResult& result, u32 rows, u32 cols) {
+  std::ostringstream o;
+  o << "mesh " << rows << "x" << cols << ", " << result.pipelines_per_row
+    << " pipeline(s)/row of length " << result.plan.length() << "; "
+    << result.total_blocks << " blocks (" << result.padded_blocks
+    << " padding); makespan " << result.makespan << " cycles = "
+    << fmt_f64(result.seconds * 1e3, 3) << " ms @ 850 MHz; throughput "
+    << fmt_f64(result.throughput_gbps, 3) << " GB/s"
+    << (result.extrapolated ? " (row-extrapolated)" : "") << ".";
+  return o.str();
+}
+
+}  // namespace ceresz::mapping

@@ -1,0 +1,20 @@
+// Human-readable reports over wafer run results: per-PE utilization (the
+// Fig. 10-style view) and a run summary. Used by the examples and the
+// bench harnesses.
+#pragma once
+
+#include <string>
+
+#include "mapping/wafer_mapper.h"
+
+namespace ceresz::mapping {
+
+/// Per-PE activity of row 0: busy fraction, relays, receives, tasks.
+/// Shows where the row's time goes — relay-dominated heads on the west
+/// side, compute-dominated pipelines, idle tail PEs.
+std::string utilization_report(const WaferRunResult& result);
+
+/// One-paragraph run summary (mesh, plan, makespan, throughput).
+std::string run_summary(const WaferRunResult& result, u32 rows, u32 cols);
+
+}  // namespace ceresz::mapping

@@ -1,0 +1,76 @@
+#include "mapping/scheduler.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ceresz::mapping {
+
+Cycles PipelinePlan::bottleneck_cycles() const {
+  Cycles worst = 0;
+  for (const auto& g : groups) worst = std::max(worst, g.cycles);
+  return worst;
+}
+
+Cycles PipelinePlan::total_cycles() const {
+  Cycles total = 0;
+  for (const auto& g : groups) total += g.cycles;
+  return total;
+}
+
+PipelinePlan GreedyScheduler::distribute(
+    const std::vector<core::SubStage>& stages, u32 m) const {
+  CERESZ_CHECK(!stages.empty(), "GreedyScheduler: no sub-stages to schedule");
+  CERESZ_CHECK(m >= 1, "GreedyScheduler: need at least one PE");
+  m = std::min<u32>(m, static_cast<u32>(stages.size()));
+
+  Cycles total = 0;
+  std::vector<Cycles> costs;
+  costs.reserve(stages.size());
+  for (const auto& s : stages) {
+    costs.push_back(cost_.substage_cycles(s, block_size_));
+    total += costs.back();
+  }
+  const f64 target = static_cast<f64>(total) / static_cast<f64>(m);
+
+  PipelinePlan plan;
+  plan.groups.resize(m);
+  std::size_t next = 0;
+  for (u32 g = 0; g + 1 < m; ++g) {
+    auto& group = plan.groups[g];
+    // Keep at least one stage per group, and leave enough stages so the
+    // remaining groups are non-empty.
+    const std::size_t must_leave = m - g - 1;
+    while (next < stages.size() - must_leave &&
+           (group.stages.empty() ||
+            static_cast<f64>(group.cycles) < target)) {
+      group.stages.push_back(stages[next]);
+      group.cycles += costs[next];
+      ++next;
+    }
+  }
+  // Last group takes everything left (line 5 of Algorithm 1).
+  auto& last = plan.groups[m - 1];
+  while (next < stages.size()) {
+    last.stages.push_back(stages[next]);
+    last.cycles += costs[next];
+    ++next;
+  }
+  CERESZ_CHECK(!last.stages.empty(), "GreedyScheduler: empty final group");
+  return plan;
+}
+
+u32 GreedyScheduler::max_feasible_length(
+    const std::vector<core::SubStage>& stages) const {
+  Cycles total = 0;
+  Cycles t1 = 0;
+  for (const auto& s : stages) {
+    const Cycles c = cost_.substage_cycles(s, block_size_);
+    total += c;
+    t1 = std::max(t1, c);
+  }
+  CERESZ_CHECK(t1 > 0, "max_feasible_length: zero-cost stages");
+  return static_cast<u32>(total / t1);
+}
+
+}  // namespace ceresz::mapping

@@ -1,0 +1,57 @@
+// Algorithm 1: evenly distributing n sub-stages across m PEs.
+//
+// Greedy pass (Section 4.2): with total cycle budget C, fill each of the
+// first m-1 groups with consecutive sub-stages until the group reaches
+// C/m, then dump the remainder into the last group. Also provides the
+// paper's feasibility bound: because the Multiplication sub-stage is the
+// longest indivisible unit (runtime t1), no pipeline longer than ⌊C/t1⌋
+// can help.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "core/costmodel.h"
+#include "core/stage.h"
+
+namespace ceresz::mapping {
+
+/// The sub-stages one PE of a pipeline executes, with their modeled cost.
+struct StageGroup {
+  std::vector<core::SubStage> stages;
+  Cycles cycles = 0;
+};
+
+/// A pipeline schedule: which PE runs which sub-stages.
+struct PipelinePlan {
+  std::vector<StageGroup> groups;
+
+  u32 length() const { return static_cast<u32>(groups.size()); }
+
+  /// The slowest group — the pipeline's steady-state bottleneck.
+  Cycles bottleneck_cycles() const;
+
+  /// Sum over all groups (= the total per-block budget C).
+  Cycles total_cycles() const;
+};
+
+class GreedyScheduler {
+ public:
+  GreedyScheduler(core::PeCostModel cost, u32 block_size)
+      : cost_(cost), block_size_(block_size) {}
+
+  /// Algorithm 1. `m` is clamped to the number of sub-stages (a group
+  /// cannot be empty). Stages keep their order; groups are contiguous.
+  PipelinePlan distribute(const std::vector<core::SubStage>& stages,
+                          u32 m) const;
+
+  /// ⌊C/t1⌋ where t1 is the longest single sub-stage: the longest pipeline
+  /// that can still be balanced (Section 4.2).
+  u32 max_feasible_length(const std::vector<core::SubStage>& stages) const;
+
+ private:
+  core::PeCostModel cost_;
+  u32 block_size_;
+};
+
+}  // namespace ceresz::mapping

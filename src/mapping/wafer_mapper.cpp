@@ -1,0 +1,311 @@
+#include "mapping/wafer_mapper.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+#include "mapping/pipeline_program.h"
+
+namespace ceresz::mapping {
+
+namespace {
+
+/// Tags at or above this mark padding blocks (appended so every row's
+/// stream is a whole number of rounds); their results are discarded.
+constexpr u64 kPadTagBase = u64{1} << 63;
+
+struct RowAssignment {
+  std::vector<std::vector<RowBlock>> per_row;  // rows_simulated entries
+  u64 padded_blocks = 0;
+};
+
+/// Round-robin blocks over `rows_total` rows (the full mesh), materializing
+/// only the first `rows_sim` rows; pad each to a multiple of n_pipes.
+template <typename MakeBlock>
+RowAssignment assign_blocks(u64 n_blocks, u32 rows_total, u32 rows_sim,
+                            u32 n_pipes, MakeBlock&& make_block,
+                            RowBlock pad_template) {
+  RowAssignment a;
+  a.per_row.resize(rows_sim);
+  for (u32 r = 0; r < rows_sim; ++r) {
+    auto& list = a.per_row[r];
+    for (u64 b = r; b < n_blocks; b += rows_total) {
+      list.push_back(make_block(b));
+    }
+    u64 pad_tag = kPadTagBase + r;
+    while (list.size() % n_pipes != 0) {
+      RowBlock pad = pad_template;
+      pad.tag = pad_tag;
+      pad_tag += rows_sim;
+      // Each padding block needs its own work state.
+      pad.work = std::make_shared<BlockWork>(*pad_template.work);
+      list.push_back(std::move(pad));
+      ++a.padded_blocks;
+    }
+  }
+  return a;
+}
+
+void append_u16(std::vector<u8>& out, u16 v) {
+  out.push_back(static_cast<u8>(v & 0xff));
+  out.push_back(static_cast<u8>(v >> 8));
+}
+
+void append_u64(std::vector<u8>& out, u64 v) {
+  for (int b = 0; b < 8; ++b) out.push_back(static_cast<u8>((v >> (8 * b)) & 0xff));
+}
+
+}  // namespace
+
+WaferMapper::WaferMapper(MapperOptions options) : options_(options) {
+  options_.codec.validate();
+  CERESZ_CHECK(!options_.codec.constant_block_shortcut,
+               "WaferMapper: the constant-block extension is host-codec "
+               "only; the wafer mapping implements the paper's format");
+  CERESZ_CHECK(options_.rows >= 1 && options_.cols >= 1,
+               "WaferMapper: mesh must be at least 1x1");
+  CERESZ_CHECK(options_.pipeline_length >= 1 &&
+                   options_.pipeline_length <= options_.cols,
+               "WaferMapper: pipeline length must fit within the row");
+  CERESZ_CHECK(options_.max_exact_rows >= 1,
+               "WaferMapper: max_exact_rows must be at least 1");
+}
+
+WaferRunResult WaferMapper::compress(std::span<const f32> data,
+                                     core::ErrorBound bound) const {
+  const u32 L = options_.codec.block_size;
+  CERESZ_CHECK(!data.empty(), "WaferMapper::compress: empty input");
+
+  WaferRunResult result;
+
+  // 1. Profile + schedule.
+  StageProfiler profiler(options_.codec, options_.cost,
+                         options_.sample_fraction);
+  result.profile = profiler.profile(data, bound);
+  result.eps_abs = result.profile.eps_abs;
+  GreedyScheduler scheduler(options_.cost, L);
+  const auto substages =
+      core::compression_substages(result.profile.est_fixed_length);
+  if (options_.plan_for_sram) {
+    result.plan = plan_with_sram(scheduler, substages, L,
+                                 PipeDirection::kCompress,
+                                 options_.wse.sram_bytes);
+    CERESZ_CHECK(result.plan.length() <= options_.cols,
+                 "WaferMapper: SRAM-driven pipeline longer than the row");
+  } else {
+    result.plan = scheduler.distribute(substages, options_.pipeline_length);
+  }
+
+  // 2. Row assignment.
+  const u64 n_blocks = (data.size() + L - 1) / L;
+  result.total_blocks = n_blocks;
+  const u32 n_pipes = options_.cols / result.plan.length();
+  result.pipelines_per_row = n_pipes;
+  result.extrapolated = options_.rows > options_.max_exact_rows;
+  result.rows_simulated =
+      result.extrapolated ? options_.max_exact_rows : options_.rows;
+
+  auto make_block = [&](u64 b) {
+    RowBlock rb;
+    rb.extent = L;
+    rb.tag = b;
+    rb.work = std::make_shared<BlockWork>();
+    rb.work->input.assign(L, 0.0f);
+    const u64 begin = b * L;
+    const u64 count = std::min<u64>(L, data.size() - begin);
+    std::copy_n(data.data() + begin, count, rb.work->input.begin());
+    return rb;
+  };
+  RowBlock pad_template;
+  pad_template.extent = L;
+  pad_template.work = std::make_shared<BlockWork>();
+  pad_template.work->input.assign(L, 0.0f);
+
+  RowAssignment assignment =
+      assign_blocks(n_blocks, options_.rows, result.rows_simulated, n_pipes,
+                    make_block, pad_template);
+  result.padded_blocks = assignment.padded_blocks;
+
+  // 3. Build and run the fabric.
+  wse::WseConfig wcfg = options_.wse;
+  wcfg.rows = result.rows_simulated;
+  wcfg.cols = options_.cols;
+  wse::Fabric fabric(wcfg);
+  auto executor = std::make_shared<const SubStageExecutor>(
+      options_.codec, options_.cost, result.eps_abs);
+  for (u32 r = 0; r < result.rows_simulated; ++r) {
+    build_row_program(fabric, r, result.plan, PipeDirection::kCompress,
+                      executor, std::move(assignment.per_row[r]),
+                      options_.ingress_cycles_per_wavelet);
+  }
+  result.run_stats = fabric.run();
+  result.makespan = result.run_stats.makespan;
+  result.seconds = wcfg.seconds(result.makespan);
+  result.throughput_gbps =
+      static_cast<f64>(data.size() * sizeof(f32)) / result.seconds / 1.0e9;
+
+  result.row0_stats.reserve(options_.cols);
+  for (u32 c = 0; c < options_.cols; ++c) {
+    result.row0_stats.push_back(fabric.stats(0, c));
+  }
+
+  // 4. Assemble the stream (exact mode only: every block was simulated).
+  if (options_.collect_output && !result.extrapolated) {
+    std::vector<std::span<const u8>> records(n_blocks);
+    for (const auto& rec : fabric.results()) {
+      if (rec.tag >= kPadTagBase) continue;
+      records[rec.tag] = rec.bytes;
+    }
+    auto& out = result.stream;
+    out.reserve(24 + n_blocks * 8);
+    const char magic[4] = {'C', 'S', 'Z', '1'};
+    out.insert(out.end(), magic, magic + 4);
+    out.push_back(static_cast<u8>(options_.codec.header_bytes));
+    out.push_back(options_.codec.zero_block_shortcut ? u8{1} : u8{0});
+    append_u16(out, static_cast<u16>(L));
+    append_u64(out, data.size());
+    u64 eps_bits;
+    std::memcpy(&eps_bits, &result.eps_abs, sizeof(eps_bits));
+    append_u64(out, eps_bits);
+    for (u64 b = 0; b < n_blocks; ++b) {
+      CERESZ_CHECK(!records[b].empty(),
+                   "WaferMapper: block never emerged from the wafer");
+      out.insert(out.end(), records[b].begin(), records[b].end());
+    }
+  }
+  return result;
+}
+
+WaferRunResult WaferMapper::decompress(std::span<const u8> stream) const {
+  const u32 L = options_.codec.block_size;
+  core::StreamCodec codec(options_.codec);
+  // Parse the container header via the codec (validates magic/config).
+  // We only need element count and eps; a cheap way that reuses the
+  // validation is to index the records ourselves after checking the size.
+  CERESZ_CHECK(stream.size() >= core::StreamCodec::header_size(),
+               "WaferMapper::decompress: truncated stream");
+  CERESZ_CHECK(std::memcmp(stream.data(), "CSZ1", 4) == 0,
+               "WaferMapper::decompress: bad magic");
+  u64 element_count = 0;
+  for (int b = 0; b < 8; ++b) {
+    element_count |= static_cast<u64>(stream[8 + b]) << (8 * b);
+  }
+  u64 eps_bits = 0;
+  for (int b = 0; b < 8; ++b) {
+    eps_bits |= static_cast<u64>(stream[16 + b]) << (8 * b);
+  }
+  f64 eps_abs;
+  std::memcpy(&eps_abs, &eps_bits, sizeof(eps_abs));
+  CERESZ_CHECK(eps_abs > 0.0, "WaferMapper::decompress: corrupt bound");
+
+  WaferRunResult result;
+  result.eps_abs = eps_abs;
+  const u64 n_blocks = (element_count + L - 1) / L;
+  // Corrupt-header guard: every record is at least header_bytes wide.
+  CERESZ_CHECK(n_blocks <= (stream.size() - core::StreamCodec::header_size()) /
+                               options_.codec.header_bytes,
+               "WaferMapper::decompress: corrupt header (element count "
+               "exceeds what the stream could hold)");
+  result.total_blocks = n_blocks;
+
+  // Index the block records and find the stream's maximum fixed length
+  // (known up front on a real deployment — it is what the decompression
+  // pipeline is scheduled for).
+  const core::BlockCodec& bc = codec.block_codec();
+  std::vector<u64> offsets(n_blocks + 1);
+  u32 max_fl = 1;
+  u64 pos = core::StreamCodec::header_size();
+  for (u64 b = 0; b < n_blocks; ++b) {
+    offsets[b] = pos;
+    const std::size_t rec = bc.record_size(stream.subspan(pos));
+    // Header low byte is the fixed length (<= 32).
+    max_fl = std::max(max_fl, static_cast<u32>(stream[pos]));
+    pos += rec;
+    CERESZ_CHECK(pos <= stream.size(),
+                 "WaferMapper::decompress: truncated stream");
+  }
+  offsets[n_blocks] = pos;
+
+  result.profile.eps_abs = eps_abs;
+  result.profile.est_fixed_length = max_fl;
+  result.profile.decompress_cycles =
+      options_.cost.decompress_block_cycles(L, max_fl, false);
+
+  GreedyScheduler scheduler(options_.cost, L);
+  const auto substages = core::decompression_substages(max_fl);
+  if (options_.plan_for_sram) {
+    result.plan = plan_with_sram(scheduler, substages, L,
+                                 PipeDirection::kDecompress,
+                                 options_.wse.sram_bytes);
+    CERESZ_CHECK(result.plan.length() <= options_.cols,
+                 "WaferMapper: SRAM-driven pipeline longer than the row");
+  } else {
+    result.plan = scheduler.distribute(substages, options_.pipeline_length);
+  }
+
+  const u32 n_pipes = options_.cols / result.plan.length();
+  result.pipelines_per_row = n_pipes;
+  result.extrapolated = options_.rows > options_.max_exact_rows;
+  result.rows_simulated =
+      result.extrapolated ? options_.max_exact_rows : options_.rows;
+
+  auto make_block = [&](u64 b) {
+    RowBlock rb;
+    rb.tag = b;
+    rb.work = std::make_shared<BlockWork>();
+    rb.work->record.assign(stream.begin() + offsets[b],
+                           stream.begin() + offsets[b + 1]);
+    rb.extent = std::max<u32>(
+        1, static_cast<u32>((rb.work->record.size() + 3) / 4));
+    return rb;
+  };
+  RowBlock pad_template;
+  pad_template.work = std::make_shared<BlockWork>();
+  // A zero-block record: header of fl = 0.
+  pad_template.work->record.assign(options_.codec.header_bytes, 0);
+  pad_template.extent = 1;
+
+  RowAssignment assignment =
+      assign_blocks(n_blocks, options_.rows, result.rows_simulated, n_pipes,
+                    make_block, pad_template);
+  result.padded_blocks = assignment.padded_blocks;
+
+  wse::WseConfig wcfg = options_.wse;
+  wcfg.rows = result.rows_simulated;
+  wcfg.cols = options_.cols;
+  wse::Fabric fabric(wcfg);
+  auto executor = std::make_shared<const SubStageExecutor>(
+      options_.codec, options_.cost, eps_abs);
+  for (u32 r = 0; r < result.rows_simulated; ++r) {
+    build_row_program(fabric, r, result.plan, PipeDirection::kDecompress,
+                      executor, std::move(assignment.per_row[r]),
+                      options_.ingress_cycles_per_wavelet);
+  }
+  result.run_stats = fabric.run();
+  result.makespan = result.run_stats.makespan;
+  result.seconds = wcfg.seconds(result.makespan);
+  // Decompression throughput is measured against the original data size
+  // (Section 5.1.4: Size_ori / T).
+  result.throughput_gbps =
+      static_cast<f64>(element_count * sizeof(f32)) / result.seconds / 1.0e9;
+
+  result.row0_stats.reserve(options_.cols);
+  for (u32 c = 0; c < options_.cols; ++c) {
+    result.row0_stats.push_back(fabric.stats(0, c));
+  }
+
+  if (options_.collect_output && !result.extrapolated) {
+    result.output.assign(n_blocks * L, 0.0f);
+    for (const auto& rec : fabric.results()) {
+      if (rec.tag >= kPadTagBase) continue;
+      CERESZ_CHECK(rec.bytes.size() == L * sizeof(f32),
+                   "WaferMapper: bad reconstructed block size");
+      std::memcpy(result.output.data() + rec.tag * L, rec.bytes.data(),
+                  rec.bytes.size());
+    }
+    result.output.resize(element_count);
+  }
+  return result;
+}
+
+}  // namespace ceresz::mapping

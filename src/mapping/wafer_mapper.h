@@ -1,0 +1,90 @@
+// End-to-end CereSZ on the simulated wafer: profiles the data, schedules
+// the pipeline (Algorithm 1), installs the row programs, runs the fabric,
+// and reports throughput exactly as the paper measures it (max PE cycle
+// counter / 850 MHz, Section 5.1.1).
+//
+// Scaling strategy: CereSZ's rows never communicate (the basis of the
+// paper's Fig. 7 linear row scaling), so meshes with at most
+// `max_exact_rows` rows are simulated exactly, while larger meshes
+// simulate `max_exact_rows` representative rows — each processing the
+// block share a full mesh would give it — and reuse the measured makespan
+// for the full mesh. Results carry an `extrapolated` flag.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "core/config.h"
+#include "core/costmodel.h"
+#include "core/stream_codec.h"
+#include "mapping/profile.h"
+#include "mapping/scheduler.h"
+#include "wse/config.h"
+#include "wse/fabric.h"
+
+namespace ceresz::mapping {
+
+struct MapperOptions {
+  u32 rows = 1;
+  u32 cols = 1;
+  u32 pipeline_length = 1;
+  core::CodecConfig codec{};
+  core::PeCostModel cost{};
+  /// Timing parameters of the WSE; rows/cols are overwritten per run.
+  wse::WseConfig wse{};
+  /// Simulate at most this many rows exactly; beyond it, extrapolate.
+  u32 max_exact_rows = 4;
+  /// Ingress rate: cycles between successive wavelets arriving at each
+  /// row's first PE. 1.0 = saturated (Section 4.4, assumption 1).
+  f64 ingress_cycles_per_wavelet = 1.0;
+  /// When true, ignore `pipeline_length` and plan the pipeline subject to
+  /// the PE SRAM budget (Section 4.4, assumption 2): the shortest
+  /// cycle-balanced split that fits, or a memory-greedy split if none
+  /// does. The resulting length must still fit within `cols`.
+  bool plan_for_sram = false;
+  /// Assemble the full output (stream / reconstruction). Requires exact
+  /// simulation of all rows; automatically disabled when extrapolating.
+  bool collect_output = true;
+  f64 sample_fraction = 0.05;
+};
+
+struct WaferRunResult {
+  Cycles makespan = 0;
+  f64 seconds = 0.0;
+  f64 throughput_gbps = 0.0;
+  u64 total_blocks = 0;   ///< real (un-padded) blocks
+  u64 padded_blocks = 0;  ///< zero blocks appended to square off rounds
+  bool extrapolated = false;
+  u32 rows_simulated = 0;
+  u32 pipelines_per_row = 0;
+  f64 eps_abs = 0.0;
+  DataProfile profile;
+  PipelinePlan plan;
+  wse::RunStats run_stats;
+  /// Per-PE stats of row 0 (for the Fig. 10-style profiles).
+  std::vector<wse::PeStats> row0_stats;
+  /// Compressed stream (compress) — byte-identical to StreamCodec.
+  std::vector<u8> stream;
+  /// Reconstructed values (decompress).
+  std::vector<f32> output;
+};
+
+class WaferMapper {
+ public:
+  explicit WaferMapper(MapperOptions options);
+
+  const MapperOptions& options() const { return options_; }
+
+  /// Compress `data` on the simulated wafer.
+  WaferRunResult compress(std::span<const f32> data,
+                          core::ErrorBound bound) const;
+
+  /// Decompress a stream produced by compress()/StreamCodec on the wafer.
+  WaferRunResult decompress(std::span<const u8> stream) const;
+
+ private:
+  MapperOptions options_;
+};
+
+}  // namespace ceresz::mapping

@@ -1,0 +1,133 @@
+#include "metrics/quality.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace ceresz::metrics {
+
+namespace {
+
+// Mean/variance/covariance of one window pair.
+struct WindowMoments {
+  f64 mean_a = 0, mean_b = 0, var_a = 0, var_b = 0, cov = 0;
+};
+
+WindowMoments window_moments(std::span<const f32> a, std::span<const f32> b) {
+  WindowMoments m;
+  const f64 n = static_cast<f64>(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m.mean_a += a[i];
+    m.mean_b += b[i];
+  }
+  m.mean_a /= n;
+  m.mean_b /= n;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const f64 da = a[i] - m.mean_a;
+    const f64 db = b[i] - m.mean_b;
+    m.var_a += da * da;
+    m.var_b += db * db;
+    m.cov += da * db;
+  }
+  m.var_a /= n;
+  m.var_b /= n;
+  m.cov /= n;
+  return m;
+}
+
+f64 ssim_from_moments(const WindowMoments& m, f64 c1, f64 c2) {
+  const f64 numerator =
+      (2.0 * m.mean_a * m.mean_b + c1) * (2.0 * m.cov + c2);
+  const f64 denominator = (m.mean_a * m.mean_a + m.mean_b * m.mean_b + c1) *
+                          (m.var_a + m.var_b + c2);
+  return denominator == 0.0 ? 1.0 : numerator / denominator;
+}
+
+}  // namespace
+
+f64 rmse(std::span<const f32> original, std::span<const f32> reconstructed) {
+  CERESZ_CHECK(original.size() == reconstructed.size(), "rmse: size mismatch");
+  if (original.empty()) return 0.0;
+  f64 sum = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const f64 d = static_cast<f64>(original[i]) - reconstructed[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<f64>(original.size()));
+}
+
+f64 psnr(std::span<const f32> original, std::span<const f32> reconstructed) {
+  if (original.empty()) return 0.0;
+  const f64 err = rmse(original, reconstructed);
+  if (err == 0.0) return std::numeric_limits<f64>::infinity();
+  const ArraySummary s = summarize(original);
+  const f64 range = s.range();
+  if (range == 0.0) return std::numeric_limits<f64>::infinity();
+  return 20.0 * std::log10(range / err);
+}
+
+f64 ssim_2d(std::span<const f32> original, std::span<const f32> reconstructed,
+            std::size_t width, std::size_t height) {
+  CERESZ_CHECK(original.size() == reconstructed.size(),
+               "ssim_2d: size mismatch");
+  CERESZ_CHECK(original.size() == width * height,
+               "ssim_2d: dims do not match data size");
+  constexpr std::size_t kWin = 8;
+  CERESZ_CHECK(width >= kWin && height >= kWin,
+               "ssim_2d: field smaller than the SSIM window");
+
+  const f64 range = summarize(original).range();
+  const f64 c1 = (0.01 * range) * (0.01 * range);
+  const f64 c2 = (0.03 * range) * (0.03 * range);
+
+  f64 total = 0.0;
+  std::size_t windows = 0;
+  std::vector<f32> wa(kWin * kWin), wb(kWin * kWin);
+  for (std::size_t y = 0; y + kWin <= height; y += kWin) {
+    for (std::size_t x = 0; x + kWin <= width; x += kWin) {
+      for (std::size_t r = 0; r < kWin; ++r) {
+        for (std::size_t c = 0; c < kWin; ++c) {
+          wa[r * kWin + c] = original[(y + r) * width + (x + c)];
+          wb[r * kWin + c] = reconstructed[(y + r) * width + (x + c)];
+        }
+      }
+      total += ssim_from_moments(window_moments(wa, wb), c1, c2);
+      ++windows;
+    }
+  }
+  return windows == 0 ? 1.0 : total / static_cast<f64>(windows);
+}
+
+f64 ssim_1d(std::span<const f32> original, std::span<const f32> reconstructed,
+            std::size_t window) {
+  CERESZ_CHECK(original.size() == reconstructed.size(),
+               "ssim_1d: size mismatch");
+  CERESZ_CHECK(window >= 2, "ssim_1d: window must hold at least 2 elements");
+  if (original.size() < window) window = original.size();
+  if (original.empty()) return 1.0;
+
+  const f64 range = summarize(original).range();
+  const f64 c1 = (0.01 * range) * (0.01 * range);
+  const f64 c2 = (0.03 * range) * (0.03 * range);
+
+  f64 total = 0.0;
+  std::size_t windows = 0;
+  for (std::size_t i = 0; i + window <= original.size(); i += window) {
+    total += ssim_from_moments(
+        window_moments(original.subspan(i, window),
+                       reconstructed.subspan(i, window)),
+        c1, c2);
+    ++windows;
+  }
+  return windows == 0 ? 1.0 : total / static_cast<f64>(windows);
+}
+
+f64 throughput_gbps(std::size_t bytes, f64 seconds) {
+  CERESZ_CHECK(seconds > 0.0, "throughput_gbps: non-positive time");
+  return static_cast<f64>(bytes) / seconds / 1.0e9;
+}
+
+}  // namespace ceresz::metrics

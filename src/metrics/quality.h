@@ -1,0 +1,35 @@
+// Data-quality metrics for lossy compression: PSNR, SSIM, and throughput
+// helpers (Section 5.1.4 of the paper).
+#pragma once
+
+#include <span>
+
+#include "common/types.h"
+
+namespace ceresz::metrics {
+
+/// Peak signal-to-noise ratio in dB:
+///   PSNR = 20·log10(range(original) / RMSE).
+/// Returns +inf when the reconstruction is exact, and 0 for empty input.
+f64 psnr(std::span<const f32> original, std::span<const f32> reconstructed);
+
+/// Structural similarity over a 2-D field, using the standard constants
+/// (K1 = 0.01, K2 = 0.03) and non-overlapping 8x8 mean/variance windows,
+/// with the dynamic range taken from the original field. Values in [−1, 1];
+/// 1 means structurally identical.
+f64 ssim_2d(std::span<const f32> original, std::span<const f32> reconstructed,
+            std::size_t width, std::size_t height);
+
+/// SSIM over arbitrary-dimensional data flattened to 1-D, using windows of
+/// `window` consecutive elements — the form used for 3-D fields where we
+/// evaluate a representative slice is ssim_2d; this covers 1-D sets (HACC).
+f64 ssim_1d(std::span<const f32> original, std::span<const f32> reconstructed,
+            std::size_t window = 256);
+
+/// Root-mean-square error.
+f64 rmse(std::span<const f32> original, std::span<const f32> reconstructed);
+
+/// Throughput in GB/s given original bytes and elapsed seconds.
+f64 throughput_gbps(std::size_t bytes, f64 seconds);
+
+}  // namespace ceresz::metrics

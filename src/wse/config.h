@@ -1,0 +1,71 @@
+// Static configuration of the simulated wafer-scale engine.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace ceresz::wse {
+
+/// Geometry and timing parameters of the simulated WSE.
+///
+/// Defaults follow the CS-2 numbers reported in the paper (Section 5.1.1):
+/// a 757x996 mesh of which 750x994 PEs are usable for computation, 48 KB of
+/// SRAM per PE, and an 850 MHz clock. Meshes used in experiments are
+/// sub-rectangles of the usable area.
+struct WseConfig {
+  u32 rows = 1;
+  u32 cols = 1;
+
+  /// Clock frequency used to convert cycle counts into seconds.
+  f64 clock_hz = 850.0e6;
+
+  /// Local SRAM per PE; allocations beyond this throw.
+  std::size_t sram_bytes = 48 * 1024;
+
+  /// Cycles for a wavelet to cross one router-to-router link.
+  Cycles hop_cycles = 1;
+
+  /// Model per-link serialization: a directed link carries one wavelet per
+  /// cycle, so overlapping bursts on the same link queue behind each
+  /// other. Off by default for backwards-compatible timing; the CereSZ
+  /// mapping's software relays serialize traffic anyway, so enabling this
+  /// changes its results only when colors genuinely share links.
+  bool model_link_contention = false;
+
+  /// Fixed scheduling overhead added to every task execution (models task
+  /// switch / activation dispatch on the PE).
+  Cycles task_overhead_cycles = 8;
+
+  /// Fixed overhead of a software relay (counter update + async mov /
+  /// microthread setup) on top of the streaming extent. Together these
+  /// give the paper's C1: relaying one block of L wavelets through a PE
+  /// costs relay_overhead_cycles + L cycles. The fixed part dominates for
+  /// tiny bursts (e.g. 1-wavelet zero-block records on the decompression
+  /// side), which is what keeps their relay cost realistic.
+  Cycles relay_overhead_cycles = 24;
+
+  /// Fixed overhead of an async send (memory -> fabric DSD setup). Together
+  /// with the streaming extent this forms the paper's C2.
+  Cycles send_overhead_cycles = 32;
+
+  /// Fixed overhead of completing an async receive into local memory.
+  Cycles recv_overhead_cycles = 4;
+
+  /// Largest usable mesh on a CS-2 per the paper.
+  static WseConfig full_wafer() {
+    WseConfig c;
+    c.rows = 750;
+    c.cols = 994;
+    return c;
+  }
+
+  /// Convert a cycle count into seconds at this configuration's clock.
+  f64 seconds(Cycles cycles) const {
+    return static_cast<f64>(cycles) / clock_hz;
+  }
+
+  u64 pe_count() const { return static_cast<u64>(rows) * cols; }
+};
+
+}  // namespace ceresz::wse

@@ -1,0 +1,503 @@
+#include "wse/fabric.h"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ceresz::wse {
+
+// ---------------------------------------------------------------------------
+// Internal structures
+// ---------------------------------------------------------------------------
+
+struct Fabric::PendingOp {
+  enum class Kind { kRecv, kForward };
+  u64 id = 0;
+  Kind kind = Kind::kRecv;
+  Color channel = 0;
+  Color out_channel = 0;  // forward only
+  Color activate_color = 0;
+  bool has_activate = false;
+  Cycles ready_at = 0;  // earliest time the op can consume a message
+  Message msg;          // attached when matched with an arrival
+};
+
+struct Fabric::Event {
+  enum class Kind { kDeliver, kTaskFinish, kOpComplete, kActivate };
+  Cycles time = 0;
+  u64 seq = 0;
+  Kind kind = Kind::kDeliver;
+  u32 pe_index = 0;
+  Message msg;     // kDeliver
+  u64 op_id = 0;   // kOpComplete
+  Color color = 0; // kActivate
+};
+
+struct Fabric::EventCompare {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;  // min-heap: earlier seq first for determinism
+  }
+};
+
+struct Fabric::Pe {
+  u32 row = 0;
+  u32 col = 0;
+  u32 index = 0;
+  RouterConfig router;
+  PeMemory memory;
+
+  struct Binding {
+    TaskFn fn;
+    TaskTrigger trigger = TaskTrigger::kManual;
+    bool bound = false;
+  };
+  std::array<Binding, kNumColors> bindings{};
+  std::array<std::deque<Message>, kNumColors> inbox{};
+  std::array<std::deque<Message>, kNumColors> delivered{};
+  std::array<std::deque<PendingOp>, kNumColors> ops{};
+  std::deque<Color> ready;
+  bool busy = false;
+  Cycles send_free = 0;  // serializes the PE's outgoing fabric injections
+
+  // Actions recorded by the currently running task, applied at TaskFinish.
+  struct TaskScratch {
+    std::vector<Color> activations;
+    std::vector<PendingOp> ops;
+    struct SendReq {
+      Color channel;
+      Message msg;
+      std::optional<Color> activate;
+    };
+    std::vector<SendReq> sends;
+  };
+  std::unique_ptr<TaskScratch> scratch;
+
+  PeStats stats;
+
+  explicit Pe(std::size_t sram) : memory(sram) {}
+};
+
+// ---------------------------------------------------------------------------
+// Task context
+// ---------------------------------------------------------------------------
+
+class Fabric::ContextImpl final : public PeContext {
+ public:
+  ContextImpl(Fabric& fab, Pe& pe, Cycles start)
+      : fab_(fab), pe_(pe), start_(start) {
+    scratch_ = std::make_unique<Pe::TaskScratch>();
+  }
+
+  u32 row() const override { return pe_.row; }
+  u32 col() const override { return pe_.col; }
+  Cycles now() const override { return start_; }
+
+  void consume(Cycles cycles) override { consumed_ += cycles; }
+
+  void activate(Color color) override {
+    check_color(color);
+    scratch_->activations.push_back(color);
+  }
+
+  void recv_async(Color channel, Color activate_color) override {
+    check_color(channel);
+    check_color(activate_color);
+    PendingOp op;
+    op.id = fab_.next_op_id_++;
+    op.kind = PendingOp::Kind::kRecv;
+    op.channel = channel;
+    op.activate_color = activate_color;
+    op.has_activate = true;
+    scratch_->ops.push_back(std::move(op));
+  }
+
+  void send_async(Color channel, Message msg,
+                  std::optional<Color> activate_color) override {
+    check_color(channel);
+    if (activate_color) check_color(*activate_color);
+    msg.color = channel;
+    scratch_->sends.push_back({channel, std::move(msg), activate_color});
+  }
+
+  void forward_async(Color in_channel, Color out_channel,
+                     Color activate_color) override {
+    check_color(in_channel);
+    check_color(out_channel);
+    check_color(activate_color);
+    PendingOp op;
+    op.id = fab_.next_op_id_++;
+    op.kind = PendingOp::Kind::kForward;
+    op.channel = in_channel;
+    op.out_channel = out_channel;
+    op.activate_color = activate_color;
+    op.has_activate = true;
+    scratch_->ops.push_back(std::move(op));
+  }
+
+  Message take_delivered(Color channel) override {
+    check_color(channel);
+    auto& q = pe_.delivered[channel];
+    CERESZ_CHECK(!q.empty(), "take_delivered: no completed message on channel");
+    Message m = std::move(q.front());
+    q.pop_front();
+    return m;
+  }
+
+  bool has_delivered(Color channel) const override {
+    check_color(channel);
+    return !pe_.delivered[channel].empty();
+  }
+
+  PeMemory& memory() override { return pe_.memory; }
+
+  void emit_result(u64 tag, std::vector<u8> bytes) override {
+    fab_.results_.push_back(
+        ResultRecord{tag, pe_.row, pe_.col, start_, std::move(bytes)});
+  }
+
+  Cycles consumed() const { return consumed_; }
+  std::unique_ptr<Pe::TaskScratch> take_scratch() { return std::move(scratch_); }
+
+ private:
+  static void check_color(Color c) {
+    CERESZ_CHECK(c < kNumColors, "color id out of range");
+  }
+
+  Fabric& fab_;
+  Pe& pe_;
+  Cycles start_;
+  Cycles consumed_ = 0;
+  std::unique_ptr<Pe::TaskScratch> scratch_;
+};
+
+// ---------------------------------------------------------------------------
+// Fabric
+// ---------------------------------------------------------------------------
+
+// Ops matched with a message and awaiting their completion event, keyed by
+// op id. Lives behind a unique_ptr so PendingOp can stay private to this
+// translation unit.
+struct Fabric::InFlight {
+  std::unordered_map<u64, PendingOp> ops;
+};
+
+Fabric::Fabric(WseConfig config)
+    : config_(config), in_flight_(std::make_unique<InFlight>()) {
+  CERESZ_CHECK(config_.rows >= 1 && config_.cols >= 1,
+               "Fabric: mesh must be at least 1x1");
+  pes_.reserve(config_.pe_count());
+  for (u32 r = 0; r < config_.rows; ++r) {
+    for (u32 c = 0; c < config_.cols; ++c) {
+      auto pe = std::make_unique<Pe>(config_.sram_bytes);
+      pe->row = r;
+      pe->col = c;
+      pe->index = r * config_.cols + c;
+      pes_.push_back(std::move(pe));
+    }
+  }
+  if (config_.model_link_contention) {
+    link_free_.assign(static_cast<std::size_t>(config_.pe_count()) * 4, 0);
+  }
+}
+
+Fabric::~Fabric() { delete heap_; }
+
+Fabric::Pe& Fabric::pe_at(u32 row, u32 col) {
+  CERESZ_CHECK(row < config_.rows && col < config_.cols,
+               "Fabric: PE coordinate out of range");
+  return *pes_[row * config_.cols + col];
+}
+
+const Fabric::Pe& Fabric::pe_at(u32 row, u32 col) const {
+  CERESZ_CHECK(row < config_.rows && col < config_.cols,
+               "Fabric: PE coordinate out of range");
+  return *pes_[row * config_.cols + col];
+}
+
+RouterConfig& Fabric::router(u32 row, u32 col) { return pe_at(row, col).router; }
+
+PeMemory& Fabric::memory(u32 row, u32 col) { return pe_at(row, col).memory; }
+
+const PeStats& Fabric::stats(u32 row, u32 col) const {
+  return pe_at(row, col).stats;
+}
+
+void Fabric::bind_task(u32 row, u32 col, Color color, TaskFn fn,
+                       TaskTrigger trigger) {
+  CERESZ_CHECK(color < kNumColors, "bind_task: color id out of range");
+  Pe& pe = pe_at(row, col);
+  auto& b = pe.bindings[color];
+  CERESZ_CHECK(!b.bound, "bind_task: color already has a task on this PE");
+  b.fn = std::move(fn);
+  b.trigger = trigger;
+  b.bound = true;
+}
+
+void Fabric::activate_at(u32 row, u32 col, Color color, Cycles time) {
+  CERESZ_CHECK(!ran_, "Fabric: cannot schedule after run()");
+  Event ev;
+  ev.kind = Event::Kind::kActivate;
+  ev.time = time;
+  ev.pe_index = pe_at(row, col).index;
+  ev.color = color;
+  initial_events_.push_back(std::move(ev));
+}
+
+void Fabric::inject(u32 row, u32 col, Message msg, Cycles arrival) {
+  CERESZ_CHECK(!ran_, "Fabric: cannot inject after run()");
+  Event ev;
+  ev.kind = Event::Kind::kDeliver;
+  ev.time = arrival;
+  ev.pe_index = pe_at(row, col).index;
+  ev.msg = std::move(msg);
+  initial_events_.push_back(std::move(ev));
+}
+
+void Fabric::push_event(Event ev) {
+  ev.seq = next_seq_++;
+  heap_->push(std::move(ev));
+}
+
+RunStats Fabric::run() {
+  CERESZ_CHECK(!ran_, "Fabric::run may only be called once");
+  ran_ = true;
+  heap_ = new std::priority_queue<Event, std::vector<Event>, EventCompare>();
+  for (auto& ev : initial_events_) push_event(std::move(ev));
+  initial_events_.clear();
+
+  while (!heap_->empty()) {
+    Event ev = heap_->top();
+    heap_->pop();
+    ++events_processed_;
+    makespan_ = std::max(makespan_, ev.time);
+    Pe& pe = *pes_[ev.pe_index];
+    pe.stats.finish_time = std::max(pe.stats.finish_time, ev.time);
+    switch (ev.kind) {
+      case Event::Kind::kDeliver:
+        deliver(pe, std::move(ev.msg), ev.time);
+        break;
+      case Event::Kind::kTaskFinish:
+        finish_task(pe, ev.time);
+        break;
+      case Event::Kind::kOpComplete:
+        complete_op(pe, ev.time, ev.op_id);
+        break;
+      case Event::Kind::kActivate:
+        pe.ready.push_back(ev.color);
+        maybe_start_task(pe, ev.time);
+        break;
+    }
+  }
+
+  RunStats rs;
+  rs.makespan = makespan_;
+  rs.events_processed = events_processed_;
+  rs.tasks_run = tasks_run_total_;
+  return rs;
+}
+
+void Fabric::deliver(Pe& pe, Message msg, Cycles time) {
+  const Color channel = msg.color;
+  CERESZ_CHECK(channel < kNumColors, "deliver: color id out of range");
+  auto& binding = pe.bindings[channel];
+  const bool have_op = !pe.ops[channel].empty();
+  if (!have_op && binding.bound &&
+      binding.trigger == TaskTrigger::kDataTriggered) {
+    // Wavelet-triggered task: auto-receive this arrival, then activate.
+    PendingOp op;
+    op.id = next_op_id_++;
+    op.kind = PendingOp::Kind::kRecv;
+    op.channel = channel;
+    op.activate_color = channel;
+    op.has_activate = true;
+    op.ready_at = time;
+    pe.ops[channel].push_back(std::move(op));
+  }
+  pe.inbox[channel].push_back(std::move(msg));
+  try_match_ops(pe, time);
+}
+
+void Fabric::try_match_ops(Pe& pe, Cycles time) {
+  for (int c = 0; c < kNumColors; ++c) {
+    auto& ops = pe.ops[c];
+    auto& inbox = pe.inbox[c];
+    while (!ops.empty() && !inbox.empty()) {
+      PendingOp op = std::move(ops.front());
+      ops.pop_front();
+      op.msg = std::move(inbox.front());
+      inbox.pop_front();
+      const Cycles start = std::max(op.ready_at, time);
+      const Cycles overhead = op.kind == PendingOp::Kind::kRecv
+                                  ? config_.recv_overhead_cycles
+                                  : config_.relay_overhead_cycles;
+      const Cycles done = start + overhead + op.msg.extent;
+      Event ev;
+      ev.kind = Event::Kind::kOpComplete;
+      ev.time = done;
+      ev.pe_index = pe.index;
+      ev.op_id = op.id;
+      in_flight_->ops.emplace(op.id, std::move(op));
+      push_event(std::move(ev));
+    }
+  }
+}
+
+void Fabric::complete_op(Pe& pe, Cycles time, u64 op_id) {
+  auto it = in_flight_->ops.find(op_id);
+  CERESZ_CHECK(it != in_flight_->ops.end(), "complete_op: unknown op id");
+  PendingOp op = std::move(it->second);
+  in_flight_->ops.erase(it);
+
+  if (op.kind == PendingOp::Kind::kRecv) {
+    ++pe.stats.messages_received;
+    pe.delivered[op.channel].push_back(std::move(op.msg));
+  } else {
+    ++pe.stats.messages_relayed;
+    Message out = std::move(op.msg);
+    out.color = op.out_channel;
+    route_send(pe, std::move(out), time);
+  }
+  if (op.has_activate) {
+    pe.ready.push_back(op.activate_color);
+    maybe_start_task(pe, time);
+  }
+}
+
+void Fabric::maybe_start_task(Pe& pe, Cycles time) {
+  if (pe.busy || pe.ready.empty()) return;
+  const Color color = pe.ready.front();
+  pe.ready.pop_front();
+  auto& binding = pe.bindings[color];
+  CERESZ_CHECK(binding.bound, "activated a color with no bound task");
+
+  ContextImpl ctx(*this, pe, time);
+  binding.fn(ctx);
+
+  const Cycles duration = config_.task_overhead_cycles + ctx.consumed();
+  pe.busy = true;
+  pe.scratch = ctx.take_scratch();
+  pe.stats.busy_cycles += duration;
+  ++pe.stats.tasks_run;
+  ++tasks_run_total_;
+
+  Event ev;
+  ev.kind = Event::Kind::kTaskFinish;
+  ev.time = time + duration;
+  ev.pe_index = pe.index;
+  push_event(std::move(ev));
+}
+
+void Fabric::finish_task(Pe& pe, Cycles time) {
+  CERESZ_CHECK(pe.busy && pe.scratch, "finish_task: PE is not running a task");
+  auto scratch = std::move(pe.scratch);
+  pe.busy = false;
+
+  for (Color c : scratch->activations) pe.ready.push_back(c);
+
+  for (PendingOp& op : scratch->ops) {
+    op.ready_at = time;
+    pe.ops[op.channel].push_back(std::move(op));
+  }
+
+  for (auto& send : scratch->sends) {
+    const Cycles depart = std::max(time, pe.send_free);
+    const Cycles drained =
+        depart + config_.send_overhead_cycles + send.msg.extent;
+    pe.send_free = drained;
+    ++pe.stats.messages_sent;
+    route_send(pe, std::move(send.msg), depart);
+    if (send.activate) {
+      Event ev;
+      ev.kind = Event::Kind::kActivate;
+      ev.time = drained;
+      ev.pe_index = pe.index;
+      ev.color = *send.activate;
+      push_event(std::move(ev));
+    }
+  }
+
+  try_match_ops(pe, time);
+  maybe_start_task(pe, time);
+}
+
+void Fabric::route_send(const Pe& from, Message msg, Cycles depart) {
+  // Walk the configured color route hop by hop, scheduling a delivery at
+  // every PE whose route includes RAMP among its outputs. Streaming model:
+  // the burst's head wavelet leaves the origin at depart + send_overhead
+  // and advances one link per hop_cycles; a burst of E wavelets is fully
+  // delivered E cycles after its head arrives. With link contention
+  // enabled, a directed link carries one wavelet per cycle, so a burst
+  // whose head reaches a busy link queues behind the burst occupying it.
+  struct Frontier {
+    u32 row, col;
+    Cycles head_time;        // when the burst's head reaches this PE
+    Direction arrived_from;  // side the wavelet enters on
+  };
+  const Color color = msg.color;
+  const RouteEntry& origin = from.router.route(color);
+  CERESZ_CHECK(origin.configured,
+               "route_send: color not configured on sending PE");
+
+  std::vector<Frontier> frontier;
+  std::unordered_set<u64> visited;
+  auto schedule_delivery = [&](u32 row, u32 col, Cycles head_time) {
+    Event ev;
+    ev.kind = Event::Kind::kDeliver;
+    ev.time = head_time + msg.extent;
+    ev.pe_index = row * config_.cols + col;
+    ev.msg = msg;  // shared payload; cheap copy
+    push_event(std::move(ev));
+  };
+
+  auto expand = [&](u32 row, u32 col, const RouteEntry& entry,
+                    Cycles head_time) {
+    // A RAMP output delivers to this PE's processor (a loopback when this
+    // is the origin).
+    if (entry.has_output(Direction::kRamp)) {
+      schedule_delivery(row, col, head_time);
+    }
+    for (Direction d : {Direction::kEast, Direction::kWest, Direction::kNorth,
+                        Direction::kSouth}) {
+      if (!entry.has_output(d)) continue;
+      const int nr = static_cast<int>(row) + drow(d);
+      const int nc = static_cast<int>(col) + dcol(d);
+      CERESZ_CHECK(nr >= 0 && nr < static_cast<int>(config_.rows) &&
+                       nc >= 0 && nc < static_cast<int>(config_.cols),
+                   "route_send: wavelet routed off the fabric edge");
+      Cycles link_depart = head_time;
+      if (config_.model_link_contention) {
+        const std::size_t link =
+            (static_cast<std::size_t>(row) * config_.cols + col) * 4 +
+            (static_cast<std::size_t>(d) - 1);
+        Cycles& free_at = link_free_[link];
+        link_depart = std::max(link_depart, free_at);
+        free_at = link_depart + msg.extent;
+      }
+      frontier.push_back({static_cast<u32>(nr), static_cast<u32>(nc),
+                          link_depart + config_.hop_cycles, opposite(d)});
+    }
+  };
+
+  expand(from.row, from.col, origin, depart + config_.send_overhead_cycles);
+  while (!frontier.empty()) {
+    Frontier f = frontier.back();
+    frontier.pop_back();
+    const u64 key = static_cast<u64>(f.row) * config_.cols + f.col;
+    CERESZ_CHECK(!visited.contains(key),
+                 "route_send: color route forms a cycle");
+    visited.insert(key);
+    const Pe& pe = *pes_[f.row * config_.cols + f.col];
+    const RouteEntry& entry = pe.router.route(color);
+    CERESZ_CHECK(entry.configured,
+                 "route_send: wavelet reached a PE with no route for its "
+                 "color");
+    CERESZ_CHECK(entry.has_input(f.arrived_from),
+                 "route_send: wavelet arrived on a direction the PE's route "
+                 "does not accept");
+    expand(f.row, f.col, entry, f.head_time);
+  }
+}
+
+}  // namespace ceresz::wse

@@ -1,0 +1,131 @@
+// The event-driven fabric engine: a 2-D mesh of PEs exchanging messages
+// over configured color routes, with per-PE hardware cycle counters.
+//
+// Granularity: events are whole message bursts and task executions, not
+// individual wavelets, but every latency is computed from wavelet counts
+// (streaming at one wavelet per cycle per link) so the timing matches a
+// wavelet-level model for the bulk-transfer patterns CereSZ uses.
+//
+// Measurement methodology mirrors the paper (Section 5.1.1): each PE has a
+// cycle counter; a run's makespan is the largest completion time over all
+// PEs, and throughput is bytes / (makespan / clock_hz).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "wse/config.h"
+#include "wse/memory.h"
+#include "wse/program.h"
+#include "wse/router.h"
+#include "wse/wavelet.h"
+
+namespace ceresz::wse {
+
+/// Per-PE activity counters, reported after a run.
+struct PeStats {
+  Cycles busy_cycles = 0;    ///< processor time spent in tasks
+  Cycles finish_time = 0;    ///< time of the PE's last activity
+  u64 tasks_run = 0;
+  u64 messages_relayed = 0;  ///< forward_async completions
+  u64 messages_received = 0; ///< recv_async / data-triggered deliveries
+  u64 messages_sent = 0;     ///< send_async completions
+};
+
+/// Whole-run summary.
+struct RunStats {
+  Cycles makespan = 0;       ///< last event time across the fabric
+  u64 events_processed = 0;
+  u64 tasks_run = 0;
+};
+
+/// One emitted result record (see PeContext::emit_result).
+struct ResultRecord {
+  u64 tag = 0;
+  u32 row = 0;
+  u32 col = 0;
+  Cycles time = 0;
+  std::vector<u8> bytes;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(WseConfig config);
+  ~Fabric();
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  const WseConfig& config() const { return config_; }
+
+  /// Router configuration of the PE at (row, col). Must be set up before
+  /// run(); routes are static for the duration of a run.
+  RouterConfig& router(u32 row, u32 col);
+
+  /// Local SRAM accounting of the PE at (row, col).
+  PeMemory& memory(u32 row, u32 col);
+
+  /// Bind `fn` to `color` on one PE. A color can hold at most one task.
+  void bind_task(u32 row, u32 col, Color color, TaskFn fn,
+                 TaskTrigger trigger = TaskTrigger::kManual);
+
+  /// Schedule an initial activation of `color` at `time`.
+  void activate_at(u32 row, u32 col, Color color, Cycles time = 0);
+
+  /// Deliver `msg` into the inbox of (row, col) at `arrival` — models data
+  /// arriving from the host over the ingress links without simulating the
+  /// off-mesh routing PEs.
+  void inject(u32 row, u32 col, Message msg, Cycles arrival);
+
+  /// Run the simulation until no events remain. May be called once.
+  RunStats run();
+
+  /// Results emitted during the run, in emission order.
+  const std::vector<ResultRecord>& results() const { return results_; }
+
+  /// Per-PE statistics (valid after run()).
+  const PeStats& stats(u32 row, u32 col) const;
+
+  Cycles makespan() const { return makespan_; }
+
+ private:
+  struct Pe;
+  struct Event;
+  struct PendingOp;
+  struct InFlight;
+  class ContextImpl;
+  friend class ContextImpl;
+
+  Pe& pe_at(u32 row, u32 col);
+  const Pe& pe_at(u32 row, u32 col) const;
+  void push_event(Event ev);
+  void deliver(Pe& pe, Message msg, Cycles time);
+  void try_match_ops(Pe& pe, Cycles time);
+  void maybe_start_task(Pe& pe, Cycles time);
+  void finish_task(Pe& pe, Cycles time);
+  void complete_op(Pe& pe, Cycles time, u64 op_id);
+  void route_send(const Pe& from, Message msg, Cycles depart);
+
+  WseConfig config_;
+  std::vector<std::unique_ptr<Pe>> pes_;
+  std::vector<ResultRecord> results_;
+  std::unique_ptr<InFlight> in_flight_;
+  /// Per directed link: time until which it is occupied (only used when
+  /// config_.model_link_contention is set). Key: pe_index * 4 + direction.
+  std::vector<Cycles> link_free_;
+
+  struct EventCompare;
+  std::priority_queue<Event, std::vector<Event>, EventCompare>* heap_ = nullptr;
+  std::vector<Event> initial_events_;
+
+  Cycles makespan_ = 0;
+  u64 next_seq_ = 0;
+  u64 next_op_id_ = 0;
+  u64 events_processed_ = 0;
+  u64 tasks_run_total_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace ceresz::wse

@@ -1,0 +1,58 @@
+// Per-PE local memory accounting.
+//
+// Each CS-2 PE has 48 KB of SRAM holding all code and data; there is no
+// global memory. Programs in this simulator must allocate their buffers
+// through PeMemory so that configurations which would not fit on real
+// hardware (e.g. too long a block for a 1-PE pipeline) fail loudly instead
+// of silently using host memory.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace ceresz::wse {
+
+class PeMemory {
+ public:
+  explicit PeMemory(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  /// Reserve `bytes` under `name`. Throws ceresz::Error if the allocation
+  /// would exceed the PE's SRAM capacity or the name is already in use.
+  void allocate(const std::string& name, std::size_t bytes) {
+    CERESZ_CHECK(!allocations_.contains(name),
+                 "PeMemory: duplicate allocation '" + name + "'");
+    CERESZ_CHECK(used_ + bytes <= capacity_,
+                 "PeMemory: allocation '" + name + "' of " +
+                     std::to_string(bytes) + " bytes exceeds SRAM capacity");
+    allocations_.emplace(name, bytes);
+    used_ += bytes;
+    if (used_ > peak_) peak_ = used_;
+  }
+
+  /// Release a named allocation. Throws if the name is unknown.
+  void release(const std::string& name) {
+    auto it = allocations_.find(name);
+    CERESZ_CHECK(it != allocations_.end(),
+                 "PeMemory: release of unknown allocation '" + name + "'");
+    used_ -= it->second;
+    allocations_.erase(it);
+  }
+
+  std::size_t used() const { return used_; }
+  std::size_t peak() const { return peak_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t available() const { return capacity_ - used_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t peak_ = 0;
+  std::unordered_map<std::string, std::size_t> allocations_;
+};
+
+}  // namespace ceresz::wse

@@ -1,0 +1,87 @@
+// CSL-inspired programming model for the simulated WSE.
+//
+// Mirrors the concepts the paper programs against (Figures 4 and 9):
+//   - tasks are bound to colors (`bind_task`) and run when their color is
+//     activated;
+//   - `activate` schedules another task on the same PE after the current
+//     one finishes;
+//   - `recv_async` models `@mov32(local, fabin_dsd, .{.async=true,
+//     .activate=...})`: when a message is available on the channel it is
+//     moved into local delivery storage and the given color is activated;
+//   - `send_async` models moving a local buffer out through a fabout DSD;
+//   - `forward_async` models the relay idiom `@mov32(dout, din, ...)`,
+//     streaming an incoming burst straight back out at one wavelet/cycle.
+//
+// All methods may only be called from inside a running task handler; the
+// requested operations take effect when the task finishes, matching the
+// asynchronous semantics of the hardware.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "wse/memory.h"
+#include "wse/wavelet.h"
+
+namespace ceresz::wse {
+
+/// How a bound task gets started.
+enum class TaskTrigger {
+  kManual,         ///< runs only when explicitly activated
+  kDataTriggered,  ///< an arriving message on the color delivers itself and
+                   ///< activates the task (wavelet-triggered task in CSL)
+};
+
+/// Interface handed to task handlers while they execute.
+class PeContext {
+ public:
+  virtual ~PeContext() = default;
+
+  virtual u32 row() const = 0;
+  virtual u32 col() const = 0;
+
+  /// Simulated time at which the current task started.
+  virtual Cycles now() const = 0;
+
+  /// Charge `cycles` of processor time to the current task.
+  virtual void consume(Cycles cycles) = 0;
+
+  /// Activate `color`'s task on this PE once the current task finishes.
+  virtual void activate(Color color) = 0;
+
+  /// Asynchronously receive the next message on `channel` into local
+  /// delivery storage, then activate `activate_color`.
+  virtual void recv_async(Color channel, Color activate_color) = 0;
+
+  /// Asynchronously send `msg` out along `channel`'s configured route.
+  /// Optionally activate `activate_color` once the send has drained.
+  virtual void send_async(Color channel, Message msg,
+                          std::optional<Color> activate_color = {}) = 0;
+
+  /// Stream the next message arriving on `in_channel` straight out on
+  /// `out_channel` without touching memory, then activate `activate_color`.
+  virtual void forward_async(Color in_channel, Color out_channel,
+                             Color activate_color) = 0;
+
+  /// Retrieve a message previously completed by recv_async (or delivered to
+  /// a data-triggered task). Throws if none is available.
+  virtual Message take_delivered(Color channel) = 0;
+
+  virtual bool has_delivered(Color channel) const = 0;
+
+  /// This PE's local SRAM accounting.
+  virtual PeMemory& memory() = 0;
+
+  /// Host-side escape hatch: record a finished unit of output (e.g. one
+  /// compressed block) so the harness can reassemble and verify it. Models
+  /// streaming results off-wafer without simulating the egress links.
+  virtual void emit_result(u64 tag, std::vector<u8> bytes) = 0;
+};
+
+/// A task body. Handlers must be deterministic functions of the PE state
+/// they capture plus the messages they take; they run to completion.
+using TaskFn = std::function<void(PeContext&)>;
+
+}  // namespace ceresz::wse

@@ -1,0 +1,71 @@
+// Per-PE fabric router configuration.
+//
+// As on the real hardware, every color must be configured on every PE it
+// crosses: a set of input directions it may arrive from and a set of output
+// directions it is forwarded to. An output containing RAMP delivers the
+// wavelets to the PE's processor; other outputs forward to neighbors.
+#pragma once
+
+#include <array>
+#include <initializer_list>
+
+#include "common/error.h"
+#include "wse/wavelet.h"
+
+namespace ceresz::wse {
+
+/// Routing entry of one color on one PE: bitmasks over Direction.
+struct RouteEntry {
+  u8 input_mask = 0;
+  u8 output_mask = 0;
+  bool configured = false;
+
+  bool has_input(Direction d) const {
+    return (input_mask >> static_cast<int>(d)) & 1;
+  }
+  bool has_output(Direction d) const {
+    return (output_mask >> static_cast<int>(d)) & 1;
+  }
+};
+
+class RouterConfig {
+ public:
+  /// Configure `color` to accept wavelets from `inputs` and forward them to
+  /// `outputs`. Reconfiguring an already-set color throws (the hardware
+  /// requires teardown first); use `clear_route` to reconfigure.
+  void set_route(Color color, std::initializer_list<Direction> inputs,
+                 std::initializer_list<Direction> outputs) {
+    check_color(color);
+    RouteEntry& e = entries_[color];
+    CERESZ_CHECK(!e.configured,
+                 "RouterConfig: color already configured on this PE");
+    CERESZ_CHECK(outputs.size() > 0, "RouterConfig: route with no outputs");
+    for (Direction d : inputs) e.input_mask |= u8{1} << static_cast<int>(d);
+    for (Direction d : outputs) e.output_mask |= u8{1} << static_cast<int>(d);
+    e.configured = true;
+  }
+
+  void clear_route(Color color) {
+    check_color(color);
+    entries_[color] = RouteEntry{};
+  }
+
+  const RouteEntry& route(Color color) const {
+    check_color(color);
+    return entries_[color];
+  }
+
+  bool is_configured(Color color) const {
+    check_color(color);
+    return entries_[color].configured;
+  }
+
+ private:
+  static void check_color(Color color) {
+    CERESZ_CHECK(color < kNumColors, "RouterConfig: color id out of range");
+  }
+
+  std::array<RouteEntry, kNumColors> entries_{};
+};
+
+}  // namespace ceresz::wse

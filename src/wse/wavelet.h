@@ -1,0 +1,111 @@
+// Fabric-level primitives of the simulated wafer-scale engine: wavelets,
+// cardinal dataflow directions, colors, and messages.
+//
+// A real CS-2 moves 32-bit wavelets one hop per clock cycle over logical
+// channels called colors (24 available). Our simulator transports whole
+// message bursts (a block's worth of wavelets) per event for speed, but all
+// timing is expressed in wavelet-hops so the cycle accounting matches the
+// hardware granularity.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace ceresz::wse {
+
+/// One 32-bit fabric message unit.
+using Wavelet = u32;
+
+/// The five cardinal dataflow directions of a PE: the on-PE RAMP link plus
+/// the four mesh neighbors.
+enum class Direction : u8 {
+  kRamp = 0,
+  kEast = 1,
+  kWest = 2,
+  kNorth = 3,
+  kSouth = 4,
+};
+
+inline constexpr int kNumDirections = 5;
+
+/// Number of logical routing channels available on the fabric.
+inline constexpr int kNumColors = 24;
+
+/// A logical channel id in [0, kNumColors).
+using Color = u8;
+
+inline const char* to_string(Direction d) {
+  switch (d) {
+    case Direction::kRamp: return "RAMP";
+    case Direction::kEast: return "E";
+    case Direction::kWest: return "W";
+    case Direction::kNorth: return "N";
+    case Direction::kSouth: return "S";
+  }
+  return "?";
+}
+
+/// Direction a wavelet arrives from when sent out of `d`.
+inline Direction opposite(Direction d) {
+  switch (d) {
+    case Direction::kRamp: return Direction::kRamp;
+    case Direction::kEast: return Direction::kWest;
+    case Direction::kWest: return Direction::kEast;
+    case Direction::kNorth: return Direction::kSouth;
+    case Direction::kSouth: return Direction::kNorth;
+  }
+  CERESZ_FAIL("opposite: invalid direction");
+}
+
+/// Column delta when moving out of `d` (east = +1).
+inline int dcol(Direction d) {
+  return d == Direction::kEast ? 1 : d == Direction::kWest ? -1 : 0;
+}
+
+/// Row delta when moving out of `d` (south = +1).
+inline int drow(Direction d) {
+  return d == Direction::kSouth ? 1 : d == Direction::kNorth ? -1 : 0;
+}
+
+/// A burst of consecutive wavelets traveling on one color.
+///
+/// The payload is shared so that software relays (which forward the same
+/// data unchanged) do not copy; `extent` is the wavelet count and is what
+/// all timing is derived from. A null payload is allowed ("token mode") for
+/// timing-only simulations where the data contents do not matter.
+struct Message {
+  Color color = 0;
+  u32 extent = 0;  ///< number of 32-bit wavelets in the burst
+  std::shared_ptr<const std::vector<Wavelet>> payload;
+  u64 tag = 0;  ///< caller-defined identifier (e.g. global block index)
+
+  /// Host-side attachment for typed in-flight state (e.g. a compression
+  /// pipeline's partially processed block). Purely a simulation
+  /// convenience: it does not affect timing — `extent` must still honestly
+  /// describe the wavelets the burst would occupy on hardware.
+  std::shared_ptr<void> user;
+
+  /// Construct a message owning a copy of `words`.
+  static Message make(Color color, std::vector<Wavelet> words, u64 tag = 0) {
+    Message m;
+    m.color = color;
+    m.extent = static_cast<u32>(words.size());
+    m.payload = std::make_shared<const std::vector<Wavelet>>(std::move(words));
+    m.tag = tag;
+    return m;
+  }
+
+  /// Construct a payload-less message of `extent` wavelets (timing only).
+  static Message token(Color color, u32 extent, u64 tag = 0) {
+    Message m;
+    m.color = color;
+    m.extent = extent;
+    m.tag = tag;
+    return m;
+  }
+};
+
+}  // namespace ceresz::wse

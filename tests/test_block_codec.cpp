@@ -1,0 +1,161 @@
+#include "core/block_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "test_util.h"
+
+namespace ceresz::core {
+namespace {
+
+CodecConfig config_with(u32 header_bytes, bool shortcut = true,
+                        u32 block = 32) {
+  CodecConfig cfg;
+  cfg.block_size = block;
+  cfg.header_bytes = header_bytes;
+  cfg.zero_block_shortcut = shortcut;
+  return cfg;
+}
+
+TEST(BlockCodec, CompressedSizeFormula) {
+  // L = 32: header + L/8 signs + fl * L/8 payload.
+  const BlockCodec codec(config_with(4));
+  EXPECT_EQ(codec.compressed_size(0), 4u);         // zero block
+  EXPECT_EQ(codec.compressed_size(1), 4u + 4 + 4);
+  EXPECT_EQ(codec.compressed_size(17), 4u + 4 + 68);
+  const BlockCodec szp(config_with(1));
+  EXPECT_EQ(szp.compressed_size(0), 1u);  // SZp's 128x sparse-data cap
+}
+
+TEST(BlockCodec, PaperRatioExample) {
+  // Section 3: an 8-element block with fl 4 compresses 32 bytes -> 6
+  // bytes (1 header + 1 signs + 4 payload) at 1-byte headers.
+  const BlockCodec codec(config_with(1, true, 8));
+  EXPECT_EQ(codec.compressed_size(4), 6u);
+  EXPECT_NEAR(32.0 / 6.0, 5.33, 0.01);
+}
+
+TEST(BlockCodec, RoundTripSmooth) {
+  const BlockCodec codec(config_with(4));
+  const auto data = test::smooth_signal(32);
+  const f64 eps = 1e-3;
+  std::vector<u8> stream;
+  const BlockInfo info = codec.compress(data, eps, stream);
+  EXPECT_FALSE(info.zero_block);
+  EXPECT_EQ(stream.size(), info.compressed_bytes);
+
+  std::vector<f32> back(32);
+  const std::size_t consumed = codec.decompress(stream, eps, back);
+  EXPECT_EQ(consumed, stream.size());
+  EXPECT_LE(test::max_err(data, back), eps);
+}
+
+TEST(BlockCodec, ZeroBlockShortcut) {
+  const BlockCodec codec(config_with(4));
+  const std::vector<f32> zeros(32, 0.0f);
+  std::vector<u8> stream;
+  const BlockInfo info = codec.compress(zeros, 1e-2, stream);
+  EXPECT_TRUE(info.zero_block);
+  EXPECT_EQ(info.fixed_length, 0u);
+  EXPECT_EQ(stream.size(), 4u);
+
+  std::vector<f32> back(32);
+  codec.decompress(stream, 1e-2, back);
+  for (f32 v : back) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(BlockCodec, NearZeroValuesBecomeZeroBlock) {
+  // Values within eps of zero quantize to bin 0 -> zero block.
+  const BlockCodec codec(config_with(4));
+  std::vector<f32> tiny(32, 0.4e-2f);
+  std::vector<u8> stream;
+  const BlockInfo info = codec.compress(tiny, 1e-2, stream);
+  EXPECT_TRUE(info.zero_block);
+}
+
+TEST(BlockCodec, ShortcutDisabledStillRoundTrips) {
+  const BlockCodec codec(config_with(4, /*shortcut=*/false));
+  const std::vector<f32> zeros(32, 0.0f);
+  std::vector<u8> stream;
+  const BlockInfo info = codec.compress(zeros, 1e-2, stream);
+  EXPECT_FALSE(info.zero_block);
+  EXPECT_EQ(info.fixed_length, 1u);  // explicit single zero plane
+  std::vector<f32> back(32);
+  codec.decompress(stream, 1e-2, back);
+  for (f32 v : back) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(BlockCodec, TruncatedStreamThrows) {
+  const BlockCodec codec(config_with(4));
+  const auto data = test::smooth_signal(32);
+  std::vector<u8> stream;
+  codec.compress(data, 1e-3, stream);
+  std::vector<f32> back(32);
+  EXPECT_THROW(
+      codec.decompress(std::span<const u8>(stream.data(), stream.size() - 1),
+                       1e-3, back),
+      Error);
+  EXPECT_THROW(codec.decompress(std::span<const u8>(stream.data(), 2), 1e-3,
+                                back),
+               Error);
+}
+
+TEST(BlockCodec, CorruptHeaderThrows) {
+  const BlockCodec codec(config_with(4));
+  std::vector<u8> bogus = {0xFF, 0xFF, 0xFF, 0xFF};
+  std::vector<f32> back(32);
+  EXPECT_THROW(codec.decompress(bogus, 1e-3, back), Error);
+}
+
+TEST(BlockCodec, RecordSizeMatchesCompress) {
+  const BlockCodec codec(config_with(4));
+  const auto data = test::random_signal(32);
+  std::vector<u8> stream;
+  codec.compress(data, 1e-4, stream);
+  EXPECT_EQ(codec.record_size(stream), stream.size());
+}
+
+TEST(BlockCodec, InvalidConfigThrows) {
+  EXPECT_THROW(BlockCodec(config_with(3)), Error);          // header width
+  EXPECT_THROW(BlockCodec(config_with(4, true, 12)), Error);  // block size
+  EXPECT_THROW(BlockCodec(config_with(4, true, 0)), Error);
+}
+
+struct RoundTripCase {
+  f64 eps;
+  u64 seed;
+  const char* kind;
+};
+
+class BlockRoundTrip
+    : public ::testing::TestWithParam<std::tuple<f64, int>> {};
+
+TEST_P(BlockRoundTrip, ErrorBoundHolds) {
+  const auto [eps, kind] = GetParam();
+  std::vector<f32> data;
+  switch (kind) {
+    case 0: data = test::smooth_signal(32); break;
+    case 1: data = test::random_signal(32, 5, -30.0, 30.0); break;
+    case 2: data = test::sparse_signal(32, 9, 0.2); break;
+    default: data.assign(32, -7.25f); break;  // constant block
+  }
+  for (u32 header : {1u, 2u, 4u}) {
+    const BlockCodec codec(config_with(header));
+    std::vector<u8> stream;
+    codec.compress(data, eps, stream);
+    std::vector<f32> back(32);
+    const std::size_t consumed = codec.decompress(stream, eps, back);
+    EXPECT_EQ(consumed, stream.size());
+    // Exact up to f32 output representation (half an ulp).
+    EXPECT_LE(test::max_err(data, back), eps + test::f32_ulp_slack(data))
+        << "kind=" << kind << " header=" << header << " eps=" << eps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BlockRoundTrip,
+    ::testing::Combine(::testing::Values(1e-1, 1e-2, 1e-3, 1e-4, 1e-5),
+                       ::testing::Values(0, 1, 2, 3)));
+
+}  // namespace
+}  // namespace ceresz::core

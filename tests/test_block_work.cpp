@@ -1,0 +1,176 @@
+// Direct coverage of the SubStageExecutor — the bridge between the
+// scheduled sub-stages and the simulated PEs. Its outputs must agree with
+// the host BlockCodec byte-for-byte, and its cycle charges must follow
+// the calibrated cost model including the data-dependent skip/tail rules.
+#include "mapping/block_work.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/block_codec.h"
+#include "test_util.h"
+
+namespace ceresz::mapping {
+namespace {
+
+using core::SubStage;
+using core::SubStageKind;
+
+SubStageExecutor executor(f64 eps = 1e-3) {
+  return SubStageExecutor(core::CodecConfig{}, core::PeCostModel{}, eps);
+}
+
+BlockWork compressed_work(const std::vector<f32>& input,
+                          const SubStageExecutor& exec, u32 planned_fl = 32) {
+  BlockWork work;
+  work.input = input;
+  for (const auto& stage : core::compression_substages(planned_fl)) {
+    exec.apply(work, stage);
+  }
+  return work;
+}
+
+TEST(SubStageExecutor, AssembledRecordMatchesBlockCodec) {
+  const auto exec = executor();
+  const auto data = test::smooth_signal(32, 3);
+  BlockWork work = compressed_work(data, exec);
+
+  std::vector<u8> assembled;
+  exec.assemble_record(work, assembled);
+
+  const core::BlockCodec codec{core::CodecConfig{}};
+  std::vector<u8> reference;
+  codec.compress(data, 1e-3, reference);
+  EXPECT_EQ(assembled, reference);
+}
+
+TEST(SubStageExecutor, CycleChargesMatchCostModel) {
+  const auto exec = executor();
+  const core::PeCostModel cost;
+  BlockWork work;
+  work.input = test::smooth_signal(32, 5);
+  EXPECT_EQ(exec.apply(work, {SubStageKind::kPrequantMul}),
+            cost.substage_cycles({SubStageKind::kPrequantMul}, 32));
+  EXPECT_EQ(exec.apply(work, {SubStageKind::kPrequantAdd}),
+            cost.substage_cycles({SubStageKind::kPrequantAdd}, 32));
+  EXPECT_EQ(exec.apply(work, {SubStageKind::kLorenzo}),
+            cost.substage_cycles({SubStageKind::kLorenzo}, 32));
+}
+
+TEST(SubStageExecutor, PlanesBeyondActualLengthAreSkippedCheaply) {
+  const auto exec = executor(1e-1);  // loose bound -> small fl
+  BlockWork work;
+  work.input = test::smooth_signal(32, 7);
+  for (SubStageKind k : {SubStageKind::kPrequantMul, SubStageKind::kPrequantAdd,
+                         SubStageKind::kLorenzo, SubStageKind::kSign,
+                         SubStageKind::kMax, SubStageKind::kGetLength}) {
+    exec.apply(work, {k});
+  }
+  ASSERT_LT(work.fl, 30u);
+  const Cycles skip = exec.apply(work, {SubStageKind::kShuffleBit, 31});
+  EXPECT_EQ(skip, SubStageExecutor::kSkipCycles);
+}
+
+TEST(SubStageExecutor, TailStageChargesAllRemainingPlanes) {
+  const auto exec = executor(1e-4);
+  BlockWork work;
+  work.input = test::random_signal(32, 9, -10.0, 10.0);
+  for (SubStageKind k : {SubStageKind::kPrequantMul, SubStageKind::kPrequantAdd,
+                         SubStageKind::kLorenzo, SubStageKind::kSign,
+                         SubStageKind::kMax, SubStageKind::kGetLength}) {
+    exec.apply(work, {k});
+  }
+  ASSERT_GT(work.fl, 2u);
+  const core::PeCostModel cost;
+  // A tail stage planned at bit 0 must shuffle every plane of the block.
+  const Cycles charged =
+      exec.apply(work, {SubStageKind::kShuffleBit, 0, /*tail=*/true});
+  EXPECT_EQ(charged,
+            cost.substage_cycles({SubStageKind::kShuffleBit}, 32) * work.fl);
+}
+
+TEST(SubStageExecutor, ZeroBlockShortcutsEncoding) {
+  const auto exec = executor(1e-1);
+  BlockWork work;
+  work.input.assign(32, 0.01f);  // quantizes to zero at eps 0.1
+  for (SubStageKind k : {SubStageKind::kPrequantMul, SubStageKind::kPrequantAdd,
+                         SubStageKind::kLorenzo, SubStageKind::kSign,
+                         SubStageKind::kMax}) {
+    exec.apply(work, {k});
+  }
+  const core::PeCostModel cost;
+  EXPECT_EQ(exec.apply(work, {SubStageKind::kGetLength}),
+            cost.zero_block_tail);
+  EXPECT_TRUE(work.zero);
+  EXPECT_EQ(exec.apply(work, {SubStageKind::kShuffleBit, 0, true}),
+            SubStageExecutor::kSkipCycles);
+
+  std::vector<u8> record;
+  EXPECT_EQ(exec.assemble_record(work, record), 4u);  // bare header
+}
+
+TEST(SubStageExecutor, DecompressionRecoversBlock) {
+  const auto exec = executor();
+  const auto data = test::smooth_signal(32, 11);
+  BlockWork comp = compressed_work(data, exec);
+  std::vector<u8> record;
+  exec.assemble_record(comp, record);
+
+  BlockWork decomp;
+  decomp.record = record;
+  for (const auto& stage : core::decompression_substages(32)) {
+    exec.apply(decomp, stage);
+  }
+  ASSERT_EQ(decomp.output.size(), 32u);
+  EXPECT_LE(test::max_err(data, decomp.output), 1e-3);
+}
+
+TEST(SubStageExecutor, ShuffleBeforeGetLengthThrows) {
+  const auto exec = executor();
+  BlockWork work;
+  work.input = test::smooth_signal(32);
+  exec.apply(work, {SubStageKind::kPrequantMul});
+  EXPECT_THROW(exec.apply(work, {SubStageKind::kShuffleBit, 0}), Error);
+}
+
+TEST(SubStageExecutor, TruncatedRecordThrows) {
+  const auto exec = executor();
+  BlockWork work;
+  work.record = {5, 0, 0, 0, 1};  // claims fl = 5 but has 1 payload byte
+  EXPECT_THROW(exec.apply(work, {SubStageKind::kUnshuffleBit, 0, true}),
+               Error);
+}
+
+TEST(SubStageExecutor, RejectsNonPositiveEps) {
+  EXPECT_THROW(SubStageExecutor(core::CodecConfig{}, core::PeCostModel{}, 0.0),
+               Error);
+}
+
+class ExecutorCodecEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExecutorCodecEquivalence, AcrossDataShapes) {
+  std::vector<f32> data;
+  switch (GetParam()) {
+    case 0: data = test::smooth_signal(32, 13); break;
+    case 1: data = test::random_signal(32, 17, -500.0, 500.0); break;
+    case 2: data.assign(32, 0.0f); break;
+    default: data = test::sparse_signal(32, 19, 0.3); break;
+  }
+  for (f64 eps : {1e-1, 1e-3, 1e-5}) {
+    const SubStageExecutor exec(core::CodecConfig{}, core::PeCostModel{},
+                                eps);
+    BlockWork work = compressed_work(data, exec);
+    std::vector<u8> assembled;
+    exec.assemble_record(work, assembled);
+    const core::BlockCodec codec{core::CodecConfig{}};
+    std::vector<u8> reference;
+    codec.compress(data, eps, reference);
+    EXPECT_EQ(assembled, reference) << "eps=" << eps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ExecutorCodecEquivalence,
+                         ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace ceresz::mapping

@@ -1,0 +1,139 @@
+// The constant-block extension (cuSZx-inspired): blocks whose quantized
+// values are all equal encode as a header marker plus one value.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/stream_codec.h"
+#include "mapping/wafer_mapper.h"
+#include "test_util.h"
+
+namespace ceresz::core {
+namespace {
+
+CodecConfig with_constant(bool on = true) {
+  CodecConfig cfg;
+  cfg.constant_block_shortcut = on;
+  return cfg;
+}
+
+TEST(ConstantBlocks, DetectedAndRoundTripped) {
+  const BlockCodec codec(with_constant());
+  const std::vector<f32> flat(32, 7.25f);
+  std::vector<u8> stream;
+  const BlockInfo info = codec.compress(flat, 1e-3, stream);
+  EXPECT_TRUE(info.constant_block);
+  EXPECT_FALSE(info.zero_block);
+  EXPECT_EQ(stream.size(), codec.config().header_bytes + 4u);
+
+  std::vector<f32> back(32);
+  const std::size_t consumed = codec.decompress(stream, 1e-3, back);
+  EXPECT_EQ(consumed, stream.size());
+  for (f32 v : back) EXPECT_NEAR(v, 7.25f, 1e-3);
+}
+
+TEST(ConstantBlocks, ZeroBlockTakesPrecedence) {
+  const BlockCodec codec(with_constant());
+  const std::vector<f32> zeros(32, 0.0f);
+  std::vector<u8> stream;
+  const BlockInfo info = codec.compress(zeros, 1e-3, stream);
+  EXPECT_TRUE(info.zero_block);
+  EXPECT_FALSE(info.constant_block);
+  EXPECT_EQ(stream.size(), codec.config().header_bytes);
+}
+
+TEST(ConstantBlocks, NearConstantWithinEpsAlsoDetected) {
+  // Values within one quantization bin of each other collapse to the same
+  // quantized value.
+  const BlockCodec codec(with_constant());
+  std::vector<f32> nearly(32, 5.0f);
+  for (std::size_t i = 0; i < nearly.size(); ++i) {
+    nearly[i] += static_cast<f32>((i % 2) ? 1e-4 : -1e-4);
+  }
+  std::vector<u8> stream;
+  const BlockInfo info = codec.compress(nearly, 1e-2, stream);
+  EXPECT_TRUE(info.constant_block);
+}
+
+TEST(ConstantBlocks, NonConstantUntouched) {
+  const BlockCodec codec(with_constant());
+  const auto data = test::smooth_signal(32);
+  std::vector<u8> stream;
+  const BlockInfo info = codec.compress(data, 1e-5, stream);
+  EXPECT_FALSE(info.constant_block);
+
+  // And identical bytes to the baseline codec without the extension.
+  const BlockCodec plain(with_constant(false));
+  std::vector<u8> plain_stream;
+  plain.compress(data, 1e-5, plain_stream);
+  EXPECT_EQ(stream, plain_stream);
+}
+
+TEST(ConstantBlocks, MarkerRejectedWhenDisabled) {
+  // A stream using the marker must not decode under a codec configured
+  // without the extension.
+  const BlockCodec ext(with_constant());
+  const std::vector<f32> flat(32, 3.0f);
+  std::vector<u8> stream;
+  ext.compress(flat, 1e-3, stream);
+
+  const BlockCodec plain(with_constant(false));
+  std::vector<f32> back(32);
+  EXPECT_THROW(plain.decompress(stream, 1e-3, back), Error);
+}
+
+TEST(ConstantBlocks, ImprovesRatioOnPlateauData) {
+  // Piecewise-constant data (e.g. masked or quantized sensor fields):
+  // every block is constant but non-zero, where the paper format pays for
+  // the full quantized magnitude.
+  std::vector<f32> plateau(32 * 256);
+  for (std::size_t i = 0; i < plateau.size(); ++i) {
+    plateau[i] = static_cast<f32>(100 + static_cast<int>(i / (32 * 16)));
+  }
+  const StreamCodec ext(with_constant());
+  const StreamCodec plain(with_constant(false));
+  const auto bound = ErrorBound::absolute(1e-4);
+  const auto r_ext = ext.compress(plateau, bound);
+  const auto r_plain = plain.compress(plateau, bound);
+  EXPECT_GT(r_ext.compression_ratio(), 2.0 * r_plain.compression_ratio());
+  EXPECT_EQ(r_ext.stats.constant_blocks, 256u);
+
+  const auto back = ext.decompress(r_ext.stream);
+  EXPECT_LE(test::max_err(plateau, back),
+            1e-4 + test::f32_ulp_slack(plateau));
+}
+
+TEST(ConstantBlocks, WaferMappingRejectsExtension) {
+  mapping::MapperOptions opt;
+  opt.rows = 1;
+  opt.cols = 1;
+  opt.codec = with_constant();
+  EXPECT_THROW(mapping::WaferMapper{opt}, Error);
+}
+
+class ConstantBlockProperty : public ::testing::TestWithParam<f64> {};
+
+TEST_P(ConstantBlockProperty, MixedStreamsHoldBound) {
+  // Alternating constant plateaus and smooth segments.
+  const f64 rel = GetParam();
+  std::vector<f32> data;
+  const auto smooth = test::smooth_signal(32 * 8, 3);
+  for (int seg = 0; seg < 8; ++seg) {
+    if (seg % 2 == 0) {
+      data.insert(data.end(), 32 * 8, static_cast<f32>(seg) * 2.5f);
+    } else {
+      data.insert(data.end(), smooth.begin(), smooth.end());
+    }
+  }
+  const StreamCodec codec(with_constant());
+  const auto result = codec.compress(data, ErrorBound::relative(rel));
+  const auto back = codec.decompress(result.stream);
+  EXPECT_LE(test::max_err(data, back),
+            result.eps_abs + test::f32_ulp_slack(data));
+  EXPECT_GT(result.stats.constant_blocks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, ConstantBlockProperty,
+                         ::testing::Values(1e-2, 1e-3, 1e-4));
+
+}  // namespace
+}  // namespace ceresz::core

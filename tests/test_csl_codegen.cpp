@@ -1,0 +1,108 @@
+#include "mapping/csl_codegen.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/costmodel.h"
+#include "core/stage.h"
+
+namespace ceresz::mapping {
+namespace {
+
+PipelinePlan plan_for(u32 fl, u32 pl) {
+  GreedyScheduler sched(core::PeCostModel{}, 32);
+  return sched.distribute(core::compression_substages(fl), pl);
+}
+
+CslCodegen codegen(u32 rows = 4, u32 cols = 8) {
+  wse::WseConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  return CslCodegen(cfg, 32);
+}
+
+TEST(CslCodegen, EmitsAllFourArtifacts) {
+  const auto program = codegen().generate(plan_for(12, 2));
+  EXPECT_FALSE(program.layout.empty());
+  EXPECT_FALSE(program.head_pe.empty());
+  EXPECT_FALSE(program.stage_pe.empty());
+  EXPECT_FALSE(program.readme.empty());
+}
+
+TEST(CslCodegen, LayoutDeclaresMeshAndColors) {
+  const auto program = codegen(16, 32).generate(plan_for(12, 4));
+  EXPECT_NE(program.layout.find("@set_rectangle(32, 16)"), std::string::npos);
+  EXPECT_NE(program.layout.find("RAW_A"), std::string::npos);
+  EXPECT_NE(program.layout.find("INTER_B"), std::string::npos);
+  EXPECT_NE(program.layout.find("head_pe.csl"), std::string::npos);
+  EXPECT_NE(program.layout.find("stage_pe.csl"), std::string::npos);
+}
+
+TEST(CslCodegen, HeadImplementsFig9Relay) {
+  const auto program = codegen().generate(plan_for(12, 1));
+  // The Fig. 9(b) idiom: counting relay, async mov to dout or to memory,
+  // compute reactivating the relay.
+  EXPECT_NE(program.head_pe.find("task relay()"), std::string::npos);
+  EXPECT_NE(program.head_pe.find("@mov32(dout, din"), std::string::npos);
+  EXPECT_NE(program.head_pe.find(".activate = computeColor"),
+            std::string::npos);
+  EXPECT_NE(program.head_pe.find("@activate(relayColor)"), std::string::npos);
+  EXPECT_NE(program.head_pe.find("@bind_local_task(relay, relayColor)"),
+            std::string::npos);
+}
+
+TEST(CslCodegen, HeadCarriesFirstStageGroup) {
+  const auto program = codegen().generate(plan_for(12, 3));
+  // Group 0 always begins with the quantization multiply.
+  EXPECT_NE(program.head_pe.find("Multiplication"), std::string::npos);
+  // With PL = 3 the head forwards intermediates instead of emitting.
+  EXPECT_NE(program.head_pe.find("send_intermediate"), std::string::npos);
+}
+
+TEST(CslCodegen, SinglePePipelineEmitsRecordAtHead) {
+  const auto program = codegen().generate(plan_for(12, 1));
+  EXPECT_NE(program.head_pe.find("send_record"), std::string::npos);
+}
+
+TEST(CslCodegen, StageFileHasOneTaskPerGroup) {
+  const auto program = codegen().generate(plan_for(17, 4));
+  for (u32 g = 1; g < 4; ++g) {
+    EXPECT_NE(program.stage_pe.find("task stage_group_" + std::to_string(g)),
+              std::string::npos)
+        << g;
+  }
+}
+
+TEST(CslCodegen, TailShuffleIsOpenEnded) {
+  const auto program = codegen().generate(plan_for(8, 2));
+  EXPECT_NE(program.stage_pe.find("all remaining planes"), std::string::npos);
+}
+
+TEST(CslCodegen, ReadmeDocumentsSchedule) {
+  const auto program = codegen().generate(plan_for(13, 3));
+  EXPECT_NE(program.readme.find("Algorithm 1"), std::string::npos);
+  EXPECT_NE(program.readme.find("cslc layout.csl"), std::string::npos);
+}
+
+TEST(CslCodegen, DecompressionDirectionEmitsInverseKernels) {
+  GreedyScheduler sched(core::PeCostModel{}, 32);
+  const auto plan =
+      sched.distribute(core::decompression_substages(12), 3);
+  const auto program =
+      codegen().generate(plan, PipeDirection::kDecompress);
+  EXPECT_NE(program.layout.find("decompression"), std::string::npos);
+  EXPECT_NE(program.head_pe.find("1-bit Unshuffle"), std::string::npos);
+  EXPECT_NE(program.stage_pe.find("prefix sum"), std::string::npos);
+  EXPECT_NE(program.stage_pe.find("Dequantize"), std::string::npos);
+  EXPECT_NE(program.stage_pe.find("send_block"), std::string::npos);
+  // No compression kernels leak into the decompression program.
+  EXPECT_EQ(program.stage_pe.find("send_record"), std::string::npos);
+}
+
+TEST(CslCodegen, EmptyPlanThrows) {
+  PipelinePlan empty;
+  EXPECT_THROW(codegen().generate(empty), Error);
+}
+
+}  // namespace
+}  // namespace ceresz::mapping

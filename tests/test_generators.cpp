@@ -1,0 +1,124 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "core/stream_codec.h"
+
+namespace ceresz::data {
+namespace {
+
+TEST(Catalog, HasAllSixDatasets) {
+  const auto& catalog = dataset_catalog();
+  ASSERT_EQ(catalog.size(), 6u);
+  // Table 4 shapes.
+  EXPECT_STREQ(dataset_spec(DatasetId::kCesmAtm).name, "CESM-ATM");
+  EXPECT_EQ(dataset_spec(DatasetId::kCesmAtm).fields_full, 79u);
+  EXPECT_EQ(dataset_spec(DatasetId::kNyx).dims_full,
+            (std::vector<std::size_t>{512, 512, 512}));
+  EXPECT_EQ(dataset_spec(DatasetId::kHacc).dims_full,
+            (std::vector<std::size_t>{280953867}));
+  EXPECT_EQ(dataset_spec(DatasetId::kQmcpack).fields_full, 2u);
+}
+
+TEST(Generators, Deterministic) {
+  const Field a = generate_field(DatasetId::kNyx, 1, 42);
+  const Field b = generate_field(DatasetId::kNyx, 1, 42);
+  EXPECT_EQ(a.values, b.values);
+  const Field c = generate_field(DatasetId::kNyx, 1, 43);
+  EXPECT_NE(a.values, c.values);
+}
+
+TEST(Generators, FieldsDiffer) {
+  const Field a = generate_field(DatasetId::kCesmAtm, 0);
+  const Field b = generate_field(DatasetId::kCesmAtm, 1);
+  EXPECT_NE(a.values, b.values);
+  EXPECT_NE(a.name, b.name);
+}
+
+TEST(Generators, DimsMatchCatalog) {
+  for (DatasetId id : kAllDatasets) {
+    const Field f = generate_field(id, 0);
+    EXPECT_EQ(f.dims, dataset_spec(id).dims_generated);
+    EXPECT_EQ(f.values.size(), f.dim_product());
+    EXPECT_FALSE(f.values.empty());
+  }
+}
+
+TEST(Generators, ScaleShrinksFields) {
+  const Field full = generate_field(DatasetId::kHurricane, 0, 42, 1.0);
+  const Field half = generate_field(DatasetId::kHurricane, 0, 42, 0.5);
+  EXPECT_LT(half.values.size(), full.values.size());
+}
+
+TEST(Generators, ValuesAreFinite) {
+  for (DatasetId id : kAllDatasets) {
+    const Field f = generate_field(id, 0, 7, 0.5);
+    for (f32 v : f.values) {
+      ASSERT_TRUE(std::isfinite(v)) << dataset_spec(id).name;
+    }
+  }
+}
+
+TEST(Generators, RtmIsSparse) {
+  // The seismic wavefront leaves most of the volume exactly zero — the
+  // mechanism behind RTM's near-cap ratios in Table 5.
+  const Field f = generate_field(DatasetId::kRtm, 0);
+  std::size_t zeros = 0;
+  for (f32 v : f.values) zeros += v == 0.0f;
+  EXPECT_GT(static_cast<f64>(zeros) / f.values.size(), 0.5);
+}
+
+TEST(Generators, HaccIsRough) {
+  // HACC barely compresses (Table 5: 2.8-6.8x): neighboring elements are
+  // weakly correlated, so CereSZ ratio stays low even at REL 1e-2.
+  const Field f = generate_field(DatasetId::kHacc, 3);
+  const core::StreamCodec codec;
+  const auto r = codec.compress(f.view(), core::ErrorBound::relative(1e-2));
+  EXPECT_LT(r.compression_ratio(), 12.0);
+}
+
+TEST(Generators, CesmIsSmooth) {
+  const Field f = generate_field(DatasetId::kCesmAtm, 0);
+  const core::StreamCodec codec;
+  const auto r = codec.compress(f.view(), core::ErrorBound::relative(1e-2));
+  EXPECT_GT(r.compression_ratio(), 4.0);
+}
+
+TEST(Generators, OutOfRangeFieldThrows) {
+  EXPECT_THROW(generate_field(DatasetId::kQmcpack, 99), Error);
+  EXPECT_THROW(generate_field(DatasetId::kNyx, 0, 42, -1.0), Error);
+}
+
+TEST(Generators, WholeDataset) {
+  const auto fields = generate_dataset(DatasetId::kQmcpack, 42, 0.5);
+  EXPECT_EQ(fields.size(), dataset_spec(DatasetId::kQmcpack).fields_generated);
+}
+
+// Property: every dataset compresses at every REL bound with the bound
+// honored (ratio ordering loose->tight checked too).
+class DatasetCompressProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatasetCompressProperty, BoundsAndOrdering) {
+  const DatasetId id = kAllDatasets[GetParam()];
+  const Field f = generate_field(id, 0, 42, 0.35);
+  const core::StreamCodec codec;
+  f64 prev_ratio = 1e30;
+  for (f64 rel : {1e-2, 1e-3, 1e-4}) {
+    const auto r = codec.compress(f.view(), core::ErrorBound::relative(rel));
+    const auto back = codec.decompress(r.stream);
+    const f64 worst = max_abs_diff(f.view(), back);
+    EXPECT_LE(worst, r.eps_abs * 1.001 + 1e-12) << dataset_spec(id).name;
+    EXPECT_LE(r.compression_ratio(), prev_ratio * 1.001);
+    prev_ratio = r.compression_ratio();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetCompressProperty,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace ceresz::data

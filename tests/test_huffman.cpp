@@ -1,0 +1,137 @@
+#include "huffman/huffman.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ceresz::huffman {
+namespace {
+
+std::vector<u32> encode_decode(const std::vector<u32>& symbols) {
+  const HuffmanCodec codec = HuffmanCodec::from_symbols(symbols);
+  BitWriter w;
+  codec.encode(symbols, w);
+  const auto bytes = w.finish();
+  BitReader r(bytes.data(), bytes.size());
+  return codec.decode(r, symbols.size());
+}
+
+TEST(Huffman, RoundTripSmallAlphabet) {
+  const std::vector<u32> symbols = {1, 2, 2, 3, 3, 3, 3, 1, 2, 3};
+  EXPECT_EQ(encode_decode(symbols), symbols);
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  const std::vector<u32> symbols(100, 42);
+  EXPECT_EQ(encode_decode(symbols), symbols);
+  const HuffmanCodec codec = HuffmanCodec::from_symbols(symbols);
+  EXPECT_EQ(codec.code_length(42), 1);
+}
+
+TEST(Huffman, SkewedDistributionGetsShortCodes) {
+  std::vector<u32> symbols(10000, 7);
+  symbols.push_back(1);
+  symbols.push_back(2);
+  const HuffmanCodec codec = HuffmanCodec::from_symbols(symbols);
+  EXPECT_LT(codec.code_length(7), codec.code_length(1));
+  EXPECT_EQ(codec.code_length(7), 1);
+}
+
+TEST(Huffman, CompressesSkewedData) {
+  Rng rng(5);
+  std::vector<u32> symbols(20000);
+  for (auto& s : symbols) {
+    // Geometric-ish: mostly 0.
+    const u64 r = rng.next_below(100);
+    s = r < 80 ? 0 : (r < 95 ? 1 : static_cast<u32>(rng.next_below(50)));
+  }
+  const HuffmanCodec codec = HuffmanCodec::from_symbols(symbols);
+  BitWriter w;
+  codec.encode(symbols, w);
+  const auto bytes = w.finish();
+  // Entropy is well under 2 bits/symbol; Huffman should get close.
+  EXPECT_LT(bytes.size() * 8, symbols.size() * 2);
+  BitReader r(bytes.data(), bytes.size());
+  EXPECT_EQ(codec.decode(r, symbols.size()), symbols);
+}
+
+TEST(Huffman, LargeRandomAlphabetRoundTrip) {
+  Rng rng(17);
+  std::vector<u32> symbols(5000);
+  for (auto& s : symbols) s = static_cast<u32>(rng.next_below(1000));
+  EXPECT_EQ(encode_decode(symbols), symbols);
+}
+
+TEST(Huffman, TableSerializationRoundTrip) {
+  Rng rng(23);
+  std::vector<u32> symbols(3000);
+  for (auto& s : symbols) s = static_cast<u32>(rng.next_below(200));
+  const HuffmanCodec codec = HuffmanCodec::from_symbols(symbols);
+
+  std::vector<u8> table;
+  codec.serialize_table(table);
+  std::size_t consumed = 0;
+  const HuffmanCodec parsed =
+      HuffmanCodec::deserialize_table(table, consumed);
+  EXPECT_EQ(consumed, table.size());
+  EXPECT_EQ(parsed.alphabet_size(), codec.alphabet_size());
+
+  BitWriter w;
+  codec.encode(symbols, w);
+  const auto bytes = w.finish();
+  BitReader r(bytes.data(), bytes.size());
+  EXPECT_EQ(parsed.decode(r, symbols.size()), symbols);
+}
+
+TEST(Huffman, UnknownSymbolThrows) {
+  const std::vector<u32> symbols = {1, 2, 3};
+  const HuffmanCodec codec = HuffmanCodec::from_symbols(symbols);
+  BitWriter w;
+  const std::vector<u32> bad = {99};
+  EXPECT_THROW(codec.encode(bad, w), Error);
+  EXPECT_EQ(codec.code_length(99), 0);
+}
+
+TEST(Huffman, EmptyHistogramThrows) {
+  EXPECT_THROW(HuffmanCodec::from_histogram({}), Error);
+}
+
+TEST(Huffman, CorruptTableThrows) {
+  std::vector<u8> junk = {1, 0, 0};
+  std::size_t consumed;
+  EXPECT_THROW(HuffmanCodec::deserialize_table(junk, consumed), Error);
+}
+
+TEST(Huffman, KraftInequalityHolds) {
+  Rng rng(31);
+  std::vector<u32> symbols(4000);
+  for (auto& s : symbols) s = static_cast<u32>(rng.next_below(500));
+  const HuffmanCodec codec = HuffmanCodec::from_symbols(symbols);
+  long double kraft = 0;
+  for (u32 s = 0; s < 500; ++s) {
+    const int len = codec.code_length(s);
+    if (len > 0) kraft += std::pow(2.0L, -len);
+  }
+  EXPECT_LE(kraft, 1.0L + 1e-12L);
+}
+
+// Property: round trip across seeds and alphabet sizes.
+class HuffmanRoundTrip
+    : public ::testing::TestWithParam<std::tuple<u64, u32>> {};
+
+TEST_P(HuffmanRoundTrip, Holds) {
+  const auto [seed, alphabet] = GetParam();
+  Rng rng(seed);
+  std::vector<u32> symbols(2000);
+  for (auto& s : symbols) s = static_cast<u32>(rng.next_below(alphabet));
+  EXPECT_EQ(encode_decode(symbols), symbols);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HuffmanRoundTrip,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(2u, 10u, 256u, 65536u)));
+
+}  // namespace
+}  // namespace ceresz::huffman

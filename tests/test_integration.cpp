@@ -1,0 +1,145 @@
+// End-to-end integration: synthetic SDRBench datasets through the full
+// pipeline — generation, wafer compression, wafer decompression, quality
+// metrics, and cross-compressor comparisons mirroring Section 5.
+#include <gtest/gtest.h>
+
+#include "baselines/compressor.h"
+#include "core/stream_codec.h"
+#include "data/generators.h"
+#include "mapping/perf_model.h"
+#include "mapping/wafer_mapper.h"
+#include "metrics/quality.h"
+#include "test_util.h"
+
+namespace ceresz {
+namespace {
+
+TEST(Integration, DatasetThroughWaferRoundTrip) {
+  const data::Field field =
+      data::generate_field(data::DatasetId::kHurricane, 0, 42, 0.2);
+  mapping::MapperOptions opt;
+  opt.rows = 2;
+  opt.cols = 4;
+  const mapping::WaferMapper mapper(opt);
+  const auto comp =
+      mapper.compress(field.view(), core::ErrorBound::relative(1e-3));
+  const auto decomp = mapper.decompress(comp.stream);
+  ASSERT_EQ(decomp.output.size(), field.size());
+  EXPECT_LE(test::max_err(field.view(), decomp.output),
+            comp.eps_abs + test::f32_ulp_slack(field.view()));
+
+  const f64 q = metrics::psnr(field.view(), decomp.output);
+  EXPECT_GT(q, 50.0);  // REL 1e-3 should be visually lossless
+}
+
+TEST(Integration, CereszAndCuszpIdenticalQuality) {
+  // Section 5.4 / Fig. 15: same pre-quantization => same reconstruction,
+  // PSNR, and SSIM; only the ratio differs (header width).
+  const data::Field field =
+      data::generate_field(data::DatasetId::kNyx, 1, 42, 0.35);  // velocity_x
+  const core::ErrorBound bound = core::ErrorBound::relative(1e-4);
+
+  const core::StreamCodec ceresz_codec;  // 4-byte headers
+  const auto ceresz_result = ceresz_codec.compress(field.view(), bound);
+  const auto ceresz_back = ceresz_codec.decompress(ceresz_result.stream);
+
+  const auto cuszp = baselines::make_cuszp();
+  baselines::BaselineStats cuszp_stats;
+  const auto cuszp_stream = cuszp->compress(field, bound, &cuszp_stats);
+  const auto cuszp_back = cuszp->decompress(cuszp_stream);
+
+  // Bit-identical reconstructions.
+  EXPECT_EQ(ceresz_back, cuszp_back);
+  EXPECT_EQ(metrics::psnr(field.view(), ceresz_back),
+            metrics::psnr(field.view(), cuszp_back));
+  // CereSZ's 4-byte headers cost some ratio (Fig. 15: 3.10 vs 3.35).
+  EXPECT_LE(ceresz_result.compression_ratio(),
+            cuszp_stats.compression_ratio());
+}
+
+TEST(Integration, RatioOrderingAcrossCompressors) {
+  // Table 5's qualitative ordering on a smooth 3-D field: SZ highest;
+  // SZp/cuSZp above CereSZ (1-byte headers).
+  const data::Field field =
+      data::generate_field(data::DatasetId::kHurricane, 2, 42, 0.2);
+  const core::ErrorBound bound = core::ErrorBound::relative(1e-3);
+
+  const core::StreamCodec ceresz_codec;
+  const f64 ceresz_ratio =
+      ceresz_codec.compress(field.view(), bound).compression_ratio();
+
+  baselines::BaselineStats sz, szp;
+  baselines::make_sz3()->compress(field, bound, &sz);
+  baselines::make_szp()->compress(field, bound, &szp);
+
+  EXPECT_GT(sz.compression_ratio(), szp.compression_ratio());
+  EXPECT_GT(szp.compression_ratio(), ceresz_ratio);
+}
+
+TEST(Integration, AllDatasetsSurviveWaferCompression) {
+  for (data::DatasetId id : data::kAllDatasets) {
+    const data::Field field = data::generate_field(id, 0, 42, 0.12);
+    mapping::MapperOptions opt;
+    opt.rows = 1;
+    opt.cols = 4;
+    const mapping::WaferMapper mapper(opt);
+    const auto comp =
+        mapper.compress(field.view(), core::ErrorBound::relative(1e-3));
+    const auto decomp = mapper.decompress(comp.stream);
+    EXPECT_LE(test::max_err(field.view(), decomp.output),
+              comp.eps_abs + test::f32_ulp_slack(field.view()))
+        << data::dataset_spec(id).name;
+  }
+}
+
+TEST(Integration, SaturatedMeshThroughputMatchesScaledPaperRate) {
+  // A saturated 32x32 mesh at PL = 1. The paper's 512x512 runs average
+  // ~457 GB/s, i.e. ~1.7 MB/s per PE (relay-bound rows are slightly
+  // cheaper per PE at 32 columns than 512, so the per-PE rate here is a
+  // bit higher). Expect the 1024-PE mesh in the low GB/s.
+  const data::Field field =
+      data::generate_field(data::DatasetId::kQmcpack, 0, 42, 0.5);
+  mapping::MapperOptions opt;
+  opt.rows = 32;
+  opt.cols = 32;
+  opt.max_exact_rows = 1;
+  opt.collect_output = false;
+  const mapping::WaferMapper mapper(opt);
+  const auto run =
+      mapper.compress(field.view(), core::ErrorBound::relative(1e-3));
+  EXPECT_TRUE(run.extrapolated);
+  EXPECT_GT(run.throughput_gbps, 1.0);
+  EXPECT_LT(run.throughput_gbps, 12.0);
+}
+
+TEST(Integration, FullWaferModelInPaperRange) {
+  // Formulas 2-4 at the paper's 512x512 / PL = 1 configuration must land
+  // in the reported 227.93-773.8 GB/s band.
+  const data::Field field =
+      data::generate_field(data::DatasetId::kQmcpack, 0, 42, 0.5);
+  mapping::StageProfiler profiler(core::CodecConfig{}, core::PeCostModel{});
+  const auto profile =
+      profiler.profile(field.view(), core::ErrorBound::relative(1e-3));
+  mapping::GreedyScheduler sched(core::PeCostModel{}, 32);
+  const auto plan =
+      sched.distribute(core::compression_substages(profile.est_fixed_length),
+                       1);
+  const mapping::PerfModel model(wse::WseConfig{});
+  const auto pred = model.predict(plan, 512, 512, 1u << 20, 32, 128);
+  EXPECT_GT(pred.throughput_gbps, 200.0);
+  EXPECT_LT(pred.throughput_gbps, 900.0);
+}
+
+TEST(Integration, SsimNearOneAtTightBound) {
+  const data::Field field =
+      data::generate_field(data::DatasetId::kCesmAtm, 0, 42, 0.35);
+  const core::StreamCodec codec;
+  const auto r = codec.compress(field.view(), core::ErrorBound::relative(1e-4));
+  const auto back = codec.decompress(r.stream);
+  const f64 ssim = metrics::ssim_2d(field.view(), back, field.dims[1],
+                                    field.dims[0]);
+  EXPECT_GT(ssim, 0.999);
+}
+
+}  // namespace
+}  // namespace ceresz

@@ -1,0 +1,63 @@
+#include "io/file_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/error.h"
+#include "core/stream_codec.h"
+#include "data/generators.h"
+#include "test_util.h"
+
+namespace ceresz::io {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "ceresz_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, BytesRoundTrip) {
+  const std::vector<u8> bytes = {0, 1, 2, 254, 255};
+  write_bytes(dir_ / "x.bin", bytes);
+  EXPECT_EQ(read_bytes(dir_ / "x.bin"), bytes);
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW(read_bytes(dir_ / "missing.bin"), Error);
+}
+
+TEST_F(IoTest, RawFieldRoundTrip) {
+  const data::Field f = data::generate_field(data::DatasetId::kQmcpack, 0,
+                                             42, 0.3);
+  write_raw_f32(dir_ / "field.f32", f);
+  const data::Field back =
+      read_raw_f32(dir_ / "field.f32", f.dims, "QMCPack", f.name);
+  EXPECT_EQ(back.values, f.values);
+  EXPECT_EQ(back.dims, f.dims);
+}
+
+TEST_F(IoTest, RawFieldDimMismatchThrows) {
+  const data::Field f = data::generate_field(data::DatasetId::kQmcpack, 0,
+                                             42, 0.3);
+  write_raw_f32(dir_ / "field.f32", f);
+  EXPECT_THROW(read_raw_f32(dir_ / "field.f32", {3, 3}), Error);
+}
+
+TEST_F(IoTest, CompressedStreamPersists) {
+  const auto data = test::smooth_signal(32 * 100);
+  const core::StreamCodec codec;
+  const auto result = codec.compress(data, core::ErrorBound::relative(1e-3));
+  write_bytes(dir_ / "stream.csz", result.stream);
+  const auto loaded = read_bytes(dir_ / "stream.csz");
+  const auto back = codec.decompress(loaded);
+  EXPECT_LE(test::max_err(data, back), result.eps_abs);
+}
+
+}  // namespace
+}  // namespace ceresz::io

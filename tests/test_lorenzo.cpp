@@ -1,0 +1,82 @@
+#include "core/lorenzo.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ceresz::core {
+namespace {
+
+TEST(Lorenzo, ForwardFirstOrderDifference) {
+  const std::vector<i32> in = {5, 7, 4, 4, -2};
+  std::vector<i32> out(in.size());
+  lorenzo_forward(in, out);
+  EXPECT_EQ(out, (std::vector<i32>{5, 2, -3, 0, -6}));
+}
+
+TEST(Lorenzo, InverseIsPrefixSum) {
+  const std::vector<i32> in = {5, 2, -3, 0, -6};
+  std::vector<i32> out(in.size());
+  lorenzo_inverse(in, out);
+  EXPECT_EQ(out, (std::vector<i32>{5, 7, 4, 4, -2}));
+}
+
+TEST(Lorenzo, RoundTripInPlace) {
+  Rng rng(3);
+  std::vector<i32> data(512);
+  for (auto& v : data) v = static_cast<i32>(rng.next_below(20001)) - 10000;
+  const std::vector<i32> original = data;
+  lorenzo_forward(data, data);
+  lorenzo_inverse(data, data);
+  EXPECT_EQ(data, original);
+}
+
+TEST(Lorenzo, EmptyIsNoop) {
+  std::vector<i32> empty;
+  lorenzo_forward(empty, empty);
+  lorenzo_inverse(empty, empty);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(Lorenzo, SingleElement) {
+  std::vector<i32> one = {42};
+  lorenzo_forward(one, one);
+  EXPECT_EQ(one[0], 42);
+  lorenzo_inverse(one, one);
+  EXPECT_EQ(one[0], 42);
+}
+
+TEST(Lorenzo, ForwardOverflowThrows) {
+  const std::vector<i32> in = {-2000000000, 2000000000};
+  std::vector<i32> out(2);
+  EXPECT_THROW(lorenzo_forward(in, out), Error);
+}
+
+TEST(Lorenzo, SizeMismatchThrows) {
+  const std::vector<i32> in = {1, 2};
+  std::vector<i32> out(1);
+  EXPECT_THROW(lorenzo_forward(in, out), Error);
+  EXPECT_THROW(lorenzo_inverse(in, out), Error);
+}
+
+// Property: round trip holds for adversarial block contents.
+class LorenzoRoundTrip : public ::testing::TestWithParam<u64> {};
+
+TEST_P(LorenzoRoundTrip, Holds) {
+  Rng rng(GetParam());
+  std::vector<i32> data(256);
+  for (auto& v : data) {
+    v = static_cast<i32>(rng.next_below(1u << 20)) - (1 << 19);
+  }
+  std::vector<i32> fwd(data.size()), back(data.size());
+  lorenzo_forward(data, fwd);
+  lorenzo_inverse(fwd, back);
+  EXPECT_EQ(back, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LorenzoRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace ceresz::core

@@ -1,0 +1,177 @@
+#include "core/lorenzo2d.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/lorenzo.h"
+#include "core/tiled_codec.h"
+#include "data/generators.h"
+#include "test_util.h"
+
+namespace ceresz::core {
+namespace {
+
+TEST(Lorenzo2d, KnownSmallTile) {
+  // 2x2 tile: p = [[1, 3], [4, 8]]
+  // r(0,0)=1, r(1,0)=3-1=2, r(0,1)=4-1=3, r(1,1)=8-4-3+1=2.
+  const std::vector<i32> in = {1, 3, 4, 8};
+  std::vector<i32> out(4);
+  lorenzo2d_forward(in, out, 2, 2);
+  EXPECT_EQ(out, (std::vector<i32>{1, 2, 3, 2}));
+  std::vector<i32> back(4);
+  lorenzo2d_inverse(out, back, 2, 2);
+  EXPECT_EQ(back, in);
+}
+
+TEST(Lorenzo2d, DegeneratesTo1dOnSingleRow) {
+  const std::vector<i32> in = {5, 7, 4, 4};
+  std::vector<i32> out2d(4), out1d(4);
+  lorenzo2d_forward(in, out2d, 4, 1);
+  lorenzo_forward(in, out1d);
+  EXPECT_EQ(out2d, out1d);
+}
+
+TEST(Lorenzo2d, BilinearPlaneHasZeroInteriorResiduals) {
+  // p(x,y) = 3x + 5y: second-order differences vanish in the interior.
+  std::vector<i32> in(8 * 4);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 8; ++x) in[y * 8 + x] = 3 * x + 5 * y;
+  }
+  std::vector<i32> out(in.size());
+  lorenzo2d_forward(in, out, 8, 4);
+  for (int y = 1; y < 4; ++y) {
+    for (int x = 1; x < 8; ++x) EXPECT_EQ(out[y * 8 + x], 0);
+  }
+}
+
+TEST(Lorenzo2d, InPlaceRejected) {
+  std::vector<i32> buf(16, 1);
+  EXPECT_THROW(lorenzo2d_forward(buf, buf, 4, 4), Error);
+  EXPECT_THROW(lorenzo2d_inverse(buf, buf, 4, 4), Error);
+}
+
+TEST(Lorenzo2d, DimMismatchThrows) {
+  std::vector<i32> in(16), out(16);
+  EXPECT_THROW(lorenzo2d_forward(in, out, 5, 4), Error);
+}
+
+class Lorenzo2dRoundTrip
+    : public ::testing::TestWithParam<std::tuple<u32, u32, u64>> {};
+
+TEST_P(Lorenzo2dRoundTrip, Holds) {
+  const auto [w, h, seed] = GetParam();
+  Rng rng(seed);
+  std::vector<i32> in(static_cast<std::size_t>(w) * h);
+  for (auto& v : in) v = static_cast<i32>(rng.next_below(1u << 16)) - (1 << 15);
+  std::vector<i32> fwd(in.size()), back(in.size());
+  lorenzo2d_forward(in, fwd, w, h);
+  lorenzo2d_inverse(fwd, back, w, h);
+  EXPECT_EQ(back, in);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tiles, Lorenzo2dRoundTrip,
+    ::testing::Combine(::testing::Values(1u, 4u, 8u, 16u),
+                       ::testing::Values(1u, 4u, 8u),
+                       ::testing::Values(1ull, 2ull)));
+
+TEST(GatherScatter, RoundTripWithEdgePadding) {
+  std::vector<f32> field(10 * 7);
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    field[i] = static_cast<f32>(i);
+  }
+  std::vector<f32> tile(8 * 4);
+  // Tile overlapping the right/bottom edge.
+  gather_tile(field, 10, 7, 8, 4, 8, 4, tile);
+  EXPECT_EQ(tile[0], field[4 * 10 + 8]);
+  EXPECT_EQ(tile[2], 0.0f);  // padding beyond column 9
+
+  std::vector<f32> out(10 * 7, -1.0f);
+  scatter_tile(tile, 10, 7, 8, 4, 8, 4, out);
+  EXPECT_EQ(out[4 * 10 + 8], field[4 * 10 + 8]);
+  EXPECT_EQ(out[0], -1.0f);  // untouched outside the tile
+}
+
+// ---- Tiled 2-D codec ----
+
+TEST(Tiled2dCodec, RoundTripSmoothField) {
+  const data::Field f = data::generate_field(data::DatasetId::kCesmAtm, 0,
+                                             42, 0.3);
+  const Tiled2dCodec codec;
+  const std::size_t h = f.dims[0], w = f.dims[1];
+  const auto result =
+      codec.compress(f.view(), w, h, ErrorBound::relative(1e-3));
+  std::size_t rw = 0, rh = 0;
+  const auto back = codec.decompress(result.stream, rw, rh);
+  EXPECT_EQ(rw, w);
+  EXPECT_EQ(rh, h);
+  EXPECT_LE(test::max_err(f.view(), back),
+            result.eps_abs + test::f32_ulp_slack(f.view()));
+}
+
+TEST(Tiled2dCodec, BeatsOneDOnSmooth2dData) {
+  // The point of the extension: on 2-D smooth fields, tile-local 2-D
+  // Lorenzo produces smaller residuals than the flattened 1-D transform.
+  const data::Field f = data::generate_field(data::DatasetId::kCesmAtm, 1,
+                                             42, 0.3);
+  const ErrorBound bound = ErrorBound::relative(1e-3);
+  const StreamCodec codec1d;
+  const Tiled2dCodec codec2d;
+  const f64 r1 = codec1d.compress(f.view(), bound).compression_ratio();
+  const f64 r2 = codec2d.compress(f.view(), f.dims[1], f.dims[0], bound)
+                     .compression_ratio();
+  EXPECT_GT(r2, r1);
+}
+
+TEST(Tiled2dCodec, NonTileAlignedDims) {
+  const Tiled2dCodec codec;
+  std::vector<f32> field(37 * 23);
+  Rng rng(9);
+  for (auto& v : field) v = static_cast<f32>(rng.uniform(-1.0, 1.0));
+  const auto result =
+      codec.compress(field, 37, 23, ErrorBound::absolute(1e-3));
+  std::size_t w = 0, h = 0;
+  const auto back = codec.decompress(result.stream, w, h);
+  EXPECT_EQ(w, 37u);
+  EXPECT_EQ(h, 23u);
+  EXPECT_LE(test::max_err(field, back), 1e-3 + test::f32_ulp_slack(field));
+}
+
+TEST(Tiled2dCodec, RejectsCorruptStreams) {
+  const Tiled2dCodec codec;
+  std::size_t w, h;
+  std::vector<u8> junk(40, 0);
+  EXPECT_THROW(codec.decompress(junk, w, h), Error);
+}
+
+TEST(Tiled2dCodec, RejectsBadConfig) {
+  TiledCodecConfig cfg;
+  cfg.tile_w = 3;
+  cfg.tile_h = 3;  // 9 elements: not a multiple of 8
+  EXPECT_THROW(Tiled2dCodec{cfg}, Error);
+}
+
+class Tiled2dProperty : public ::testing::TestWithParam<f64> {};
+
+TEST_P(Tiled2dProperty, BoundHolds) {
+  const f64 rel = GetParam();
+  const data::Field f = data::generate_field(data::DatasetId::kHurricane, 1,
+                                             7, 0.15);
+  // Use a 2-D slice of the 3-D field.
+  const std::size_t w = f.dims[2], h = f.dims[1];
+  std::span<const f32> slice(f.values.data(), w * h);
+  const Tiled2dCodec codec;
+  const auto result =
+      codec.compress(slice, w, h, ErrorBound::relative(rel));
+  std::size_t rw, rh;
+  const auto back = codec.decompress(result.stream, rw, rh);
+  EXPECT_LE(test::max_err(slice, back),
+            result.eps_abs + test::f32_ulp_slack(slice));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, Tiled2dProperty,
+                         ::testing::Values(1e-1, 1e-2, 1e-3, 1e-4));
+
+}  // namespace
+}  // namespace ceresz::core

@@ -1,0 +1,93 @@
+#include "metrics/quality.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "test_util.h"
+
+namespace ceresz::metrics {
+namespace {
+
+TEST(Psnr, PerfectReconstructionIsInfinite) {
+  const auto a = test::smooth_signal(1000);
+  EXPECT_TRUE(std::isinf(psnr(a, a)));
+}
+
+TEST(Psnr, KnownValue) {
+  // Range 1, uniform error 0.01 -> RMSE 0.01 -> PSNR = 40 dB.
+  std::vector<f32> a(1000), b(1000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<f32>(i % 2);  // range exactly 1
+    b[i] = a[i] + 0.01f;
+  }
+  EXPECT_NEAR(psnr(a, b), 40.0, 0.05);
+}
+
+TEST(Psnr, SmallerErrorHigherPsnr) {
+  const auto a = test::smooth_signal(4096);
+  std::vector<f32> coarse(a), fine(a);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    coarse[i] += 0.01f * ((i % 2) ? 1 : -1);
+    fine[i] += 0.001f * ((i % 2) ? 1 : -1);
+  }
+  EXPECT_GT(psnr(a, fine), psnr(a, coarse));
+}
+
+TEST(Rmse, Basic) {
+  const std::vector<f32> a = {0.0f, 0.0f};
+  const std::vector<f32> b = {3.0f, 4.0f};
+  EXPECT_NEAR(rmse(a, b), std::sqrt(12.5), 1e-9);
+  EXPECT_THROW(rmse(a, std::vector<f32>{1.0f}), Error);
+}
+
+TEST(Ssim2d, IdenticalIsOne) {
+  const auto a = test::smooth_signal(64 * 64);
+  EXPECT_NEAR(ssim_2d(a, a, 64, 64), 1.0, 1e-12);
+}
+
+TEST(Ssim2d, DegradesWithNoise) {
+  const auto a = test::smooth_signal(64 * 64);
+  auto slightly = a;
+  auto heavily = a;
+  Rng rng(3);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    slightly[i] += static_cast<f32>(0.001 * rng.next_gaussian());
+    heavily[i] += static_cast<f32>(0.3 * rng.next_gaussian());
+  }
+  const f64 s_light = ssim_2d(a, slightly, 64, 64);
+  const f64 s_heavy = ssim_2d(a, heavily, 64, 64);
+  EXPECT_GT(s_light, 0.99);
+  EXPECT_LT(s_heavy, s_light);
+}
+
+TEST(Ssim2d, DimValidation) {
+  const auto a = test::smooth_signal(64);
+  EXPECT_THROW(ssim_2d(a, a, 8, 9), Error);   // size mismatch with dims
+  EXPECT_THROW(ssim_2d(a, a, 16, 4), Error);  // smaller than window
+}
+
+TEST(Ssim1d, IdenticalIsOne) {
+  const auto a = test::smooth_signal(5000);
+  EXPECT_NEAR(ssim_1d(a, a), 1.0, 1e-12);
+}
+
+TEST(Ssim1d, SensitiveToStructuralChange) {
+  const auto a = test::smooth_signal(5000);
+  std::vector<f32> shuffled = a;
+  Rng rng(9);
+  for (std::size_t i = shuffled.size() - 1; i > 0; --i) {
+    std::swap(shuffled[i], shuffled[rng.next_below(i + 1)]);
+  }
+  EXPECT_LT(ssim_1d(a, shuffled), 0.9);
+}
+
+TEST(Throughput, Computation) {
+  EXPECT_NEAR(throughput_gbps(2'000'000'000, 1.0), 2.0, 1e-12);
+  EXPECT_NEAR(throughput_gbps(500'000'000, 0.5), 1.0, 1e-12);
+  EXPECT_THROW(throughput_gbps(1, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace ceresz::metrics

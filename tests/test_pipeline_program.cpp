@@ -1,0 +1,160 @@
+#include "mapping/pipeline_program.h"
+
+#include <gtest/gtest.h>
+
+#include "core/stream_codec.h"
+#include "mapping/wafer_mapper.h"
+#include "test_util.h"
+
+namespace ceresz::mapping {
+namespace {
+
+// Build a single-row fabric by hand to probe program-level behavior that
+// the WaferMapper tests do not see directly.
+
+std::vector<RowBlock> make_blocks(const std::vector<f32>& data, u32 L) {
+  std::vector<RowBlock> blocks;
+  for (std::size_t b = 0; b * L < data.size(); ++b) {
+    RowBlock rb;
+    rb.extent = L;
+    rb.tag = b;
+    rb.work = std::make_shared<BlockWork>();
+    rb.work->input.assign(data.begin() + b * L, data.begin() + (b + 1) * L);
+    blocks.push_back(std::move(rb));
+  }
+  return blocks;
+}
+
+PipelinePlan make_plan(u32 fl, u32 pl) {
+  GreedyScheduler sched(core::PeCostModel{}, 32);
+  return sched.distribute(core::compression_substages(fl), pl);
+}
+
+TEST(PipelineProgram, EveryPipelineHeadKeepsItsShare) {
+  // 4 pipelines of length 1, 8 blocks -> 2 rounds; each head emits 2.
+  const auto data = test::smooth_signal(32 * 8);
+  wse::WseConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = 4;
+  wse::Fabric fabric(cfg);
+  auto exec = std::make_shared<const SubStageExecutor>(
+      core::CodecConfig{}, core::PeCostModel{}, 1e-3);
+  const PipelinePlan plan = make_plan(8, 1);
+  build_row_program(fabric, 0, plan, PipeDirection::kCompress, exec,
+                    make_blocks(data, 32));
+  fabric.run();
+  ASSERT_EQ(fabric.results().size(), 8u);
+  std::vector<int> per_col(4, 0);
+  for (const auto& r : fabric.results()) ++per_col[r.col];
+  for (int c = 0; c < 4; ++c) EXPECT_EQ(per_col[c], 2) << "col " << c;
+}
+
+TEST(PipelineProgram, HeadRelayCountsMatchFig9) {
+  // Head h forwards (n_pipes - 1 - h) blocks per round.
+  const auto data = test::smooth_signal(32 * 6);
+  wse::WseConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = 3;
+  wse::Fabric fabric(cfg);
+  auto exec = std::make_shared<const SubStageExecutor>(
+      core::CodecConfig{}, core::PeCostModel{}, 1e-3);
+  const PipelinePlan plan = make_plan(8, 1);
+  build_row_program(fabric, 0, plan, PipeDirection::kCompress, exec,
+                    make_blocks(data, 32));
+  fabric.run();
+  // 2 rounds: head 0 relays 2 per round, head 1 relays 1, head 2 none.
+  EXPECT_EQ(fabric.stats(0, 0).messages_relayed, 4u);
+  EXPECT_EQ(fabric.stats(0, 1).messages_relayed, 2u);
+  EXPECT_EQ(fabric.stats(0, 2).messages_relayed, 0u);
+}
+
+TEST(PipelineProgram, StagePesOnlyTouchTheirGroup) {
+  // With PL = 2 over 4 columns, results come from the last PE of each
+  // pipeline (columns 1 and 3).
+  const auto data = test::smooth_signal(32 * 4);
+  wse::WseConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = 4;
+  wse::Fabric fabric(cfg);
+  auto exec = std::make_shared<const SubStageExecutor>(
+      core::CodecConfig{}, core::PeCostModel{}, 1e-3);
+  const PipelinePlan plan = make_plan(8, 2);
+  build_row_program(fabric, 0, plan, PipeDirection::kCompress, exec,
+                    make_blocks(data, 32));
+  fabric.run();
+  ASSERT_EQ(fabric.results().size(), 4u);
+  for (const auto& r : fabric.results()) {
+    EXPECT_TRUE(r.col == 1 || r.col == 3) << "col " << r.col;
+  }
+  // Heads computed (busy) and stage PEs computed: all 4 PEs ran tasks.
+  for (u32 c = 0; c < 4; ++c) {
+    EXPECT_GT(fabric.stats(0, c).busy_cycles, 0u) << "col " << c;
+  }
+}
+
+TEST(PipelineProgram, MemoryAccountingEnforced) {
+  // A block too large for 48 KB SRAM must be rejected at program build,
+  // exactly as assumption 2 of Section 4.4 demands.
+  wse::WseConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = 1;
+  wse::Fabric fabric(cfg);
+  core::CodecConfig codec;
+  codec.block_size = 8192;  // 8K floats: scratch alone is 64 KB
+  auto exec = std::make_shared<const SubStageExecutor>(
+      codec, core::PeCostModel{}, 1e-3);
+  GreedyScheduler sched(core::PeCostModel{}, codec.block_size);
+  const PipelinePlan plan =
+      sched.distribute(core::compression_substages(8), 1);
+  std::vector<RowBlock> blocks(1);
+  blocks[0].extent = 8192;
+  blocks[0].tag = 0;
+  blocks[0].work = std::make_shared<BlockWork>();
+  blocks[0].work->input.assign(8192, 0.0f);
+  EXPECT_THROW(build_row_program(fabric, 0, plan, PipeDirection::kCompress,
+                                 exec, std::move(blocks)),
+               Error);
+}
+
+TEST(PipelineProgram, RejectsUnevenBlockCount) {
+  wse::WseConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = 2;
+  wse::Fabric fabric(cfg);
+  auto exec = std::make_shared<const SubStageExecutor>(
+      core::CodecConfig{}, core::PeCostModel{}, 1e-3);
+  const PipelinePlan plan = make_plan(8, 1);
+  const auto data = test::smooth_signal(32 * 3);  // 3 blocks, 2 pipes
+  EXPECT_THROW(build_row_program(fabric, 0, plan, PipeDirection::kCompress,
+                                 exec, make_blocks(data, 32)),
+               Error);
+}
+
+TEST(PipelineProgram, LongerPipelineUsesLowerPeakMemory) {
+  // The motivation for pipelines (Section 4.4): splitting stages across
+  // PEs splits the working set.
+  auto peak_for = [](u32 pl) {
+    wse::WseConfig cfg;
+    cfg.rows = 1;
+    cfg.cols = pl;
+    cfg.sram_bytes = 1 << 20;  // plenty, we only observe accounting
+    wse::Fabric fabric(cfg);
+    auto exec = std::make_shared<const SubStageExecutor>(
+        core::CodecConfig{}, core::PeCostModel{}, 1e-3);
+    GreedyScheduler sched(core::PeCostModel{}, 32);
+    const PipelinePlan plan =
+        sched.distribute(core::compression_substages(16), pl);
+    const auto data = test::smooth_signal(32);
+    build_row_program(fabric, 0, plan, PipeDirection::kCompress, exec,
+                      make_blocks(data, 32));
+    std::size_t peak = 0;
+    for (u32 c = 0; c < pl; ++c) {
+      peak = std::max(peak, fabric.memory(0, c).peak());
+    }
+    return peak;
+  };
+  EXPECT_GT(peak_for(1), peak_for(4));
+}
+
+}  // namespace
+}  // namespace ceresz::mapping

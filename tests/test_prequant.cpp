@@ -1,0 +1,89 @@
+#include "core/prequant.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "test_util.h"
+
+namespace ceresz::core {
+namespace {
+
+TEST(Prequant, PaperExample) {
+  // Section 3: eps = 0.1, value 0.83 -> round(0.83/0.2) = 4, error 0.03.
+  const std::vector<f32> in = {0.83f};
+  std::vector<i32> out(1);
+  prequant(in, out, 0.2);
+  EXPECT_EQ(out[0], 4);
+  std::vector<f32> back(1);
+  dequant(out, back, 0.2);
+  EXPECT_NEAR(back[0], 0.8, 1e-6);
+  EXPECT_LE(std::fabs(back[0] - in[0]), 0.1);
+}
+
+TEST(Prequant, RoundsToNearest) {
+  const std::vector<f32> in = {0.0f, 0.99f, 1.01f, -0.99f, -1.01f, 2.5f};
+  std::vector<i32> out(in.size());
+  prequant(in, out, 2.0);  // eps = 1
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 0);   // 0.495 + 0.5 = 0.995 -> floor 0
+  EXPECT_EQ(out[2], 1);   // 0.505 + 0.5 = 1.005 -> floor 1
+  EXPECT_EQ(out[3], 0);   // -0.495 + 0.5 = 0.005 -> floor 0
+  EXPECT_EQ(out[4], -1);  // -0.505 + 0.5 = -0.005 -> floor -1
+  EXPECT_EQ(out[5], 1);   // 1.25 + 0.5 = 1.75 -> floor 1
+}
+
+TEST(Prequant, SubStagesComposeToFused) {
+  const auto in = test::smooth_signal(256);
+  const f64 eps = 1e-3;
+  std::vector<f64> scratch(in.size());
+  std::vector<i32> split(in.size()), fused(in.size());
+  prequant_multiply(in, scratch, 1.0 / (2.0 * eps));
+  prequant_add_floor(scratch, split);
+  prequant(in, fused, 2.0 * eps);
+  EXPECT_EQ(split, fused);
+}
+
+TEST(Prequant, ThrowsOnOverflow) {
+  const std::vector<f32> in = {3.0e9f};
+  std::vector<i32> out(1);
+  EXPECT_THROW(prequant(in, out, 1e-3), Error);
+}
+
+TEST(Prequant, ThrowsOnNonPositiveBound) {
+  const std::vector<f32> in = {1.0f};
+  std::vector<i32> out(1);
+  EXPECT_THROW(prequant(in, out, 0.0), Error);
+  EXPECT_THROW(prequant(in, out, -1.0), Error);
+}
+
+TEST(Prequant, SizeMismatchThrows) {
+  const std::vector<f32> in = {1.0f, 2.0f};
+  std::vector<i32> out(1);
+  EXPECT_THROW(prequant(in, out, 0.1), Error);
+}
+
+// Property: for every element, |dequant(prequant(x)) - x| <= eps.
+class PrequantBoundProperty : public ::testing::TestWithParam<f64> {};
+
+TEST_P(PrequantBoundProperty, ErrorWithinBound) {
+  const f64 eps = GetParam();
+  for (u64 seed : {1ull, 2ull, 3ull}) {
+    const auto in = test::random_signal(1024, seed, -50.0, 50.0);
+    std::vector<i32> q(in.size());
+    std::vector<f32> back(in.size());
+    prequant(in, q, 2.0 * eps);
+    dequant(q, back, 2.0 * eps);
+    // The bound is exact up to the f32 output representation (half an ulp
+    // at the data's magnitude) — the same caveat every f32 codec carries.
+    EXPECT_LE(test::max_err(in, back), eps + test::f32_ulp_slack(in))
+        << "eps=" << eps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PrequantBoundProperty,
+                         ::testing::Values(1e-1, 1e-2, 1e-3, 1e-4, 0.5, 2.0));
+
+}  // namespace
+}  // namespace ceresz::core

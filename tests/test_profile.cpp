@@ -1,0 +1,87 @@
+#include "mapping/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/stream_codec.h"
+#include "test_util.h"
+
+namespace ceresz::mapping {
+namespace {
+
+StageProfiler default_profiler(f64 fraction = 0.05) {
+  return StageProfiler(core::CodecConfig{}, core::PeCostModel{}, fraction);
+}
+
+TEST(StageProfiler, ResolvesRelativeBound) {
+  const auto data = test::smooth_signal(32 * 128);
+  const auto p = default_profiler().profile(
+      data, core::ErrorBound::relative(1e-3));
+  f32 lo = data[0], hi = data[0];
+  for (f32 v : data) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_NEAR(p.eps_abs, (hi - lo) * 1e-3, 1e-9);
+}
+
+TEST(StageProfiler, EstimateTracksTrueFixedLength) {
+  // With full sampling the estimate equals the stream's true maximum.
+  const auto data = test::smooth_signal(32 * 200, 3);
+  const core::ErrorBound bound = core::ErrorBound::absolute(1e-3);
+  const auto p = default_profiler(1.0).profile(data, bound);
+
+  const core::StreamCodec codec;
+  const auto r = codec.compress(data, bound);
+  EXPECT_EQ(p.est_fixed_length, r.stats.max_fixed_length);
+}
+
+TEST(StageProfiler, SampledEstimateIsReasonable) {
+  const auto data = test::smooth_signal(32 * 1000, 5);
+  const core::ErrorBound bound = core::ErrorBound::absolute(1e-3);
+  const auto p = default_profiler(0.05).profile(data, bound);
+  const core::StreamCodec codec;
+  const auto r = codec.compress(data, bound);
+  EXPECT_GE(p.est_fixed_length, 1u);
+  EXPECT_LE(p.est_fixed_length, r.stats.max_fixed_length);
+  EXPECT_GE(p.est_fixed_length + 3, r.stats.max_fixed_length);
+}
+
+TEST(StageProfiler, DetectsZeroBlocks) {
+  const std::vector<f32> zeros(32 * 64, 0.0f);
+  const auto p = default_profiler(1.0).profile(
+      zeros, core::ErrorBound::absolute(1e-2));
+  EXPECT_NEAR(p.zero_fraction, 1.0, 1e-12);
+}
+
+TEST(StageProfiler, TighterBoundRaisesCycleBudget) {
+  const auto data = test::smooth_signal(32 * 256, 7);
+  const auto loose = default_profiler(1.0).profile(
+      data, core::ErrorBound::absolute(1e-2));
+  const auto tight = default_profiler(1.0).profile(
+      data, core::ErrorBound::absolute(1e-5));
+  EXPECT_GT(tight.est_fixed_length, loose.est_fixed_length);
+  EXPECT_GT(tight.compress_cycles, loose.compress_cycles);
+  EXPECT_GT(tight.decompress_cycles, loose.decompress_cycles);
+}
+
+TEST(StageProfiler, TinyInputFallsBack) {
+  const std::vector<f32> few = {1.0f, 2.0f};
+  const auto p = default_profiler().profile(
+      few, core::ErrorBound::absolute(1e-3));
+  EXPECT_GT(p.est_fixed_length, 0u);
+  EXPECT_GT(p.compress_cycles, 0u);
+}
+
+TEST(StageProfiler, InvalidFractionThrows) {
+  const auto data = test::smooth_signal(64);
+  EXPECT_THROW(default_profiler(0.0).profile(
+                   data, core::ErrorBound::absolute(1e-3)),
+               Error);
+  EXPECT_THROW(default_profiler(1.5).profile(
+                   data, core::ErrorBound::absolute(1e-3)),
+               Error);
+}
+
+}  // namespace
+}  // namespace ceresz::mapping

@@ -1,0 +1,46 @@
+#include "mapping/report.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ceresz::mapping {
+namespace {
+
+WaferRunResult small_run() {
+  MapperOptions opt;
+  opt.rows = 1;
+  opt.cols = 4;
+  const WaferMapper mapper(opt);
+  const auto data = test::smooth_signal(32 * 16);
+  return mapper.compress(data, core::ErrorBound::absolute(1e-3));
+}
+
+TEST(Report, UtilizationCoversEveryColumn) {
+  const auto run = small_run();
+  const std::string report = utilization_report(run);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NE(report.find("| " + std::to_string(c) + " "),
+              std::string::npos)
+        << report;
+  }
+  EXPECT_NE(report.find("busy %"), std::string::npos);
+}
+
+TEST(Report, BusyFractionsAreSane) {
+  const auto run = small_run();
+  for (const auto& st : run.row0_stats) {
+    EXPECT_LE(st.busy_cycles, run.makespan);
+  }
+}
+
+TEST(Report, SummaryMentionsKeyFacts) {
+  const auto run = small_run();
+  const std::string summary = run_summary(run, 1, 4);
+  EXPECT_NE(summary.find("mesh 1x4"), std::string::npos);
+  EXPECT_NE(summary.find("GB/s"), std::string::npos);
+  EXPECT_NE(summary.find("850 MHz"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ceresz::mapping

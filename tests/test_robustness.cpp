@@ -1,0 +1,167 @@
+// Robustness / failure-injection suite: corrupt, truncate, and mangle
+// compressed streams. Every decoder in the library must either reproduce
+// data or throw ceresz::Error — never crash, hang, or read out of bounds.
+#include <gtest/gtest.h>
+
+#include "baselines/compressor.h"
+#include "common/rng.h"
+#include "core/stream_codec.h"
+#include "core/tiled_codec.h"
+#include "test_util.h"
+
+namespace ceresz {
+namespace {
+
+// Decode and ignore the outcome; only crashes/UB are failures. Bit flips
+// can produce a stream that still parses (flipping payload bits changes
+// values, not structure), so a successful decode is acceptable.
+template <typename Fn>
+void expect_no_crash(Fn&& decode) {
+  try {
+    decode();
+  } catch (const Error&) {
+    // Structured rejection is the expected failure mode.
+  }
+}
+
+class StreamFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(StreamFuzz, BitFlipsNeverCrashStreamCodec) {
+  const core::StreamCodec codec;
+  const auto data = test::smooth_signal(32 * 64, GetParam());
+  auto result = codec.compress(data, core::ErrorBound::absolute(1e-3));
+  Rng rng(GetParam() * 977 + 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto corrupted = result.stream;
+    const int flips = 1 + static_cast<int>(rng.next_below(8));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t byte = rng.next_below(corrupted.size());
+      corrupted[byte] ^= static_cast<u8>(1u << rng.next_below(8));
+    }
+    expect_no_crash([&] { codec.decompress(corrupted); });
+  }
+}
+
+TEST_P(StreamFuzz, TruncationsNeverCrashStreamCodec) {
+  const core::StreamCodec codec;
+  const auto data = test::smooth_signal(32 * 64, GetParam());
+  const auto result = codec.compress(data, core::ErrorBound::absolute(1e-3));
+  Rng rng(GetParam() * 31 + 7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t cut = rng.next_below(result.stream.size());
+    std::span<const u8> truncated(result.stream.data(), cut);
+    expect_no_crash([&] { codec.decompress(truncated); });
+  }
+}
+
+TEST_P(StreamFuzz, RandomBytesNeverCrashAnyDecoder) {
+  Rng rng(GetParam() * 131 + 3);
+  const core::StreamCodec stream_codec;
+  const core::Tiled2dCodec tiled_codec;
+  const auto sz3 = baselines::make_sz3();
+  const auto cusz = baselines::make_cusz();
+  const auto szp = baselines::make_szp();
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<u8> junk(16 + rng.next_below(4096));
+    for (auto& b : junk) b = static_cast<u8>(rng.next_u64());
+    expect_no_crash([&] { stream_codec.decompress(junk); });
+    expect_no_crash([&] {
+      std::size_t w, h;
+      tiled_codec.decompress(junk, w, h);
+    });
+    expect_no_crash([&] { sz3->decompress(junk); });
+    expect_no_crash([&] { cusz->decompress(junk); });
+    expect_no_crash([&] { szp->decompress(junk); });
+  }
+}
+
+TEST_P(StreamFuzz, BitFlipsNeverCrashBaselines) {
+  data::Field f;
+  f.dataset = "fuzz";
+  f.name = "x";
+  f.values = test::smooth_signal(4000, GetParam());
+  f.dims = {f.values.size()};
+  const auto sz3 = baselines::make_sz3();
+  const auto stream = sz3->compress(f, core::ErrorBound::absolute(1e-3),
+                                    nullptr);
+  Rng rng(GetParam() * 17 + 5);
+  for (int trial = 0; trial < 60; ++trial) {
+    auto corrupted = stream;
+    corrupted[rng.next_below(corrupted.size())] ^=
+        static_cast<u8>(1u << rng.next_below(8));
+    expect_no_crash([&] { sz3->decompress(corrupted); });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamFuzz, ::testing::Values(1, 2, 3, 4));
+
+// ---- Magic-value cross-feeding: every decoder rejects every other
+// codec's streams. ----
+
+TEST(CrossFeed, DecodersRejectEachOthersStreams) {
+  data::Field f;
+  f.dataset = "x";
+  f.name = "y";
+  f.values = test::smooth_signal(2048);
+  f.dims = {f.values.size()};
+  const core::ErrorBound bound = core::ErrorBound::absolute(1e-3);
+
+  const core::StreamCodec ceresz_codec;
+  const auto ceresz_stream = ceresz_codec.compress(f.values, bound).stream;
+  const auto sz3 = baselines::make_sz3();
+  const auto sz3_stream = sz3->compress(f, bound, nullptr);
+  const auto cusz = baselines::make_cusz();
+  const auto cusz_stream = cusz->compress(f, bound, nullptr);
+
+  EXPECT_THROW(ceresz_codec.decompress(sz3_stream), Error);
+  EXPECT_THROW(ceresz_codec.decompress(cusz_stream), Error);
+  EXPECT_THROW(sz3->decompress(ceresz_stream), Error);
+  EXPECT_THROW(sz3->decompress(cusz_stream), Error);
+  EXPECT_THROW(cusz->decompress(sz3_stream), Error);
+  EXPECT_THROW(cusz->decompress(ceresz_stream), Error);
+}
+
+// ---- Extreme inputs ----
+
+TEST(ExtremeInputs, HugeValuesAtTightBoundThrowCleanly) {
+  const core::StreamCodec codec;
+  std::vector<f32> huge(64, 3.0e9f);
+  huge[0] = 0.0f;  // force a nonzero value range
+  EXPECT_THROW(codec.compress(huge, core::ErrorBound::absolute(1e-6)), Error);
+}
+
+TEST(ExtremeInputs, DenormalsAndTinyValuesRoundTrip) {
+  std::vector<f32> tiny(320);
+  Rng rng(5);
+  for (auto& v : tiny) {
+    v = static_cast<f32>(rng.uniform(-1e-38, 1e-38));
+  }
+  const core::StreamCodec codec;
+  const auto result = codec.compress(tiny, core::ErrorBound::absolute(1e-20));
+  const auto back = codec.decompress(result.stream);
+  EXPECT_LE(test::max_err(tiny, back), 1e-20 + test::f32_ulp_slack(tiny));
+}
+
+TEST(ExtremeInputs, AlternatingExtremesRoundTrip) {
+  std::vector<f32> data(320);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = (i % 2) ? 1000.0f : -1000.0f;
+  }
+  const core::StreamCodec codec;
+  const auto result = codec.compress(data, core::ErrorBound::relative(1e-4));
+  const auto back = codec.decompress(result.stream);
+  EXPECT_LE(test::max_err(data, back),
+            result.eps_abs + test::f32_ulp_slack(data));
+}
+
+TEST(ExtremeInputs, SingleElementStream) {
+  const core::StreamCodec codec;
+  const std::vector<f32> one = {42.0f};
+  const auto result = codec.compress(one, core::ErrorBound::absolute(0.5));
+  const auto back = codec.decompress(result.stream);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_NEAR(back[0], 42.0f, 0.5);
+}
+
+}  // namespace
+}  // namespace ceresz

@@ -1,0 +1,153 @@
+#include "mapping/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/costmodel.h"
+#include "core/stage.h"
+
+namespace ceresz::mapping {
+namespace {
+
+using core::PeCostModel;
+using core::SubStage;
+using core::SubStageKind;
+using core::compression_substages;
+using core::decompression_substages;
+
+TEST(StageTable, CompressionSubStages) {
+  const auto stages = compression_substages(17);
+  // 6 fixed stages + 17 one-bit shuffles.
+  ASSERT_EQ(stages.size(), 23u);
+  EXPECT_EQ(stages[0].kind, SubStageKind::kPrequantMul);
+  EXPECT_EQ(stages[1].kind, SubStageKind::kPrequantAdd);
+  EXPECT_EQ(stages[2].kind, SubStageKind::kLorenzo);
+  EXPECT_EQ(stages[5].kind, SubStageKind::kGetLength);
+  EXPECT_EQ(stages[6].kind, SubStageKind::kShuffleBit);
+  EXPECT_EQ(stages[6].bit_index, 0u);
+  EXPECT_EQ(stages[22].bit_index, 16u);
+}
+
+TEST(StageTable, DecompressionSubStages) {
+  const auto stages = decompression_substages(12);
+  ASSERT_EQ(stages.size(), 14u);
+  EXPECT_EQ(stages[0].kind, SubStageKind::kUnshuffleBit);
+  EXPECT_EQ(stages[12].kind, SubStageKind::kPrefixSum);
+  EXPECT_EQ(stages[13].kind, SubStageKind::kDequantMul);
+}
+
+TEST(CostModel, MatchesPaperTables) {
+  // Table 1-3 calibration at block size 32, fl = 17 (CESM-ATM).
+  const PeCostModel cost;
+  const auto cyc = [&](SubStageKind k, u32 bit = 0) {
+    return cost.substage_cycles(SubStage{k, bit}, 32);
+  };
+  EXPECT_NEAR(cyc(SubStageKind::kPrequantMul), 5074, 5);       // Table 2
+  EXPECT_NEAR(cyc(SubStageKind::kPrequantAdd), 1040, 5);       // Table 2
+  EXPECT_NEAR(cyc(SubStageKind::kLorenzo), 975, 2);            // Table 1
+  EXPECT_NEAR(cyc(SubStageKind::kSign), 1044, 2);              // Table 3
+  EXPECT_NEAR(cyc(SubStageKind::kMax), 1037, 2);               // Table 3
+  EXPECT_NEAR(cyc(SubStageKind::kGetLength), 1380, 10);        // Table 3
+  // Bit-shuffle at fl=17 should land near CESM-ATM's 33609 cycles.
+  Cycles shuffle17 = 0;
+  for (u32 k = 0; k < 17; ++k) shuffle17 += cyc(SubStageKind::kShuffleBit, k);
+  EXPECT_NEAR(shuffle17, 33609, 150);
+  // fl=13 ~ HACC's 25675; fl=12 ~ QMCPack's 23694.
+  EXPECT_NEAR(13 * cyc(SubStageKind::kShuffleBit), 25675, 120);
+  EXPECT_NEAR(12 * cyc(SubStageKind::kShuffleBit), 23694, 120);
+}
+
+TEST(CostModel, DecompressionCheaperThanCompression) {
+  const PeCostModel cost;
+  for (u32 fl : {4u, 8u, 12u, 17u, 24u}) {
+    EXPECT_LT(cost.decompress_block_cycles(32, fl, false),
+              cost.compress_block_cycles(32, fl, false))
+        << "fl=" << fl;
+  }
+}
+
+TEST(CostModel, ZeroBlockIsMuchCheaper) {
+  const PeCostModel cost;
+  EXPECT_LT(cost.compress_block_cycles(32, 0, true),
+            cost.compress_block_cycles(32, 12, false) / 2);
+}
+
+TEST(GreedyScheduler, SingleGroupTakesEverything) {
+  const GreedyScheduler sched(PeCostModel{}, 32);
+  const auto stages = compression_substages(10);
+  const PipelinePlan plan = sched.distribute(stages, 1);
+  ASSERT_EQ(plan.length(), 1u);
+  EXPECT_EQ(plan.groups[0].stages.size(), stages.size());
+  EXPECT_EQ(plan.total_cycles(), plan.groups[0].cycles);
+}
+
+TEST(GreedyScheduler, PreservesOrderAndCoversAllStages) {
+  const GreedyScheduler sched(PeCostModel{}, 32);
+  const auto stages = compression_substages(17);
+  for (u32 m : {2u, 3u, 4u, 5u, 8u}) {
+    const PipelinePlan plan = sched.distribute(stages, m);
+    ASSERT_EQ(plan.length(), m);
+    std::size_t idx = 0;
+    for (const auto& g : plan.groups) {
+      EXPECT_FALSE(g.stages.empty());
+      for (const auto& s : g.stages) {
+        EXPECT_EQ(static_cast<int>(s.kind), static_cast<int>(stages[idx].kind));
+        EXPECT_EQ(s.bit_index, stages[idx].bit_index);
+        ++idx;
+      }
+    }
+    EXPECT_EQ(idx, stages.size());
+  }
+}
+
+TEST(GreedyScheduler, BalancesWithinOneStage) {
+  // No group may exceed target + the largest single stage (greedy bound).
+  const PeCostModel cost;
+  const GreedyScheduler sched(cost, 32);
+  const auto stages = compression_substages(17);
+  Cycles t1 = 0;
+  for (const auto& s : stages) {
+    t1 = std::max(t1, cost.substage_cycles(s, 32));
+  }
+  for (u32 m : {2u, 3u, 4u}) {
+    const PipelinePlan plan = sched.distribute(stages, m);
+    const f64 target =
+        static_cast<f64>(plan.total_cycles()) / static_cast<f64>(m);
+    for (std::size_t g = 0; g + 1 < plan.groups.size(); ++g) {
+      EXPECT_LE(plan.groups[g].cycles, static_cast<Cycles>(target) + t1);
+    }
+  }
+}
+
+TEST(GreedyScheduler, ClampsToStageCount) {
+  const GreedyScheduler sched(PeCostModel{}, 32);
+  std::vector<SubStage> three = {{SubStageKind::kPrequantMul},
+                                 {SubStageKind::kPrequantAdd},
+                                 {SubStageKind::kLorenzo}};
+  const PipelinePlan plan = sched.distribute(three, 10);
+  EXPECT_EQ(plan.length(), 3u);
+}
+
+TEST(GreedyScheduler, MaxFeasibleLengthIsTotalOverLongest) {
+  const PeCostModel cost;
+  const GreedyScheduler sched(cost, 32);
+  const auto stages = compression_substages(17);
+  Cycles total = 0, t1 = 0;
+  for (const auto& s : stages) {
+    const Cycles c = cost.substage_cycles(s, 32);
+    total += c;
+    t1 = std::max(t1, c);
+  }
+  EXPECT_EQ(sched.max_feasible_length(stages), total / t1);
+  // Multiplication dominates: 5074 cycles vs ~44k total -> ~8.
+  EXPECT_GE(sched.max_feasible_length(stages), 6u);
+  EXPECT_LE(sched.max_feasible_length(stages), 10u);
+}
+
+TEST(GreedyScheduler, EmptyStagesThrow) {
+  const GreedyScheduler sched(PeCostModel{}, 32);
+  EXPECT_THROW(sched.distribute({}, 2), Error);
+}
+
+}  // namespace
+}  // namespace ceresz::mapping

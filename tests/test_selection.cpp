@@ -1,0 +1,151 @@
+// Section 4.4's configuration machinery: ingress-rate modeling
+// (assumption 1) and memory-driven pipeline-length selection
+// (assumption 2).
+#include <gtest/gtest.h>
+
+#include "mapping/pipeline_program.h"
+#include "mapping/wafer_mapper.h"
+#include "test_util.h"
+
+namespace ceresz::mapping {
+namespace {
+
+TEST(IngressRate, SlowProducerCapsThroughput) {
+  // At 8 columns a saturated row computes ~28 MB/s; a producer at one
+  // wavelet per 512 cycles supplies only ~6.6 MB/s, so the run must be
+  // ingress-bound regardless of the PE count (Section 4.4, assumption 1).
+  const auto data = test::smooth_signal(32 * 256);
+  MapperOptions fast;
+  fast.rows = 1;
+  fast.cols = 8;
+  fast.collect_output = false;
+  MapperOptions slow = fast;
+  slow.ingress_cycles_per_wavelet = 512.0;
+
+  const auto run_fast =
+      WaferMapper(fast).compress(data, core::ErrorBound::absolute(1e-3));
+  const auto run_slow =
+      WaferMapper(slow).compress(data, core::ErrorBound::absolute(1e-3));
+  EXPECT_LT(run_slow.throughput_gbps, run_fast.throughput_gbps / 3.0);
+
+  // Ingress bound: 4 bytes / (512 cycles / 850 MHz) = ~6.6 MB/s.
+  const f64 ingress_gbps = 4.0 * 850.0e6 / 512.0 / 1.0e9;
+  EXPECT_LE(run_slow.throughput_gbps, ingress_gbps * 1.05);
+  EXPECT_GE(run_slow.throughput_gbps, ingress_gbps * 0.5);
+}
+
+TEST(IngressRate, SaturatedIsDefault) {
+  MapperOptions opt;
+  EXPECT_EQ(opt.ingress_cycles_per_wavelet, 1.0);
+}
+
+TEST(IngressRate, SubFabricRateRejected) {
+  const auto data = test::smooth_signal(64);
+  MapperOptions opt;
+  opt.rows = 1;
+  opt.cols = 1;
+  opt.ingress_cycles_per_wavelet = 0.5;  // faster than 1 wavelet/cycle
+  EXPECT_THROW(
+      WaferMapper(opt).compress(data, core::ErrorBound::absolute(1e-3)),
+      Error);
+}
+
+TEST(PipelineSelection, SmallBlockFitsSinglePe) {
+  const GreedyScheduler sched(core::PeCostModel{}, 32);
+  const auto stages = core::compression_substages(17);
+  EXPECT_EQ(choose_pipeline_length(sched, stages, 32,
+                                   PipeDirection::kCompress, 48 * 1024),
+            1u);
+}
+
+TEST(PipelineSelection, LargeBlockForcesLongerPipeline) {
+  // A 4K-element block's working set cannot fit one PE's 48 KB; the
+  // SRAM-aware planner must split it, and every group of the returned
+  // plan must fit.
+  const u32 L = 4096;
+  const GreedyScheduler sched(core::PeCostModel{}, L);
+  const auto stages = core::compression_substages(17);
+  const PipelinePlan plan = plan_with_sram(sched, stages, L,
+                                           PipeDirection::kCompress,
+                                           48 * 1024);
+  EXPECT_GT(plan.length(), 1u);
+  for (const auto& group : plan.groups) {
+    EXPECT_LE(estimate_group_memory(group, L, PipeDirection::kCompress),
+              48u * 1024);
+  }
+  // The plan covers every sub-stage, in order.
+  std::size_t idx = 0;
+  for (const auto& group : plan.groups) {
+    for (const auto& s : group.stages) {
+      EXPECT_EQ(static_cast<int>(s.kind), static_cast<int>(stages[idx].kind));
+      ++idx;
+    }
+  }
+  EXPECT_EQ(idx, stages.size());
+}
+
+TEST(PipelineSelection, SelectionIsMinimal) {
+  const u32 L = 4096;
+  const GreedyScheduler sched(core::PeCostModel{}, L);
+  const auto stages = core::compression_substages(17);
+  const u32 pl = choose_pipeline_length(sched, stages, L,
+                                        PipeDirection::kCompress, 48 * 1024);
+  if (pl > 1) {
+    const PipelinePlan shorter = sched.distribute(stages, pl - 1);
+    std::size_t widest = 0;
+    for (const auto& group : shorter.groups) {
+      widest = std::max(widest,
+                        estimate_group_memory(group, L,
+                                              PipeDirection::kCompress));
+    }
+    EXPECT_GT(widest, 48u * 1024);
+  }
+}
+
+TEST(PipelineSelection, ImpossibleBlockThrows) {
+  // Even the most finely split pipeline cannot host a block whose single
+  // sub-stage buffers exceed SRAM.
+  const u32 L = 1 << 16;  // 64K floats: 512 KB of f64 scratch in one stage
+  const GreedyScheduler sched(core::PeCostModel{}, L);
+  const auto stages = core::compression_substages(17);
+  EXPECT_THROW(choose_pipeline_length(sched, stages, L,
+                                      PipeDirection::kCompress, 48 * 1024),
+               Error);
+}
+
+TEST(PipelineSelection, MemoryEstimateScalesWithBlockSize) {
+  const GreedyScheduler sched(core::PeCostModel{}, 32);
+  const PipelinePlan plan =
+      sched.distribute(core::compression_substages(12), 1);
+  const std::size_t small =
+      estimate_group_memory(plan.groups[0], 32, PipeDirection::kCompress);
+  const std::size_t large =
+      estimate_group_memory(plan.groups[0], 1024, PipeDirection::kCompress);
+  EXPECT_GT(large, 16 * small);
+}
+
+TEST(PipelineSelection, EndToEndWithSramPlanning) {
+  // A 512-element block cannot run at PL = 1 on an 8 KB PE; with
+  // plan_for_sram the mapper must pick a longer pipeline that both builds
+  // and round-trips on the simulated wafer.
+  const u32 L = 512;
+  core::CodecConfig codec;
+  codec.block_size = L;
+  const std::size_t sram = 8 * 1024;
+
+  MapperOptions opt;
+  opt.rows = 1;
+  opt.cols = 8;
+  opt.codec = codec;
+  opt.wse.sram_bytes = sram;
+  opt.plan_for_sram = true;
+  const WaferMapper mapper(opt);
+  const auto data = test::smooth_signal(L * 8);
+  const auto comp = mapper.compress(data, core::ErrorBound::absolute(1e-3));
+  EXPECT_GT(comp.plan.length(), 1u);
+  const auto decomp = mapper.decompress(comp.stream);
+  EXPECT_LE(test::max_err(data, decomp.output), 1e-3);
+}
+
+}  // namespace
+}  // namespace ceresz::mapping

@@ -1,0 +1,385 @@
+#include "wse/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ceresz::wse {
+namespace {
+
+WseConfig small_mesh(u32 rows, u32 cols) {
+  WseConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  return cfg;
+}
+
+// Figure 3/4: route an array from PE (0,0) to PE (0,1) and consume it with
+// a data-triggered task.
+TEST(Fabric, RouteArrayToNeighbor) {
+  Fabric fabric(small_mesh(1, 2));
+  const Color c = 4;
+  fabric.router(0, 0).set_route(c, {Direction::kRamp}, {Direction::kEast});
+  fabric.router(0, 1).set_route(c, {Direction::kWest}, {Direction::kRamp});
+
+  std::vector<u32> received;
+  const Color sender_task = 9;
+  fabric.bind_task(0, 0, sender_task, [c](PeContext& ctx) {
+    ctx.consume(10);
+    ctx.send_async(c, Message::make(c, {11, 22, 33}, 1));
+  });
+  fabric.bind_task(
+      0, 1, c,
+      [&received, c](PeContext& ctx) {
+        Message m = ctx.take_delivered(c);
+        ASSERT_NE(m.payload, nullptr);
+        received = *m.payload;
+      },
+      TaskTrigger::kDataTriggered);
+
+  fabric.activate_at(0, 0, sender_task, 0);
+  const RunStats rs = fabric.run();
+  EXPECT_EQ(received, (std::vector<u32>{11, 22, 33}));
+  EXPECT_EQ(rs.tasks_run, 2u);
+  EXPECT_GT(rs.makespan, 0u);
+}
+
+TEST(Fabric, MulticastAlongRow) {
+  // Broadcast: middle PEs deliver to RAMP and forward east.
+  Fabric fabric(small_mesh(1, 4));
+  const Color c = 2;
+  fabric.router(0, 0).set_route(c, {Direction::kRamp}, {Direction::kEast});
+  for (u32 col = 1; col < 4; ++col) {
+    if (col < 3) {
+      fabric.router(0, col).set_route(c, {Direction::kWest},
+                                      {Direction::kRamp, Direction::kEast});
+    } else {
+      fabric.router(0, col).set_route(c, {Direction::kWest},
+                                      {Direction::kRamp});
+    }
+  }
+  std::vector<u32> deliveries;
+  for (u32 col = 1; col < 4; ++col) {
+    fabric.bind_task(
+        0, col, c,
+        [&deliveries, c, col](PeContext& ctx) {
+          ctx.take_delivered(c);
+          deliveries.push_back(col);
+        },
+        TaskTrigger::kDataTriggered);
+  }
+  const Color go = 8;
+  fabric.bind_task(0, 0, go, [c](PeContext& ctx) {
+    ctx.send_async(c, Message::token(c, 16));
+  });
+  fabric.activate_at(0, 0, go, 0);
+  fabric.run();
+  ASSERT_EQ(deliveries.size(), 3u);
+}
+
+TEST(Fabric, HopLatencyAccumulates) {
+  // Delivery time = send overhead + hops + extent; farther PE sees a later
+  // arrival timestamp reflected in its finish time.
+  WseConfig cfg = small_mesh(1, 5);
+  Fabric fabric(cfg);
+  const Color c = 1;
+  fabric.router(0, 0).set_route(c, {Direction::kRamp}, {Direction::kEast});
+  for (u32 col = 1; col < 5; ++col) {
+    fabric.router(0, col).set_route(
+        c, {Direction::kWest},
+        col == 4 ? std::initializer_list<Direction>{Direction::kRamp}
+                 : std::initializer_list<Direction>{Direction::kEast});
+  }
+  Cycles arrival_time = 0;
+  fabric.bind_task(
+      0, 4, c,
+      [&arrival_time, c](PeContext& ctx) {
+        ctx.take_delivered(c);
+        arrival_time = ctx.now();
+      },
+      TaskTrigger::kDataTriggered);
+  const Color go = 8;
+  fabric.bind_task(0, 0, go, [c](PeContext& ctx) {
+    ctx.send_async(c, Message::token(c, 32));
+  });
+  fabric.activate_at(0, 0, go, 0);
+  fabric.run();
+  // Send departs at task finish (task overhead 8), + send overhead 32 +
+  // 4 hops + 32 extent = deliver at 76; data-triggered recv adds
+  // recv overhead 4 + extent 32 before the task starts at 112.
+  EXPECT_EQ(arrival_time, 8u + 32 + 4 + 32 + 4 + 32);
+}
+
+TEST(Fabric, UnroutedColorThrows) {
+  Fabric fabric(small_mesh(1, 2));
+  const Color c = 3;
+  fabric.router(0, 0).set_route(c, {Direction::kRamp}, {Direction::kEast});
+  // PE (0,1) has no route for c.
+  const Color go = 8;
+  fabric.bind_task(0, 0, go, [c](PeContext& ctx) {
+    ctx.send_async(c, Message::token(c, 4));
+  });
+  fabric.activate_at(0, 0, go, 0);
+  EXPECT_THROW(fabric.run(), Error);
+}
+
+TEST(Fabric, RoutingOffEdgeThrows) {
+  Fabric fabric(small_mesh(1, 1));
+  const Color c = 3;
+  fabric.router(0, 0).set_route(c, {Direction::kRamp}, {Direction::kEast});
+  const Color go = 8;
+  fabric.bind_task(0, 0, go, [c](PeContext& ctx) {
+    ctx.send_async(c, Message::token(c, 4));
+  });
+  fabric.activate_at(0, 0, go, 0);
+  EXPECT_THROW(fabric.run(), Error);
+}
+
+TEST(Fabric, RecvAsyncDeliversInOrder) {
+  Fabric fabric(small_mesh(1, 1));
+  const Color data = 5;
+  const Color recv_task = 10;
+  const Color on_data = 11;
+  std::vector<u64> tags;
+  fabric.bind_task(0, 0, recv_task, [data](PeContext& ctx) {
+    ctx.recv_async(data, /*activate=*/11);
+  });
+  fabric.bind_task(0, 0, on_data, [&tags, data](PeContext& ctx) {
+    Message m = ctx.take_delivered(data);
+    tags.push_back(m.tag);
+    if (tags.size() < 3) ctx.activate(10);
+  });
+  for (u64 i = 0; i < 3; ++i) {
+    fabric.inject(0, 0, Message::token(data, 8, i), /*arrival=*/i * 100);
+  }
+  fabric.activate_at(0, 0, recv_task, 0);
+  fabric.run();
+  EXPECT_EQ(tags, (std::vector<u64>{0, 1, 2}));
+}
+
+TEST(Fabric, ForwardAsyncRelaysWithCounting) {
+  // The Figure 9(b) idiom: PE (0,0) forwards two messages east, keeps the
+  // third.
+  Fabric fabric(small_mesh(1, 2));
+  const Color raw_in = 0;
+  const Color raw_out = 1;
+  fabric.router(0, 0).set_route(raw_out, {Direction::kRamp},
+                                {Direction::kEast});
+  fabric.router(0, 1).set_route(raw_out, {Direction::kWest},
+                                {Direction::kRamp});
+
+  const Color relay_task = 10;
+  const Color compute_task = 11;
+  auto count = std::make_shared<int>(0);
+  u64 kept_tag = 999;
+  std::vector<u64> neighbor_tags;
+
+  fabric.bind_task(0, 0, relay_task,
+                   [count, raw_in, raw_out](PeContext& ctx) {
+                     if (*count < 2) {
+                       ++*count;
+                       ctx.forward_async(raw_in, raw_out, 10);
+                     } else {
+                       ctx.recv_async(raw_in, 11);
+                     }
+                   });
+  fabric.bind_task(0, 0, compute_task, [&kept_tag, raw_in](PeContext& ctx) {
+    kept_tag = ctx.take_delivered(raw_in).tag;
+  });
+  fabric.bind_task(
+      0, 1, raw_out,
+      [&neighbor_tags, raw_out](PeContext& ctx) {
+        neighbor_tags.push_back(ctx.take_delivered(raw_out).tag);
+      },
+      TaskTrigger::kDataTriggered);
+
+  for (u64 i = 0; i < 3; ++i) {
+    fabric.inject(0, 0, Message::token(raw_in, 8, i), i * 8);
+  }
+  fabric.activate_at(0, 0, relay_task, 0);
+  fabric.run();
+  EXPECT_EQ(neighbor_tags, (std::vector<u64>{0, 1}));
+  EXPECT_EQ(kept_tag, 2u);
+  EXPECT_EQ(fabric.stats(0, 0).messages_relayed, 2u);
+  EXPECT_EQ(fabric.stats(0, 0).messages_received, 1u);
+}
+
+TEST(Fabric, TasksSerializeOnOnePe) {
+  // Two activations of a 100-cycle task must not overlap.
+  Fabric fabric(small_mesh(1, 1));
+  const Color t = 6;
+  std::vector<Cycles> starts;
+  fabric.bind_task(0, 0, t, [&starts](PeContext& ctx) {
+    starts.push_back(ctx.now());
+    ctx.consume(100);
+  });
+  fabric.activate_at(0, 0, t, 0);
+  fabric.activate_at(0, 0, t, 0);
+  fabric.run();
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_GE(starts[1], starts[0] + 100);
+  EXPECT_EQ(fabric.stats(0, 0).tasks_run, 2u);
+}
+
+TEST(Fabric, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Fabric fabric(small_mesh(2, 2));
+    const Color c = 1;
+    fabric.router(0, 0).set_route(c, {Direction::kRamp}, {Direction::kEast});
+    fabric.router(0, 1).set_route(c, {Direction::kWest}, {Direction::kRamp});
+    fabric.bind_task(
+        0, 1, c, [c](PeContext& ctx) { ctx.take_delivered(c); },
+        TaskTrigger::kDataTriggered);
+    const Color go = 9;
+    fabric.bind_task(0, 0, go, [c](PeContext& ctx) {
+      ctx.consume(17);
+      ctx.send_async(c, Message::token(c, 12));
+    });
+    fabric.activate_at(0, 0, go, 0);
+    return fabric.run().makespan;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Fabric, ActivatingUnboundColorThrows) {
+  Fabric fabric(small_mesh(1, 1));
+  fabric.activate_at(0, 0, 5, 0);
+  EXPECT_THROW(fabric.run(), Error);
+}
+
+TEST(Fabric, RunTwiceThrows) {
+  Fabric fabric(small_mesh(1, 1));
+  fabric.run();
+  EXPECT_THROW(fabric.run(), Error);
+}
+
+TEST(Fabric, EmitResultsCollected) {
+  Fabric fabric(small_mesh(1, 1));
+  const Color t = 2;
+  fabric.bind_task(0, 0, t, [](PeContext& ctx) {
+    ctx.emit_result(42, {1, 2, 3});
+  });
+  fabric.activate_at(0, 0, t, 0);
+  fabric.run();
+  ASSERT_EQ(fabric.results().size(), 1u);
+  EXPECT_EQ(fabric.results()[0].tag, 42u);
+  EXPECT_EQ(fabric.results()[0].bytes, (std::vector<u8>{1, 2, 3}));
+}
+
+TEST(Fabric, OutOfRangeCoordinateThrows) {
+  Fabric fabric(small_mesh(2, 3));
+  EXPECT_THROW(fabric.router(2, 0), Error);
+  EXPECT_THROW(fabric.router(0, 3), Error);
+  EXPECT_THROW(fabric.memory(5, 5), Error);
+}
+
+TEST(Fabric, LinkContentionSerializesBursts) {
+  // Two different PEs inject bursts that share the (0,1) -> (0,2) link:
+  // PE (0,0)'s burst passes through (0,1) in the fabric while (0,1) sends
+  // its own. With contention modeled, the loser queues behind the winner.
+  auto run_with = [](bool contention) {
+    WseConfig cfg = small_mesh(1, 3);
+    cfg.model_link_contention = contention;
+    Fabric fabric(cfg);
+    const Color a = 1;  // (0,0) -> (0,2), pass-through at (0,1)
+    const Color b = 2;  // (0,1) -> (0,2)
+    fabric.router(0, 0).set_route(a, {Direction::kRamp}, {Direction::kEast});
+    fabric.router(0, 1).set_route(a, {Direction::kWest}, {Direction::kEast});
+    fabric.router(0, 2).set_route(a, {Direction::kWest}, {Direction::kRamp});
+    fabric.router(0, 1).set_route(b, {Direction::kRamp}, {Direction::kEast});
+    fabric.router(0, 2).set_route(b, {Direction::kWest}, {Direction::kRamp});
+
+    Cycles last_arrival = 0;
+    for (Color c : {a, b}) {
+      fabric.bind_task(
+          0, 2, c,
+          [&last_arrival, c](PeContext& ctx) {
+            ctx.take_delivered(c);
+            last_arrival = std::max(last_arrival, ctx.now());
+          },
+          TaskTrigger::kDataTriggered);
+    }
+    const Color go = 9;
+    fabric.bind_task(0, 0, go, [a](PeContext& ctx) {
+      ctx.send_async(a, Message::token(a, 256));
+    });
+    fabric.bind_task(0, 1, go, [b](PeContext& ctx) {
+      ctx.send_async(b, Message::token(b, 256));
+    });
+    fabric.activate_at(0, 0, go, 0);
+    fabric.activate_at(0, 1, go, 0);
+    fabric.run();
+    return last_arrival;
+  };
+  const Cycles without = run_with(false);
+  const Cycles with = run_with(true);
+  EXPECT_GT(with, without);
+}
+
+TEST(Fabric, LinkContentionPreservesUncontendedTiming) {
+  // A single burst sees identical timing with and without the model.
+  auto run_with = [](bool contention) {
+    WseConfig cfg = small_mesh(1, 3);
+    cfg.model_link_contention = contention;
+    Fabric fabric(cfg);
+    const Color c = 1;
+    fabric.router(0, 0).set_route(c, {Direction::kRamp}, {Direction::kEast});
+    fabric.router(0, 1).set_route(c, {Direction::kWest}, {Direction::kEast});
+    fabric.router(0, 2).set_route(c, {Direction::kWest}, {Direction::kRamp});
+    Cycles arrival = 0;
+    fabric.bind_task(
+        0, 2, c,
+        [&arrival, c](PeContext& ctx) {
+          ctx.take_delivered(c);
+          arrival = ctx.now();
+        },
+        TaskTrigger::kDataTriggered);
+    const Color go = 9;
+    fabric.bind_task(0, 0, go, [c](PeContext& ctx) {
+      ctx.send_async(c, Message::token(c, 32));
+    });
+    fabric.activate_at(0, 0, go, 0);
+    fabric.run();
+    return arrival;
+  };
+  EXPECT_EQ(run_with(false), run_with(true));
+}
+
+TEST(Fabric, ColumnRoutingNorthSouth) {
+  // Route down a column: (0,0) -> (2,0) via southward hops.
+  Fabric fabric(small_mesh(3, 1));
+  const Color c = 5;
+  fabric.router(0, 0).set_route(c, {Direction::kRamp}, {Direction::kSouth});
+  fabric.router(1, 0).set_route(c, {Direction::kNorth}, {Direction::kSouth});
+  fabric.router(2, 0).set_route(c, {Direction::kNorth}, {Direction::kRamp});
+  u64 got_tag = 0;
+  fabric.bind_task(
+      2, 0, c,
+      [&got_tag, c](PeContext& ctx) { got_tag = ctx.take_delivered(c).tag; },
+      TaskTrigger::kDataTriggered);
+  const Color go = 9;
+  fabric.bind_task(0, 0, go, [c](PeContext& ctx) {
+    ctx.send_async(c, Message::token(c, 8, 77));
+  });
+  fabric.activate_at(0, 0, go, 0);
+  fabric.run();
+  EXPECT_EQ(got_tag, 77u);
+}
+
+TEST(Fabric, WrongArrivalDirectionThrows) {
+  // (0,1) only accepts the color from the NORTH; a westward arrival must
+  // be rejected by the router validation.
+  Fabric fabric(small_mesh(1, 2));
+  const Color c = 4;
+  fabric.router(0, 0).set_route(c, {Direction::kRamp}, {Direction::kEast});
+  fabric.router(0, 1).set_route(c, {Direction::kNorth}, {Direction::kRamp});
+  const Color go = 9;
+  fabric.bind_task(0, 0, go, [c](PeContext& ctx) {
+    ctx.send_async(c, Message::token(c, 4));
+  });
+  fabric.activate_at(0, 0, go, 0);
+  EXPECT_THROW(fabric.run(), Error);
+}
+
+}  // namespace
+}  // namespace ceresz::wse

@@ -1,0 +1,51 @@
+#include "wse/memory.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ceresz::wse {
+namespace {
+
+TEST(PeMemory, TracksUsage) {
+  PeMemory mem(48 * 1024);
+  EXPECT_EQ(mem.capacity(), 48u * 1024);
+  EXPECT_EQ(mem.used(), 0u);
+  mem.allocate("a", 1000);
+  mem.allocate("b", 2000);
+  EXPECT_EQ(mem.used(), 3000u);
+  EXPECT_EQ(mem.available(), 48u * 1024 - 3000);
+  mem.release("a");
+  EXPECT_EQ(mem.used(), 2000u);
+  EXPECT_EQ(mem.peak(), 3000u);
+}
+
+TEST(PeMemory, OverflowThrows) {
+  PeMemory mem(1024);
+  mem.allocate("a", 1000);
+  EXPECT_THROW(mem.allocate("b", 100), ceresz::Error);
+  // The failed allocation must not leak accounting.
+  EXPECT_EQ(mem.used(), 1000u);
+  mem.allocate("c", 24);
+  EXPECT_EQ(mem.used(), 1024u);
+}
+
+TEST(PeMemory, DuplicateNameThrows) {
+  PeMemory mem(1024);
+  mem.allocate("buf", 10);
+  EXPECT_THROW(mem.allocate("buf", 10), ceresz::Error);
+}
+
+TEST(PeMemory, UnknownReleaseThrows) {
+  PeMemory mem(1024);
+  EXPECT_THROW(mem.release("nope"), ceresz::Error);
+}
+
+TEST(PeMemory, ExactFit) {
+  PeMemory mem(64);
+  mem.allocate("all", 64);
+  EXPECT_EQ(mem.available(), 0u);
+}
+
+}  // namespace
+}  // namespace ceresz::wse

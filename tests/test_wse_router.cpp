@@ -1,0 +1,78 @@
+#include "wse/router.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ceresz::wse {
+namespace {
+
+TEST(Direction, Opposites) {
+  EXPECT_EQ(opposite(Direction::kEast), Direction::kWest);
+  EXPECT_EQ(opposite(Direction::kWest), Direction::kEast);
+  EXPECT_EQ(opposite(Direction::kNorth), Direction::kSouth);
+  EXPECT_EQ(opposite(Direction::kSouth), Direction::kNorth);
+  EXPECT_EQ(opposite(Direction::kRamp), Direction::kRamp);
+}
+
+TEST(Direction, Deltas) {
+  EXPECT_EQ(dcol(Direction::kEast), 1);
+  EXPECT_EQ(dcol(Direction::kWest), -1);
+  EXPECT_EQ(drow(Direction::kSouth), 1);
+  EXPECT_EQ(drow(Direction::kNorth), -1);
+  EXPECT_EQ(dcol(Direction::kRamp), 0);
+  EXPECT_EQ(drow(Direction::kRamp), 0);
+}
+
+TEST(RouterConfig, SetAndQuery) {
+  RouterConfig router;
+  EXPECT_FALSE(router.is_configured(5));
+  router.set_route(5, {Direction::kWest}, {Direction::kRamp, Direction::kEast});
+  EXPECT_TRUE(router.is_configured(5));
+  const RouteEntry& e = router.route(5);
+  EXPECT_TRUE(e.has_input(Direction::kWest));
+  EXPECT_FALSE(e.has_input(Direction::kEast));
+  EXPECT_TRUE(e.has_output(Direction::kRamp));
+  EXPECT_TRUE(e.has_output(Direction::kEast));
+  EXPECT_FALSE(e.has_output(Direction::kSouth));
+}
+
+TEST(RouterConfig, ReconfigureRequiresClear) {
+  RouterConfig router;
+  router.set_route(3, {Direction::kWest}, {Direction::kEast});
+  EXPECT_THROW(router.set_route(3, {Direction::kNorth}, {Direction::kSouth}),
+               Error);
+  router.clear_route(3);
+  EXPECT_FALSE(router.is_configured(3));
+  router.set_route(3, {Direction::kNorth}, {Direction::kSouth});
+  EXPECT_TRUE(router.route(3).has_input(Direction::kNorth));
+}
+
+TEST(RouterConfig, RejectsEmptyOutputs) {
+  RouterConfig router;
+  EXPECT_THROW(router.set_route(1, {Direction::kWest}, {}), Error);
+}
+
+TEST(RouterConfig, RejectsOutOfRangeColor) {
+  RouterConfig router;
+  EXPECT_THROW(router.set_route(kNumColors, {}, {Direction::kEast}), Error);
+  EXPECT_THROW(router.route(kNumColors), Error);
+}
+
+TEST(Message, MakeOwnsWords) {
+  Message m = Message::make(7, {1, 2, 3}, 99);
+  EXPECT_EQ(m.color, 7);
+  EXPECT_EQ(m.extent, 3u);
+  EXPECT_EQ(m.tag, 99u);
+  ASSERT_NE(m.payload, nullptr);
+  EXPECT_EQ((*m.payload)[2], 3u);
+}
+
+TEST(Message, TokenHasNoPayload) {
+  Message m = Message::token(2, 32);
+  EXPECT_EQ(m.extent, 32u);
+  EXPECT_EQ(m.payload, nullptr);
+}
+
+}  // namespace
+}  // namespace ceresz::wse

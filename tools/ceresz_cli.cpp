@@ -1,0 +1,222 @@
+// ceresz — command-line front end for the CereSZ library.
+//
+//   ceresz compress   <in.f32> <out.csz> [--rel 1e-3 | --abs 0.01]
+//   ceresz decompress <in.csz> <out.f32>
+//   ceresz info       <in.csz>
+//   ceresz simulate   <in.f32> [--rows R --cols C --pl N] [--rel 1e-3]
+//
+// compress/decompress operate on raw little-endian f32 files (the
+// SDRBench convention); simulate additionally runs the data through the
+// simulated wafer and reports cycle-accurate throughput.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "ceresz.h"
+
+namespace {
+
+using namespace ceresz;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ceresz compress   <in.f32> <out.csz> [--rel B | --abs B]\n"
+               "  ceresz decompress <in.csz> <out.f32>\n"
+               "  ceresz info       <in.csz>\n"
+               "  ceresz simulate   <in.f32> [--rows R --cols C --pl N]"
+               " [--rel B]\n"
+               "  ceresz archive    <out.csza> <in1.f32> [in2.f32 ...]"
+               " [--rel B]\n"
+               "  ceresz list       <in.csza>\n"
+               "  ceresz extract    <in.csza> <field-name> <out.f32>\n");
+  return 2;
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  core::ErrorBound bound = core::ErrorBound::relative(1e-3);
+  u32 rows = 16, cols = 32, pl = 1;
+};
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next_value = [&](f64& out) {
+      if (i + 1 >= argc) return false;
+      out = std::atof(argv[++i]);
+      return out > 0.0;
+    };
+    f64 v = 0.0;
+    if (a == "--rel") {
+      if (!next_value(v)) return false;
+      args.bound = core::ErrorBound::relative(v);
+    } else if (a == "--abs") {
+      if (!next_value(v)) return false;
+      args.bound = core::ErrorBound::absolute(v);
+    } else if (a == "--rows") {
+      if (!next_value(v)) return false;
+      args.rows = static_cast<u32>(v);
+    } else if (a == "--cols") {
+      if (!next_value(v)) return false;
+      args.cols = static_cast<u32>(v);
+    } else if (a == "--pl") {
+      if (!next_value(v)) return false;
+      args.pl = static_cast<u32>(v);
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      return false;
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return true;
+}
+
+std::vector<f32> load_f32(const std::string& path) {
+  const auto bytes = io::read_bytes(path);
+  CERESZ_CHECK(bytes.size() % sizeof(f32) == 0,
+               "input file size is not a multiple of 4 bytes");
+  std::vector<f32> values(bytes.size() / sizeof(f32));
+  std::memcpy(values.data(), bytes.data(), bytes.size());
+  return values;
+}
+
+int cmd_compress(const Args& args) {
+  if (args.positional.size() != 2) return usage();
+  const auto values = load_f32(args.positional[0]);
+  const core::StreamCodec codec;
+  const auto result = codec.compress(values, args.bound);
+  io::write_bytes(args.positional[1], result.stream);
+  std::printf("%zu values -> %s (ratio %.2fx, eps %g, %.1f%% zero blocks)\n",
+              values.size(), fmt_bytes(result.stream.size()).c_str(),
+              result.compression_ratio(), result.eps_abs,
+              100.0 * result.stats.zero_fraction());
+  return 0;
+}
+
+int cmd_decompress(const Args& args) {
+  if (args.positional.size() != 2) return usage();
+  const auto stream = io::read_bytes(args.positional[0]);
+  const core::StreamCodec codec;
+  const auto values = codec.decompress(stream);
+  std::vector<u8> bytes(values.size() * sizeof(f32));
+  std::memcpy(bytes.data(), values.data(), bytes.size());
+  io::write_bytes(args.positional[1], bytes);
+  std::printf("%s -> %zu values\n", fmt_bytes(stream.size()).c_str(),
+              values.size());
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  if (args.positional.size() != 1) return usage();
+  const auto stream = io::read_bytes(args.positional[0]);
+  const core::StreamCodec codec;
+  // Decompressing validates the whole stream; report what we learn.
+  const auto values = codec.decompress(stream);
+  const f64 ratio = static_cast<f64>(values.size() * sizeof(f32)) /
+                    static_cast<f64>(stream.size());
+  std::printf("valid CereSZ stream: %zu values, %s compressed, ratio %.2fx\n",
+              values.size(), fmt_bytes(stream.size()).c_str(), ratio);
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  if (args.positional.size() != 1) return usage();
+  const auto values = load_f32(args.positional[0]);
+  mapping::MapperOptions opt;
+  opt.rows = args.rows;
+  opt.cols = args.cols;
+  opt.pipeline_length = args.pl;
+  opt.max_exact_rows = 1;
+  opt.collect_output = false;
+  const mapping::WaferMapper mapper(opt);
+  const auto run = mapper.compress(values, args.bound);
+  std::printf("mesh %ux%u, PL %u: makespan %llu cycles (%.3f ms), "
+              "throughput %.3f GB/s%s\n",
+              args.rows, args.cols, args.pl,
+              static_cast<unsigned long long>(run.makespan),
+              run.seconds * 1e3, run.throughput_gbps,
+              run.extrapolated ? " (row-extrapolated)" : "");
+  std::printf("plan: %u stage group(s), bottleneck %llu cycles, "
+              "estimated fl %u\n",
+              run.plan.length(),
+              static_cast<unsigned long long>(run.plan.bottleneck_cycles()),
+              run.profile.est_fixed_length);
+  return 0;
+}
+
+int cmd_archive(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  const core::StreamCodec codec;
+  std::vector<data::Field> fields;
+  for (std::size_t i = 1; i < args.positional.size(); ++i) {
+    data::Field f;
+    f.dataset = "cli";
+    f.name = std::filesystem::path(args.positional[i]).filename().string();
+    f.values = load_f32(args.positional[i]);
+    f.dims = {f.values.size()};
+    fields.push_back(std::move(f));
+  }
+  const io::Archive archive =
+      io::Archive::compress_fields(fields, args.bound, codec);
+  archive.save(args.positional[0]);
+  std::printf("%zu field(s) -> %s (total ratio %.2fx)\n", fields.size(),
+              args.positional[0].c_str(), archive.total_ratio());
+  return 0;
+}
+
+int cmd_list(const Args& args) {
+  if (args.positional.size() != 1) return usage();
+  const io::Archive archive = io::Archive::load(args.positional[0]);
+  std::printf("%zu field(s), total ratio %.2fx\n", archive.size(),
+              archive.total_ratio());
+  for (const auto& entry : archive.entries()) {
+    std::printf("  %-24s dims", entry.name.c_str());
+    for (std::size_t d : entry.dims) std::printf(" %zu", d);
+    std::printf("  %s  ratio %.2fx\n",
+                fmt_bytes(entry.stream.size()).c_str(),
+                entry.compression_ratio());
+  }
+  return 0;
+}
+
+int cmd_extract(const Args& args) {
+  if (args.positional.size() != 3) return usage();
+  const io::Archive archive = io::Archive::load(args.positional[0]);
+  const auto idx = archive.find(args.positional[1]);
+  if (!idx) {
+    std::fprintf(stderr, "no field named '%s' in the archive\n",
+                 args.positional[1].c_str());
+    return 1;
+  }
+  const core::StreamCodec codec;
+  const data::Field field = archive.decompress_field(*idx, codec);
+  io::write_raw_f32(args.positional[2], field);
+  std::printf("extracted %s: %zu values -> %s\n", field.name.c_str(),
+              field.size(), args.positional[2].c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  Args args;
+  if (!parse_args(argc, argv, args)) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "compress") return cmd_compress(args);
+    if (cmd == "decompress") return cmd_decompress(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "archive") return cmd_archive(args);
+    if (cmd == "list") return cmd_list(args);
+    if (cmd == "extract") return cmd_extract(args);
+  } catch (const ceresz::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
