@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_stage_balance"
+  "../bench/bench_ablation_stage_balance.pdb"
+  "CMakeFiles/bench_ablation_stage_balance.dir/bench_ablation_stage_balance.cpp.o"
+  "CMakeFiles/bench_ablation_stage_balance.dir/bench_ablation_stage_balance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stage_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

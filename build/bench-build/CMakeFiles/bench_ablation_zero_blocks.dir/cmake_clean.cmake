@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_zero_blocks"
+  "../bench/bench_ablation_zero_blocks.pdb"
+  "CMakeFiles/bench_ablation_zero_blocks.dir/bench_ablation_zero_blocks.cpp.o"
+  "CMakeFiles/bench_ablation_zero_blocks.dir/bench_ablation_zero_blocks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_zero_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rate_distortion"
+  "../bench/bench_rate_distortion.pdb"
+  "CMakeFiles/bench_rate_distortion.dir/bench_rate_distortion.cpp.o"
+  "CMakeFiles/bench_rate_distortion.dir/bench_rate_distortion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rate_distortion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

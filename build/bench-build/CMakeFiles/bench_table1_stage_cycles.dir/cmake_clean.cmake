@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_stage_cycles"
+  "../bench/bench_table1_stage_cycles.pdb"
+  "CMakeFiles/bench_table1_stage_cycles.dir/bench_table1_stage_cycles.cpp.o"
+  "CMakeFiles/bench_table1_stage_cycles.dir/bench_table1_stage_cycles.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_stage_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_field_tour.dir/climate_field_tour.cpp.o"
+  "CMakeFiles/climate_field_tour.dir/climate_field_tour.cpp.o.d"
+  "climate_field_tour"
+  "climate_field_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_field_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

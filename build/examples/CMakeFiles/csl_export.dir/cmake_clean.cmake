@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csl_export.dir/csl_export.cpp.o"
+  "CMakeFiles/csl_export.dir/csl_export.cpp.o.d"
+  "csl_export"
+  "csl_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csl_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtm_inline_compression.dir/rtm_inline_compression.cpp.o"
+  "CMakeFiles/rtm_inline_compression.dir/rtm_inline_compression.cpp.o.d"
+  "rtm_inline_compression"
+  "rtm_inline_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtm_inline_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wse_pipeline_demo.dir/wse_pipeline_demo.cpp.o"
+  "CMakeFiles/wse_pipeline_demo.dir/wse_pipeline_demo.cpp.o.d"
+  "wse_pipeline_demo"
+  "wse_pipeline_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wse_pipeline_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cusz.cpp" "src/baselines/CMakeFiles/ceresz_baselines.dir/cusz.cpp.o" "gcc" "src/baselines/CMakeFiles/ceresz_baselines.dir/cusz.cpp.o.d"
+  "/root/repo/src/baselines/device_model.cpp" "src/baselines/CMakeFiles/ceresz_baselines.dir/device_model.cpp.o" "gcc" "src/baselines/CMakeFiles/ceresz_baselines.dir/device_model.cpp.o.d"
+  "/root/repo/src/baselines/sz3.cpp" "src/baselines/CMakeFiles/ceresz_baselines.dir/sz3.cpp.o" "gcc" "src/baselines/CMakeFiles/ceresz_baselines.dir/sz3.cpp.o.d"
+  "/root/repo/src/baselines/szp.cpp" "src/baselines/CMakeFiles/ceresz_baselines.dir/szp.cpp.o" "gcc" "src/baselines/CMakeFiles/ceresz_baselines.dir/szp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ceresz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/huffman/CMakeFiles/ceresz_huffman.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ceresz_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ceresz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

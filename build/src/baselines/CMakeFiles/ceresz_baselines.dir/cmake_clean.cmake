@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceresz_baselines.dir/cusz.cpp.o"
+  "CMakeFiles/ceresz_baselines.dir/cusz.cpp.o.d"
+  "CMakeFiles/ceresz_baselines.dir/device_model.cpp.o"
+  "CMakeFiles/ceresz_baselines.dir/device_model.cpp.o.d"
+  "CMakeFiles/ceresz_baselines.dir/sz3.cpp.o"
+  "CMakeFiles/ceresz_baselines.dir/sz3.cpp.o.d"
+  "CMakeFiles/ceresz_baselines.dir/szp.cpp.o"
+  "CMakeFiles/ceresz_baselines.dir/szp.cpp.o.d"
+  "libceresz_baselines.a"
+  "libceresz_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceresz_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceresz_common.dir/error.cpp.o"
+  "CMakeFiles/ceresz_common.dir/error.cpp.o.d"
+  "CMakeFiles/ceresz_common.dir/format.cpp.o"
+  "CMakeFiles/ceresz_common.dir/format.cpp.o.d"
+  "CMakeFiles/ceresz_common.dir/stats.cpp.o"
+  "CMakeFiles/ceresz_common.dir/stats.cpp.o.d"
+  "libceresz_common.a"
+  "libceresz_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceresz_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/block_codec.cpp" "src/core/CMakeFiles/ceresz_core.dir/block_codec.cpp.o" "gcc" "src/core/CMakeFiles/ceresz_core.dir/block_codec.cpp.o.d"
+  "/root/repo/src/core/costmodel.cpp" "src/core/CMakeFiles/ceresz_core.dir/costmodel.cpp.o" "gcc" "src/core/CMakeFiles/ceresz_core.dir/costmodel.cpp.o.d"
+  "/root/repo/src/core/flenc.cpp" "src/core/CMakeFiles/ceresz_core.dir/flenc.cpp.o" "gcc" "src/core/CMakeFiles/ceresz_core.dir/flenc.cpp.o.d"
+  "/root/repo/src/core/lorenzo.cpp" "src/core/CMakeFiles/ceresz_core.dir/lorenzo.cpp.o" "gcc" "src/core/CMakeFiles/ceresz_core.dir/lorenzo.cpp.o.d"
+  "/root/repo/src/core/lorenzo2d.cpp" "src/core/CMakeFiles/ceresz_core.dir/lorenzo2d.cpp.o" "gcc" "src/core/CMakeFiles/ceresz_core.dir/lorenzo2d.cpp.o.d"
+  "/root/repo/src/core/prequant.cpp" "src/core/CMakeFiles/ceresz_core.dir/prequant.cpp.o" "gcc" "src/core/CMakeFiles/ceresz_core.dir/prequant.cpp.o.d"
+  "/root/repo/src/core/stage.cpp" "src/core/CMakeFiles/ceresz_core.dir/stage.cpp.o" "gcc" "src/core/CMakeFiles/ceresz_core.dir/stage.cpp.o.d"
+  "/root/repo/src/core/stream_codec.cpp" "src/core/CMakeFiles/ceresz_core.dir/stream_codec.cpp.o" "gcc" "src/core/CMakeFiles/ceresz_core.dir/stream_codec.cpp.o.d"
+  "/root/repo/src/core/tiled_codec.cpp" "src/core/CMakeFiles/ceresz_core.dir/tiled_codec.cpp.o" "gcc" "src/core/CMakeFiles/ceresz_core.dir/tiled_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ceresz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceresz_core.dir/block_codec.cpp.o"
+  "CMakeFiles/ceresz_core.dir/block_codec.cpp.o.d"
+  "CMakeFiles/ceresz_core.dir/costmodel.cpp.o"
+  "CMakeFiles/ceresz_core.dir/costmodel.cpp.o.d"
+  "CMakeFiles/ceresz_core.dir/flenc.cpp.o"
+  "CMakeFiles/ceresz_core.dir/flenc.cpp.o.d"
+  "CMakeFiles/ceresz_core.dir/lorenzo.cpp.o"
+  "CMakeFiles/ceresz_core.dir/lorenzo.cpp.o.d"
+  "CMakeFiles/ceresz_core.dir/lorenzo2d.cpp.o"
+  "CMakeFiles/ceresz_core.dir/lorenzo2d.cpp.o.d"
+  "CMakeFiles/ceresz_core.dir/prequant.cpp.o"
+  "CMakeFiles/ceresz_core.dir/prequant.cpp.o.d"
+  "CMakeFiles/ceresz_core.dir/stage.cpp.o"
+  "CMakeFiles/ceresz_core.dir/stage.cpp.o.d"
+  "CMakeFiles/ceresz_core.dir/stream_codec.cpp.o"
+  "CMakeFiles/ceresz_core.dir/stream_codec.cpp.o.d"
+  "CMakeFiles/ceresz_core.dir/tiled_codec.cpp.o"
+  "CMakeFiles/ceresz_core.dir/tiled_codec.cpp.o.d"
+  "libceresz_core.a"
+  "libceresz_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceresz_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

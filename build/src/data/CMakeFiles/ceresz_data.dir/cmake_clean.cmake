@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceresz_data.dir/generators.cpp.o"
+  "CMakeFiles/ceresz_data.dir/generators.cpp.o.d"
+  "libceresz_data.a"
+  "libceresz_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceresz_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libceresz_data.a"
+)

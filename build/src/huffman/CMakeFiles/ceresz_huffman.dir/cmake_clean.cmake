@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceresz_huffman.dir/huffman.cpp.o"
+  "CMakeFiles/ceresz_huffman.dir/huffman.cpp.o.d"
+  "libceresz_huffman.a"
+  "libceresz_huffman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceresz_huffman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

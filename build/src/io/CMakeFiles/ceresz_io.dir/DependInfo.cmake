@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/archive.cpp" "src/io/CMakeFiles/ceresz_io.dir/archive.cpp.o" "gcc" "src/io/CMakeFiles/ceresz_io.dir/archive.cpp.o.d"
+  "/root/repo/src/io/file_io.cpp" "src/io/CMakeFiles/ceresz_io.dir/file_io.cpp.o" "gcc" "src/io/CMakeFiles/ceresz_io.dir/file_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ceresz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ceresz_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ceresz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

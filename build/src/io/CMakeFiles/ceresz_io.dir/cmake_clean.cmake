@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceresz_io.dir/archive.cpp.o"
+  "CMakeFiles/ceresz_io.dir/archive.cpp.o.d"
+  "CMakeFiles/ceresz_io.dir/file_io.cpp.o"
+  "CMakeFiles/ceresz_io.dir/file_io.cpp.o.d"
+  "libceresz_io.a"
+  "libceresz_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceresz_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/block_work.cpp" "src/mapping/CMakeFiles/ceresz_mapping.dir/block_work.cpp.o" "gcc" "src/mapping/CMakeFiles/ceresz_mapping.dir/block_work.cpp.o.d"
+  "/root/repo/src/mapping/csl_codegen.cpp" "src/mapping/CMakeFiles/ceresz_mapping.dir/csl_codegen.cpp.o" "gcc" "src/mapping/CMakeFiles/ceresz_mapping.dir/csl_codegen.cpp.o.d"
+  "/root/repo/src/mapping/perf_model.cpp" "src/mapping/CMakeFiles/ceresz_mapping.dir/perf_model.cpp.o" "gcc" "src/mapping/CMakeFiles/ceresz_mapping.dir/perf_model.cpp.o.d"
+  "/root/repo/src/mapping/pipeline_program.cpp" "src/mapping/CMakeFiles/ceresz_mapping.dir/pipeline_program.cpp.o" "gcc" "src/mapping/CMakeFiles/ceresz_mapping.dir/pipeline_program.cpp.o.d"
+  "/root/repo/src/mapping/profile.cpp" "src/mapping/CMakeFiles/ceresz_mapping.dir/profile.cpp.o" "gcc" "src/mapping/CMakeFiles/ceresz_mapping.dir/profile.cpp.o.d"
+  "/root/repo/src/mapping/report.cpp" "src/mapping/CMakeFiles/ceresz_mapping.dir/report.cpp.o" "gcc" "src/mapping/CMakeFiles/ceresz_mapping.dir/report.cpp.o.d"
+  "/root/repo/src/mapping/scheduler.cpp" "src/mapping/CMakeFiles/ceresz_mapping.dir/scheduler.cpp.o" "gcc" "src/mapping/CMakeFiles/ceresz_mapping.dir/scheduler.cpp.o.d"
+  "/root/repo/src/mapping/wafer_mapper.cpp" "src/mapping/CMakeFiles/ceresz_mapping.dir/wafer_mapper.cpp.o" "gcc" "src/mapping/CMakeFiles/ceresz_mapping.dir/wafer_mapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ceresz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/wse/CMakeFiles/ceresz_wse.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ceresz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceresz_mapping.dir/block_work.cpp.o"
+  "CMakeFiles/ceresz_mapping.dir/block_work.cpp.o.d"
+  "CMakeFiles/ceresz_mapping.dir/csl_codegen.cpp.o"
+  "CMakeFiles/ceresz_mapping.dir/csl_codegen.cpp.o.d"
+  "CMakeFiles/ceresz_mapping.dir/perf_model.cpp.o"
+  "CMakeFiles/ceresz_mapping.dir/perf_model.cpp.o.d"
+  "CMakeFiles/ceresz_mapping.dir/pipeline_program.cpp.o"
+  "CMakeFiles/ceresz_mapping.dir/pipeline_program.cpp.o.d"
+  "CMakeFiles/ceresz_mapping.dir/profile.cpp.o"
+  "CMakeFiles/ceresz_mapping.dir/profile.cpp.o.d"
+  "CMakeFiles/ceresz_mapping.dir/report.cpp.o"
+  "CMakeFiles/ceresz_mapping.dir/report.cpp.o.d"
+  "CMakeFiles/ceresz_mapping.dir/scheduler.cpp.o"
+  "CMakeFiles/ceresz_mapping.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ceresz_mapping.dir/wafer_mapper.cpp.o"
+  "CMakeFiles/ceresz_mapping.dir/wafer_mapper.cpp.o.d"
+  "libceresz_mapping.a"
+  "libceresz_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceresz_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceresz_metrics.dir/quality.cpp.o"
+  "CMakeFiles/ceresz_metrics.dir/quality.cpp.o.d"
+  "libceresz_metrics.a"
+  "libceresz_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceresz_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

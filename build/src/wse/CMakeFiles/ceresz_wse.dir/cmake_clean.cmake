@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceresz_wse.dir/fabric.cpp.o"
+  "CMakeFiles/ceresz_wse.dir/fabric.cpp.o.d"
+  "libceresz_wse.a"
+  "libceresz_wse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceresz_wse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

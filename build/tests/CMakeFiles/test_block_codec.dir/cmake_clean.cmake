@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_codec.dir/test_block_codec.cpp.o"
+  "CMakeFiles/test_block_codec.dir/test_block_codec.cpp.o.d"
+  "test_block_codec"
+  "test_block_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

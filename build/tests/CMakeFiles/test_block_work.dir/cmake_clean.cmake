@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_work.dir/test_block_work.cpp.o"
+  "CMakeFiles/test_block_work.dir/test_block_work.cpp.o.d"
+  "test_block_work"
+  "test_block_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_constant_blocks.dir/test_constant_blocks.cpp.o"
+  "CMakeFiles/test_constant_blocks.dir/test_constant_blocks.cpp.o.d"
+  "test_constant_blocks"
+  "test_constant_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_constant_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csl_codegen.dir/test_csl_codegen.cpp.o"
+  "CMakeFiles/test_csl_codegen.dir/test_csl_codegen.cpp.o.d"
+  "test_csl_codegen"
+  "test_csl_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csl_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flenc.dir/test_flenc.cpp.o"
+  "CMakeFiles/test_flenc.dir/test_flenc.cpp.o.d"
+  "test_flenc"
+  "test_flenc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flenc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lorenzo2d.dir/test_lorenzo2d.cpp.o"
+  "CMakeFiles/test_lorenzo2d.dir/test_lorenzo2d.cpp.o.d"
+  "test_lorenzo2d"
+  "test_lorenzo2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lorenzo2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

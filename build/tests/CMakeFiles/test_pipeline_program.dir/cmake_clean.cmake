@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_program.dir/test_pipeline_program.cpp.o"
+  "CMakeFiles/test_pipeline_program.dir/test_pipeline_program.cpp.o.d"
+  "test_pipeline_program"
+  "test_pipeline_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prequant.dir/test_prequant.cpp.o"
+  "CMakeFiles/test_prequant.dir/test_prequant.cpp.o.d"
+  "test_prequant"
+  "test_prequant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prequant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

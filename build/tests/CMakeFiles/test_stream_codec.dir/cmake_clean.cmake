@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_codec.dir/test_stream_codec.cpp.o"
+  "CMakeFiles/test_stream_codec.dir/test_stream_codec.cpp.o.d"
+  "test_stream_codec"
+  "test_stream_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

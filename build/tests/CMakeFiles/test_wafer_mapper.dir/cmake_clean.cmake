@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wafer_mapper.dir/test_wafer_mapper.cpp.o"
+  "CMakeFiles/test_wafer_mapper.dir/test_wafer_mapper.cpp.o.d"
+  "test_wafer_mapper"
+  "test_wafer_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wafer_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wafer_params.dir/test_wafer_params.cpp.o"
+  "CMakeFiles/test_wafer_params.dir/test_wafer_params.cpp.o.d"
+  "test_wafer_params"
+  "test_wafer_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wafer_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_wse_memory.cpp" "tests/CMakeFiles/test_wse_memory.dir/test_wse_memory.cpp.o" "gcc" "tests/CMakeFiles/test_wse_memory.dir/test_wse_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapping/CMakeFiles/ceresz_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ceresz_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/ceresz_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ceresz_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ceresz_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/huffman/CMakeFiles/ceresz_huffman.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ceresz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/wse/CMakeFiles/ceresz_wse.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ceresz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceresz_cli.dir/ceresz_cli.cpp.o"
+  "CMakeFiles/ceresz_cli.dir/ceresz_cli.cpp.o.d"
+  "ceresz"
+  "ceresz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceresz_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
