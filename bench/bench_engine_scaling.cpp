@@ -1,0 +1,106 @@
+// Host-engine thread scaling: measured (not simulated) compression and
+// decompression throughput of the ParallelEngine at 1/2/4/8 worker
+// threads on a synthetic SDRBench-style field, verifying byte-identical
+// output across thread counts.
+//
+// The default field is 64M elements (256 MB) scaled by CERESZ_BENCH_SCALE
+// (e.g. CERESZ_BENCH_SCALE=0.25 for a 16M-element quick run). Alongside
+// the table, each row is emitted as one JSON object so scripted runs can
+// scrape the numbers, mirroring the text-report style of bench_fig11/12.
+#include <cmath>
+#include <thread>
+
+#include "bench_util.h"
+
+using namespace ceresz;
+
+namespace {
+
+constexpr u64 kBaseElems = u64{64} * 1024 * 1024;
+
+/// Tile a generated field up to exactly `target` elements.
+std::vector<f32> tile_to(const std::vector<f32>& src, u64 target) {
+  std::vector<f32> out;
+  out.reserve(target);
+  while (out.size() < target) {
+    const u64 take = std::min<u64>(src.size(), target - out.size());
+    out.insert(out.end(), src.begin(), src.begin() + take);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const u64 elems = static_cast<u64>(
+      static_cast<f64>(kBaseElems) * bench::bench_scale(1.0));
+  const auto base = data::generate_field(data::DatasetId::kNyx, 0, 42, 0.5);
+  const auto values = tile_to(base.values, elems);
+  const core::ErrorBound bound = core::ErrorBound::relative(1e-3);
+
+  std::printf("=== engine scaling: %llu elements (%s), REL 1e-3, "
+              "chunk %llu elems ===\n",
+              static_cast<unsigned long long>(elems),
+              fmt_bytes(elems * sizeof(f32)).c_str(),
+              static_cast<unsigned long long>(
+                  engine::EngineOptions{}.chunk_elems));
+
+  TextTable table({"Threads", "Comp GB/s", "Comp speedup", "Decomp GB/s",
+                   "Decomp speedup", "Util %", "Queue HW", "Ratio"});
+
+  f64 comp_base = 0.0, decomp_base = 0.0;
+  std::vector<u8> reference_stream;
+  std::vector<f32> reference_values;
+  bool identical = true;
+
+  for (u32 threads : {1u, 2u, 4u, 8u}) {
+    engine::EngineOptions opt;
+    opt.threads = threads;
+    const engine::ParallelEngine eng(opt);
+
+    const auto result = eng.compress(values, bound);
+    const auto back = eng.decompress(result.stream);
+
+    if (reference_stream.empty()) {
+      reference_stream = result.stream;
+      reference_values = back.values;
+    } else {
+      identical = identical && result.stream == reference_stream &&
+                  back.values == reference_values;
+    }
+
+    const f64 comp_gbps = result.stats.throughput_gbps();
+    const f64 decomp_gbps = back.stats.throughput_gbps();
+    if (threads == 1) {
+      comp_base = comp_gbps;
+      decomp_base = decomp_gbps;
+    }
+    table.add_row({std::to_string(threads), fmt_f64(comp_gbps, 3),
+                   fmt_f64(comp_gbps / comp_base, 2) + "x",
+                   fmt_f64(decomp_gbps, 3),
+                   fmt_f64(decomp_gbps / decomp_base, 2) + "x",
+                   fmt_f64(100.0 * result.stats.worker_utilization(), 0),
+                   std::to_string(result.stats.queue_high_water),
+                   fmt_f64(result.compression_ratio(), 2)});
+    std::printf("{\"bench\":\"engine_scaling\",\"threads\":%u,"
+                "\"elements\":%llu,\"compress_gbps\":%.4f,"
+                "\"decompress_gbps\":%.4f,\"compress_speedup\":%.3f,"
+                "\"decompress_speedup\":%.3f,\"ratio\":%.3f,"
+                "\"utilization\":%.3f,\"queue_high_water\":%llu}\n",
+                threads, static_cast<unsigned long long>(elems), comp_gbps,
+                decomp_gbps, comp_gbps / comp_base, decomp_gbps / decomp_base,
+                result.compression_ratio(),
+                result.stats.worker_utilization(),
+                static_cast<unsigned long long>(
+                    result.stats.queue_high_water));
+  }
+
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf("output byte-identical across thread counts: %s\n",
+              identical ? "yes" : "NO — BUG");
+  std::printf("shape checks: throughput rises with threads until the "
+              "machine's core count; speedup at 8 threads should be >= 3x "
+              "on an 8-core host (this host: %u hardware threads).\n",
+              std::max(1u, std::thread::hardware_concurrency()));
+  return identical ? 0 : 1;
+}

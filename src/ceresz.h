@@ -3,6 +3,8 @@
 // Umbrella header: the public API a downstream application needs.
 //
 //   StreamCodec        — host-side CereSZ compression/decompression
+//   ParallelEngine     — multi-threaded chunked compression engine with
+//                        per-chunk CRC32C integrity and engine metrics
 //   WaferMapper        — CereSZ mapped onto the simulated wafer-scale
 //                        engine (cycle-accurate throughput, bit-identical
 //                        streams)
@@ -23,7 +25,9 @@
 #include "core/costmodel.h"
 #include "core/stream_codec.h"
 #include "data/generators.h"
+#include "engine/parallel_engine.h"
 #include "io/archive.h"
+#include "io/chunk_container.h"
 #include "io/file_io.h"
 #include "mapping/perf_model.h"
 #include "mapping/profile.h"

@@ -1,0 +1,31 @@
+// CRC32C (Castagnoli) checksum, used by the chunked container to detect
+// and localize payload corruption per chunk.
+//
+// Software implementation (slicing-by-8): the container format stores
+// plain CRC32C values, so a future hardware-accelerated path (SSE4.2
+// crc32 / ARMv8 CRC instructions) can be swapped in without a format
+// change.
+#pragma once
+
+#include <span>
+
+#include "common/types.h"
+
+namespace ceresz {
+
+/// CRC32C of `data`. `seed` is the running CRC for incremental use:
+/// crc32c(ab) == crc32c(b, crc32c(a)).
+u32 crc32c(std::span<const u8> data, u32 seed = 0);
+
+/// Streaming accumulator over multiple buffers.
+class Crc32c {
+ public:
+  void update(std::span<const u8> data) { crc_ = crc32c(data, crc_); }
+  u32 value() const { return crc_; }
+  void reset() { crc_ = 0; }
+
+ private:
+  u32 crc_ = 0;
+};
+
+}  // namespace ceresz

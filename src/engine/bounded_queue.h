@@ -1,0 +1,85 @@
+// Bounded MPMC queue with blocking backpressure: producers block while the
+// queue is full, consumers block while it is empty. close() wakes everyone;
+// after close, push() is rejected and pop() drains the remaining items
+// before returning nullopt. Tracks the depth high-water mark for the
+// engine's metrics surface.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace ceresz::engine {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    CERESZ_CHECK(capacity > 0, "BoundedQueue: capacity must be positive");
+  }
+
+  /// Blocks while the queue is full. Returns false iff the queue was
+  /// closed (the item is dropped).
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    high_water_ = std::max(high_water_, items_.size());
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty. Returns nullopt once the queue is
+  /// closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// No further pushes succeed; consumers drain what is left, then see
+  /// nullopt.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Largest depth the queue ever reached.
+  std::size_t high_water() const {
+    std::lock_guard lock(mutex_);
+    return high_water_;
+  }
+
+  std::size_t depth() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace ceresz::engine

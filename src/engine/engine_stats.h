@@ -1,0 +1,59 @@
+// Metrics surface of the parallel engine: per-run aggregates (bytes,
+// wall time, throughput), per-worker busy time, queue depth high-water
+// mark, and the merged per-block StreamStats of every chunk — everything
+// a serving layer needs to export to a monitoring system.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "core/stream_codec.h"
+
+namespace ceresz::engine {
+
+struct EngineStats {
+  u32 threads = 1;
+  u64 chunks = 0;
+  u64 uncompressed_bytes = 0;
+  u64 compressed_bytes = 0;
+  f64 wall_seconds = 0.0;
+
+  /// Seconds each worker spent executing chunk tasks.
+  std::vector<f64> worker_busy_seconds;
+
+  /// Largest backlog the bounded work queue ever reached.
+  u64 queue_high_water = 0;
+
+  /// Per-block statistics merged across all chunks (compression runs
+  /// only; zeroed for decompression).
+  core::StreamStats stream;
+
+  f64 busy_seconds_total() const {
+    f64 sum = 0.0;
+    for (f64 s : worker_busy_seconds) sum += s;
+    return sum;
+  }
+
+  /// Uncompressed GB/s over wall time.
+  f64 throughput_gbps() const {
+    return wall_seconds > 0.0
+               ? static_cast<f64>(uncompressed_bytes) / wall_seconds / 1e9
+               : 0.0;
+  }
+
+  /// Fraction of worker-seconds spent busy: busy / (threads * wall).
+  f64 worker_utilization() const {
+    return (threads > 0 && wall_seconds > 0.0)
+               ? busy_seconds_total() / (threads * wall_seconds)
+               : 0.0;
+  }
+
+  f64 compression_ratio() const {
+    return compressed_bytes > 0
+               ? static_cast<f64>(uncompressed_bytes) /
+                     static_cast<f64>(compressed_bytes)
+               : 0.0;
+  }
+};
+
+}  // namespace ceresz::engine

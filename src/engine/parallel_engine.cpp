@@ -1,0 +1,287 @@
+#include "engine/parallel_engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/checksum.h"
+#include "common/error.h"
+#include "common/timer.h"
+#include "engine/thread_pool.h"
+#include "io/chunk_container.h"
+
+namespace ceresz::engine {
+
+namespace {
+
+/// Per-chunk compression output, later assembled in chunk order.
+struct ChunkOutput {
+  std::vector<u8> bytes;
+  core::StreamStats stats;
+  f64 fl_sum = 0.0;  ///< sum of fixed lengths over non-zero blocks
+  u32 crc = 0;
+};
+
+}  // namespace
+
+ParallelEngine::ParallelEngine(EngineOptions options)
+    : options_(options), block_codec_(options.codec) {
+  const u32 L = block_codec_.config().block_size;
+  CERESZ_CHECK(options_.chunk_elems > 0 && options_.chunk_elems % L == 0,
+               "ParallelEngine: chunk_elems must be a positive multiple of "
+               "the block size");
+}
+
+u32 ParallelEngine::resolved_threads() const {
+  if (options_.threads > 0) return options_.threads;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+bool ParallelEngine::is_chunked_stream(std::span<const u8> stream) {
+  return io::is_chunked_stream(stream);
+}
+
+EngineResult ParallelEngine::compress(std::span<const f32> data,
+                                      core::ErrorBound bound) const {
+  const core::CodecConfig& cfg = block_codec_.config();
+  const u32 L = cfg.block_size;
+  const u64 n = data.size();
+  const u64 C = options_.chunk_elems;
+  const u64 n_chunks = (n + C - 1) / C;
+
+  WallTimer timer;
+  const u32 threads = resolved_threads();
+  ThreadPool pool(threads, options_.queue_capacity);
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto record_error = [&] {
+    std::lock_guard lock(error_mutex);
+    if (!first_error) first_error = std::current_exception();
+  };
+
+  // Resolve the bound. A REL bound needs the global value range; min/max
+  // reduce exactly and order-independently, so computing them per-slice on
+  // the pool keeps eps (and therefore every payload byte) identical to the
+  // single-threaded StreamCodec result.
+  f64 eps;
+  if (bound.mode == core::ErrorBound::Mode::kAbsolute || n == 0) {
+    eps = bound.resolve(0.0);
+  } else {
+    std::vector<f64> slice_min(n_chunks), slice_max(n_chunks);
+    for (u64 c = 0; c < n_chunks; ++c) {
+      pool.submit([&, c] {
+        try {
+          const u64 begin = c * C;
+          const u64 end = std::min(n, begin + C);
+          f64 lo = data[begin], hi = data[begin];
+          for (u64 i = begin + 1; i < end; ++i) {
+            const f64 v = data[i];
+            if (v < lo) lo = v;
+            if (v > hi) hi = v;
+          }
+          slice_min[c] = lo;
+          slice_max[c] = hi;
+        } catch (...) {
+          record_error();
+        }
+      });
+    }
+    pool.wait_idle();
+    if (first_error) std::rethrow_exception(first_error);
+    f64 lo = slice_min[0], hi = slice_max[0];
+    for (u64 c = 1; c < n_chunks; ++c) {
+      lo = std::min(lo, slice_min[c]);
+      hi = std::max(hi, slice_max[c]);
+    }
+    eps = bound.resolve(hi - lo);
+  }
+
+  // Compress chunks. Each task writes only its own ChunkOutput slot, so
+  // the payload bytes depend on chunk boundaries alone — never on how the
+  // chunks were scheduled across workers.
+  std::vector<ChunkOutput> outs(n_chunks);
+  for (u64 c = 0; c < n_chunks; ++c) {
+    pool.submit([&, c] {
+      try {
+        const u64 begin = c * C;
+        const u64 end = std::min(n, begin + C);
+        ChunkOutput& o = outs[c];
+        const u64 blocks = (end - begin + L - 1) / L;
+        o.bytes.reserve(blocks * block_codec_.max_compressed_size());
+        std::vector<f32> padded(L);
+        for (u64 bstart = begin; bstart < end; bstart += L) {
+          const u64 count = std::min<u64>(L, end - bstart);
+          std::span<const f32> block;
+          if (count == L) {
+            block = data.subspan(bstart, L);
+          } else {
+            std::fill(padded.begin(), padded.end(), 0.0f);
+            std::copy_n(data.data() + bstart, count, padded.begin());
+            block = padded;
+          }
+          const core::BlockInfo info = block_codec_.compress(block, eps, o.bytes);
+          ++o.stats.total_blocks;
+          if (info.zero_block) {
+            ++o.stats.zero_blocks;
+            ++o.stats.fl_histogram[0];
+          } else if (info.constant_block) {
+            ++o.stats.constant_blocks;
+          } else {
+            o.fl_sum += info.fixed_length;
+            o.stats.max_fixed_length =
+                std::max(o.stats.max_fixed_length, info.fixed_length);
+            ++o.stats.fl_histogram[info.fixed_length];
+          }
+        }
+        o.crc = crc32c(o.bytes);
+      } catch (...) {
+        record_error();
+      }
+    });
+  }
+  pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Assemble the container: header + chunk table, then payloads in order.
+  io::ChunkedHeader header;
+  header.codec_header_bytes = cfg.header_bytes;
+  header.block_size = L;
+  header.chunk_count = static_cast<u32>(n_chunks);
+  header.element_count = n;
+  header.chunk_elems = C;
+  header.eps_abs = eps;
+
+  std::vector<io::ChunkEntry> entries(n_chunks);
+  u64 offset = header.payload_start();
+  for (u64 c = 0; c < n_chunks; ++c) {
+    entries[c].offset = offset;
+    entries[c].compressed_bytes = outs[c].bytes.size();
+    entries[c].element_count = std::min(n - c * C, C);
+    entries[c].crc32c = outs[c].crc;
+    offset += outs[c].bytes.size();
+  }
+
+  EngineResult result;
+  result.eps_abs = eps;
+  result.element_count = n;
+  result.stream.reserve(offset);
+  io::write_container_prefix(result.stream, header, entries);
+  f64 fl_sum = 0.0;
+  u64 nonzero = 0;
+  for (u64 c = 0; c < n_chunks; ++c) {
+    const ChunkOutput& o = outs[c];
+    result.stream.insert(result.stream.end(), o.bytes.begin(), o.bytes.end());
+    result.stats.stream.total_blocks += o.stats.total_blocks;
+    result.stats.stream.zero_blocks += o.stats.zero_blocks;
+    result.stats.stream.constant_blocks += o.stats.constant_blocks;
+    result.stats.stream.max_fixed_length = std::max(
+        result.stats.stream.max_fixed_length, o.stats.max_fixed_length);
+    for (std::size_t i = 0; i < o.stats.fl_histogram.size(); ++i) {
+      result.stats.stream.fl_histogram[i] += o.stats.fl_histogram[i];
+    }
+    fl_sum += o.fl_sum;
+    nonzero += o.stats.total_blocks - o.stats.zero_blocks - o.stats.constant_blocks;
+  }
+  result.stats.stream.mean_fixed_length =
+      nonzero > 0 ? fl_sum / static_cast<f64>(nonzero) : 0.0;
+
+  result.stats.threads = threads;
+  result.stats.chunks = n_chunks;
+  result.stats.uncompressed_bytes = n * sizeof(f32);
+  result.stats.compressed_bytes = result.stream.size();
+  result.stats.queue_high_water = pool.queue_high_water();
+  result.stats.worker_busy_seconds = pool.busy_seconds();
+  result.stats.wall_seconds = timer.seconds();
+  return result;
+}
+
+DecompressResult ParallelEngine::decompress(std::span<const u8> stream) const {
+  WallTimer timer;
+  const io::ParsedContainer parsed = io::parse_container(stream);
+  const io::ChunkedHeader& h = parsed.header;
+  const core::CodecConfig& cfg = block_codec_.config();
+  CERESZ_CHECK(h.codec_header_bytes == cfg.header_bytes,
+               "ParallelEngine: stream was written with a different block "
+               "header width than this engine's configuration");
+  CERESZ_CHECK(h.block_size == cfg.block_size,
+               "ParallelEngine: stream was written with a different block "
+               "size than this engine's configuration");
+  const u32 L = cfg.block_size;
+  const u64 n = h.element_count;
+
+  DecompressResult result;
+  result.values.assign(n, 0.0f);
+  f32* out = result.values.data();
+
+  const u32 threads = resolved_threads();
+  ThreadPool pool(threads, options_.queue_capacity);
+  std::mutex state_mutex;
+  std::exception_ptr first_error;
+
+  for (u64 c = 0; c < parsed.entries.size(); ++c) {
+    pool.submit([&, c] {
+      const io::ChunkEntry& e = parsed.entries[c];
+      const u64 begin = c * h.chunk_elems;
+      // A bad chunk either aborts the run (strict) or is zero-filled and
+      // reported (lenient) — in both cases localized to this chunk.
+      auto chunk_failed = [&](const std::string& message) {
+        if (options_.lenient) {
+          std::fill(out + begin, out + begin + e.element_count, 0.0f);
+          std::lock_guard lock(state_mutex);
+          result.corrupt_chunks.push_back(c);
+        } else {
+          std::lock_guard lock(state_mutex);
+          if (!first_error) {
+            first_error = std::make_exception_ptr(Error(message));
+          }
+        }
+      };
+
+      const auto payload = stream.subspan(e.offset, e.compressed_bytes);
+      if (crc32c(payload) != e.crc32c) {
+        chunk_failed("ParallelEngine: chunk " + std::to_string(c) +
+                     " failed its CRC32C check (corrupt payload)");
+        return;
+      }
+      try {
+        u64 pos = 0;
+        std::vector<f32> padded(L);
+        for (u64 done = 0; done < e.element_count; done += L) {
+          const u64 count = std::min<u64>(L, e.element_count - done);
+          CERESZ_CHECK(pos <= payload.size(),
+                       "chunk payload ends before its last block");
+          std::span<f32> dst = count == L
+                                   ? std::span<f32>(out + begin + done, L)
+                                   : std::span<f32>(padded);
+          pos += block_codec_.decompress(payload.subspan(pos), h.eps_abs, dst);
+          if (count < L) {
+            std::copy_n(padded.begin(), count, out + begin + done);
+          }
+        }
+        CERESZ_CHECK(pos == e.compressed_bytes,
+                     "chunk payload has trailing bytes");
+      } catch (const std::exception& ex) {
+        chunk_failed("ParallelEngine: chunk " + std::to_string(c) +
+                     " is corrupt: " + ex.what());
+      }
+    });
+  }
+  pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+  std::sort(result.corrupt_chunks.begin(), result.corrupt_chunks.end());
+
+  result.stats.threads = threads;
+  result.stats.chunks = parsed.entries.size();
+  result.stats.uncompressed_bytes = n * sizeof(f32);
+  result.stats.compressed_bytes = stream.size();
+  result.stats.queue_high_water = pool.queue_high_water();
+  result.stats.worker_busy_seconds = pool.busy_seconds();
+  result.stats.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace ceresz::engine

@@ -1,0 +1,99 @@
+// Parallel chunked compression engine.
+//
+// Splits input into fixed-size chunks (a multiple of the block size, so
+// each chunk's payload is bit-identical to the corresponding slice of the
+// single-stream core::StreamCodec output), compresses/decompresses them on
+// a worker pool fed by a bounded queue, and frames the results in the
+// self-describing chunked container (io/chunk_container.h) with a chunk
+// table and per-chunk CRC32C. Output bytes are deterministic: chunk
+// boundaries depend only on chunk_elems, never on the thread count.
+//
+// Robustness: decompression verifies every chunk's CRC before decoding.
+// In strict mode (default) a corrupt chunk throws an Error naming the
+// chunk; in lenient mode the chunk's element range is zero-filled, its
+// index is reported in DecompressResult::corrupt_chunks, and every other
+// chunk is still recovered.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/block_codec.h"
+#include "core/config.h"
+#include "core/stream_codec.h"
+#include "engine/engine_stats.h"
+
+namespace ceresz::engine {
+
+struct EngineOptions {
+  /// Worker threads. 0 picks std::thread::hardware_concurrency().
+  u32 threads = 0;
+
+  /// Elements per chunk; must be a positive multiple of the codec's block
+  /// size. 64 Ki floats (256 KiB) keeps per-chunk overhead negligible
+  /// while giving even a small input enough chunks to spread over workers.
+  u64 chunk_elems = u64{64} * 1024;
+
+  /// Bounded work-queue capacity; 0 picks 2 * threads.
+  u64 queue_capacity = 0;
+
+  /// Decompression policy for chunks whose CRC (or record structure) is
+  /// bad: false = throw naming the chunk, true = zero-fill just that
+  /// chunk and keep going.
+  bool lenient = false;
+
+  core::CodecConfig codec;
+};
+
+/// Result of ParallelEngine::compress.
+struct EngineResult {
+  std::vector<u8> stream;  ///< chunked container (header + table + payloads)
+  f64 eps_abs = 0.0;
+  u64 element_count = 0;
+  EngineStats stats;
+
+  f64 compression_ratio() const {
+    return stream.empty() ? 0.0
+                          : static_cast<f64>(element_count * sizeof(f32)) /
+                                static_cast<f64>(stream.size());
+  }
+};
+
+/// Result of ParallelEngine::decompress.
+struct DecompressResult {
+  std::vector<f32> values;
+  /// Chunk indices that failed CRC/decoding and were zero-filled
+  /// (non-empty only in lenient mode).
+  std::vector<u64> corrupt_chunks;
+  EngineStats stats;
+};
+
+class ParallelEngine {
+ public:
+  explicit ParallelEngine(EngineOptions options = {});
+
+  const EngineOptions& options() const { return options_; }
+
+  /// Number of worker threads a run will actually use.
+  u32 resolved_threads() const;
+
+  /// Compress `data` under `bound` into a chunked container. Thread-safe:
+  /// each call builds its own worker pool.
+  EngineResult compress(std::span<const f32> data,
+                        core::ErrorBound bound) const;
+
+  /// Decompress a chunked container produced by compress(). Throws on
+  /// structural corruption (header/table), and on chunk corruption in
+  /// strict mode; see EngineOptions::lenient.
+  DecompressResult decompress(std::span<const u8> stream) const;
+
+  /// Cheap magic sniff: true if `stream` is a chunked container (vs the
+  /// legacy single-stream "CSZ1" format).
+  static bool is_chunked_stream(std::span<const u8> stream);
+
+ private:
+  EngineOptions options_;
+  core::BlockCodec block_codec_;
+};
+
+}  // namespace ceresz::engine

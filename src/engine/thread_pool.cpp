@@ -1,0 +1,57 @@
+#include "engine/thread_pool.h"
+
+#include <chrono>
+
+namespace ceresz::engine {
+
+ThreadPool::ThreadPool(u32 threads, std::size_t queue_capacity)
+    : queue_(queue_capacity > 0 ? queue_capacity : 2 * std::max<u32>(1, threads)) {
+  CERESZ_CHECK(threads >= 1, "ThreadPool: need at least one worker");
+  busy_seconds_.assign(threads, 0.0);
+  workers_.reserve(threads);
+  for (u32 i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  queue_.close();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(state_mutex_);
+    ++in_flight_;
+  }
+  if (!queue_.push(std::move(task))) {
+    // Closed pool: roll the count back so wait_idle() cannot hang.
+    std::lock_guard lock(state_mutex_);
+    --in_flight_;
+    CERESZ_FAIL("ThreadPool: submit after shutdown");
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(state_mutex_);
+  idle_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+std::vector<f64> ThreadPool::busy_seconds() const {
+  std::lock_guard lock(state_mutex_);
+  return busy_seconds_;
+}
+
+void ThreadPool::worker_loop(u32 index) {
+  using clock = std::chrono::steady_clock;
+  while (auto task = queue_.pop()) {
+    const auto start = clock::now();
+    (*task)();
+    const f64 elapsed = std::chrono::duration<f64>(clock::now() - start).count();
+    std::lock_guard lock(state_mutex_);
+    busy_seconds_[index] += elapsed;
+    if (--in_flight_ == 0) idle_.notify_all();
+  }
+}
+
+}  // namespace ceresz::engine

@@ -1,0 +1,62 @@
+// Fixed-size worker pool fed by a bounded work queue.
+//
+// submit() applies backpressure: it blocks until a queue slot frees up, so
+// a fast producer cannot buffer an unbounded number of pending tasks.
+// Tasks must not throw — the engine wraps its chunk work in try/catch and
+// records the first exception itself, because a task failure must not tear
+// down the pool while sibling chunks are still in flight.
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "engine/bounded_queue.h"
+
+namespace ceresz::engine {
+
+class ThreadPool {
+ public:
+  /// `threads` must be >= 1. `queue_capacity` bounds the number of
+  /// submitted-but-not-started tasks (0 picks 2 * threads).
+  explicit ThreadPool(u32 threads, std::size_t queue_capacity = 0);
+
+  /// Joins the workers; pending tasks are still executed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task, blocking while the queue is full. Must not be called
+  /// after the destructor has begun.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished executing.
+  void wait_idle();
+
+  u32 size() const { return static_cast<u32>(workers_.size()); }
+
+  /// Seconds each worker spent executing tasks. Call only while idle
+  /// (after wait_idle() or from the destructor's thread post-join).
+  std::vector<f64> busy_seconds() const;
+
+  /// Largest backlog the work queue ever reached.
+  std::size_t queue_high_water() const { return queue_.high_water(); }
+
+ private:
+  void worker_loop(u32 index);
+
+  BoundedQueue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::vector<f64> busy_seconds_;  // one slot per worker, owner-written
+
+  // in_flight_ counts submitted-but-unfinished tasks; idle_ fires when it
+  // reaches zero. The mutex also orders busy_seconds_ writes (made before
+  // the finishing decrement) with reads after wait_idle().
+  mutable std::mutex state_mutex_;
+  std::condition_variable idle_;
+  u64 in_flight_ = 0;
+};
+
+}  // namespace ceresz::engine

@@ -1,0 +1,59 @@
+#include "common/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace ceresz {
+namespace {
+
+std::span<const u8> bytes_of(const char* s) {
+  return {reinterpret_cast<const u8*>(s), std::strlen(s)};
+}
+
+TEST(Crc32c, KnownVectors) {
+  // RFC 3720 (iSCSI) CRC32C test vectors.
+  EXPECT_EQ(crc32c({}), 0u);
+  EXPECT_EQ(crc32c(bytes_of("123456789")), 0xe3069283u);
+  const std::vector<u8> zeros32(32, 0x00);
+  EXPECT_EQ(crc32c(zeros32), 0x8a9136aau);
+  const std::vector<u8> ones32(32, 0xff);
+  EXPECT_EQ(crc32c(ones32), 0x62a8ab43u);
+  std::vector<u8> ascending(32);
+  for (u8 i = 0; i < 32; ++i) ascending[i] = i;
+  EXPECT_EQ(crc32c(ascending), 0x46dd794eu);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  std::vector<u8> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<u8>(i * 31 + 7);
+  }
+  const u32 whole = crc32c(data);
+  for (std::size_t split : {0u, 1u, 7u, 8u, 500u, 999u, 1000u}) {
+    std::span<const u8> span(data);
+    const u32 part = crc32c(span.subspan(split), crc32c(span.first(split)));
+    EXPECT_EQ(part, whole) << "split=" << split;
+    Crc32c acc;
+    acc.update(span.first(split));
+    acc.update(span.subspan(split));
+    EXPECT_EQ(acc.value(), whole) << "split=" << split;
+  }
+}
+
+TEST(Crc32c, DetectsSingleBitFlips) {
+  std::vector<u8> data(64, 0xab);
+  const u32 clean = crc32c(data);
+  for (std::size_t byte : {0u, 13u, 63u}) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<u8>(1 << bit);
+      EXPECT_NE(crc32c(data), clean);
+      data[byte] ^= static_cast<u8>(1 << bit);
+    }
+  }
+  EXPECT_EQ(crc32c(data), clean);
+}
+
+}  // namespace
+}  // namespace ceresz

@@ -1,0 +1,298 @@
+#include "engine/parallel_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "common/error.h"
+#include "core/stream_codec.h"
+#include "engine/bounded_queue.h"
+#include "engine/thread_pool.h"
+#include "io/chunk_container.h"
+#include "test_util.h"
+
+namespace ceresz::engine {
+namespace {
+
+EngineOptions small_chunks(u32 threads, u64 chunk_elems = 2048,
+                           bool lenient = false) {
+  EngineOptions opt;
+  opt.threads = threads;
+  opt.chunk_elems = chunk_elems;
+  opt.lenient = lenient;
+  return opt;
+}
+
+// --- container parity with the single-stream codec -------------------------
+
+TEST(ParallelEngine, ChunkPayloadsBitIdenticalToStreamCodec) {
+  const auto data = test::smooth_signal(100000);
+  const core::StreamCodec codec;
+  const auto single = codec.compress(data, core::ErrorBound::relative(1e-3));
+
+  const ParallelEngine eng(small_chunks(4));
+  const auto chunked = eng.compress(data, core::ErrorBound::relative(1e-3));
+
+  EXPECT_EQ(chunked.eps_abs, single.eps_abs);
+  const auto parsed = io::parse_container(chunked.stream);
+  ASSERT_FALSE(parsed.entries.empty());
+
+  // The concatenated chunk payloads must equal the single-stream body.
+  std::span<const u8> body(single.stream.data() + core::StreamCodec::header_size(),
+                           single.stream.size() - core::StreamCodec::header_size());
+  std::span<const u8> payloads(chunked.stream.data() + parsed.entries[0].offset,
+                               chunked.stream.size() - parsed.entries[0].offset);
+  ASSERT_EQ(payloads.size(), body.size());
+  EXPECT_TRUE(std::equal(payloads.begin(), payloads.end(), body.begin()));
+}
+
+TEST(ParallelEngine, MergedStatsMatchStreamCodec) {
+  const auto data = test::sparse_signal(32 * 3000, 17, 0.02);
+  const core::StreamCodec codec;
+  const auto single = codec.compress(data, core::ErrorBound::absolute(1e-1));
+  const ParallelEngine eng(small_chunks(3, 1024));
+  const auto chunked = eng.compress(data, core::ErrorBound::absolute(1e-1));
+
+  const auto& a = chunked.stats.stream;
+  const auto& b = single.stats;
+  EXPECT_EQ(a.total_blocks, b.total_blocks);
+  EXPECT_EQ(a.zero_blocks, b.zero_blocks);
+  EXPECT_EQ(a.constant_blocks, b.constant_blocks);
+  EXPECT_EQ(a.max_fixed_length, b.max_fixed_length);
+  EXPECT_DOUBLE_EQ(a.mean_fixed_length, b.mean_fixed_length);
+  EXPECT_EQ(a.fl_histogram, b.fl_histogram);
+}
+
+// --- round trips ------------------------------------------------------------
+
+TEST(ParallelEngine, RoundTripOddSizes) {
+  const ParallelEngine eng(small_chunks(3, 256));
+  for (std::size_t n : {0u, 1u, 31u, 32u, 33u, 255u, 256u, 257u, 1000u,
+                        4096u, 4097u}) {
+    const auto data = test::smooth_signal(n);
+    const auto result = eng.compress(data, core::ErrorBound::absolute(1e-3));
+    EXPECT_EQ(result.element_count, n);
+    const auto back = eng.decompress(result.stream);
+    ASSERT_EQ(back.values.size(), n) << "n=" << n;
+    EXPECT_TRUE(back.corrupt_chunks.empty());
+    EXPECT_LE(test::max_err(data, back.values), 1e-3) << "n=" << n;
+  }
+}
+
+TEST(ParallelEngine, EmptyInputRoundTrip) {
+  const ParallelEngine eng(small_chunks(2));
+  const std::vector<f32> empty;
+  const auto result = eng.compress(empty, core::ErrorBound::relative(1e-3));
+  EXPECT_EQ(result.element_count, 0u);
+  const auto back = eng.decompress(result.stream);
+  EXPECT_TRUE(back.values.empty());
+  EXPECT_EQ(back.stats.chunks, 0u);
+}
+
+TEST(ParallelEngine, DeterministicAcrossThreadCounts) {
+  const auto data = test::random_signal(50000, 5, -50.0, 50.0);
+  std::vector<u8> reference;
+  for (u32 threads : {1u, 2u, 5u, 8u}) {
+    const ParallelEngine eng(small_chunks(threads, 4096));
+    const auto result = eng.compress(data, core::ErrorBound::relative(1e-3));
+    if (reference.empty()) {
+      reference = result.stream;
+    } else {
+      EXPECT_EQ(result.stream, reference) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelEngine, RelativeBoundMatchesStreamCodecEps) {
+  // The parallel min/max reduction must resolve REL bounds to the exact
+  // same eps as the single-threaded Welford pass.
+  auto data = test::smooth_signal(10000);
+  for (auto& v : data) v *= 321.0f;
+  const core::StreamCodec codec;
+  const auto single = codec.compress(data, core::ErrorBound::relative(1e-4));
+  const ParallelEngine eng(small_chunks(4, 512));
+  const auto chunked = eng.compress(data, core::ErrorBound::relative(1e-4));
+  EXPECT_EQ(chunked.eps_abs, single.eps_abs);
+  EXPECT_EQ(chunked.stream,
+            eng.compress(data, core::ErrorBound::absolute(single.eps_abs))
+                .stream);
+}
+
+// --- corruption handling ----------------------------------------------------
+
+// Flip one payload byte of the given chunk; returns the flipped offset.
+std::size_t corrupt_chunk(std::vector<u8>& stream, u64 chunk) {
+  const auto parsed = io::parse_container(stream);
+  const auto& e = parsed.entries[chunk];
+  const std::size_t victim = e.offset + e.compressed_bytes / 2;
+  stream[victim] ^= 0x5a;
+  return victim;
+}
+
+TEST(ParallelEngine, StrictModeThrowsNamingTheCorruptChunk) {
+  const auto data = test::smooth_signal(10000);
+  const ParallelEngine eng(small_chunks(4, 1024));
+  auto result = eng.compress(data, core::ErrorBound::absolute(1e-3));
+  corrupt_chunk(result.stream, 3);
+  try {
+    eng.decompress(result.stream);
+    FAIL() << "corrupt chunk was not detected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("chunk 3"), std::string::npos)
+        << "error does not localize the corruption: " << e.what();
+  }
+}
+
+TEST(ParallelEngine, LenientModeZeroFillsOnlyTheCorruptChunk) {
+  const auto data = test::smooth_signal(10000);
+  const u64 chunk_elems = 1024;
+  const ParallelEngine strict(small_chunks(4, chunk_elems));
+  auto result = strict.compress(data, core::ErrorBound::absolute(1e-3));
+  corrupt_chunk(result.stream, 3);
+
+  const ParallelEngine lenient(small_chunks(4, chunk_elems, true));
+  const auto back = lenient.decompress(result.stream);
+  ASSERT_EQ(back.values.size(), data.size());
+  ASSERT_EQ(back.corrupt_chunks, (std::vector<u64>{3}));
+
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const u64 chunk = i / chunk_elems;
+    if (chunk == 3) {
+      EXPECT_EQ(back.values[i], 0.0f) << "i=" << i;
+    } else {
+      EXPECT_LE(std::fabs(static_cast<f64>(data[i]) - back.values[i]), 1e-3)
+          << "i=" << i;
+    }
+  }
+}
+
+TEST(ParallelEngine, EveryChunkIsIndividuallyProtected) {
+  const auto data = test::smooth_signal(4096);
+  const ParallelEngine eng(small_chunks(2, 1024));
+  const auto clean = eng.compress(data, core::ErrorBound::absolute(1e-3));
+  const auto parsed = io::parse_container(clean.stream);
+  for (u64 c = 0; c < parsed.entries.size(); ++c) {
+    auto stream = clean.stream;
+    corrupt_chunk(stream, c);
+    EXPECT_THROW(eng.decompress(stream), Error) << "chunk " << c;
+  }
+}
+
+TEST(ParallelEngine, HeaderAndTableCorruptionDetected) {
+  const auto data = test::smooth_signal(4096);
+  const ParallelEngine eng(small_chunks(2, 1024));
+  const auto clean = eng.compress(data, core::ErrorBound::absolute(1e-3));
+  // Header field (element count).
+  auto bad_header = clean.stream;
+  bad_header[17] ^= 0xff;
+  EXPECT_THROW(eng.decompress(bad_header), Error);
+  // Chunk table entry (first chunk's CRC field).
+  auto bad_table = clean.stream;
+  bad_table[io::ChunkedHeader::kHeaderBytes + 24] ^= 0xff;
+  EXPECT_THROW(eng.decompress(bad_table), Error);
+  // Truncation.
+  auto cut = clean.stream;
+  cut.resize(cut.size() - 1);
+  EXPECT_THROW(eng.decompress(cut), Error);
+}
+
+TEST(ParallelEngine, RejectsLegacyStreamAndMismatchedConfig) {
+  const auto data = test::smooth_signal(1024);
+  const core::StreamCodec codec;
+  const auto legacy = codec.compress(data, core::ErrorBound::absolute(1e-3));
+  const ParallelEngine eng(small_chunks(2));
+  EXPECT_FALSE(ParallelEngine::is_chunked_stream(legacy.stream));
+  EXPECT_THROW(eng.decompress(legacy.stream), Error);
+
+  const auto chunked = eng.compress(data, core::ErrorBound::absolute(1e-3));
+  EXPECT_TRUE(ParallelEngine::is_chunked_stream(chunked.stream));
+  EngineOptions other = small_chunks(2);
+  other.codec.header_bytes = 1;
+  const ParallelEngine reader(other);
+  EXPECT_THROW(reader.decompress(chunked.stream), Error);
+}
+
+TEST(ParallelEngine, RejectsChunkElemsNotMultipleOfBlockSize) {
+  EngineOptions opt;
+  opt.chunk_elems = 100;  // not a multiple of 32
+  EXPECT_THROW(ParallelEngine{opt}, Error);
+}
+
+// --- metrics ----------------------------------------------------------------
+
+TEST(ParallelEngine, StatsSurfaceIsPopulated) {
+  const auto data = test::smooth_signal(32768);
+  const ParallelEngine eng(small_chunks(3, 1024));
+  const auto result = eng.compress(data, core::ErrorBound::absolute(1e-3));
+  const auto& s = result.stats;
+  EXPECT_EQ(s.threads, 3u);
+  EXPECT_EQ(s.chunks, 32u);
+  EXPECT_EQ(s.uncompressed_bytes, data.size() * sizeof(f32));
+  EXPECT_EQ(s.compressed_bytes, result.stream.size());
+  EXPECT_EQ(s.worker_busy_seconds.size(), 3u);
+  EXPECT_GT(s.busy_seconds_total(), 0.0);
+  EXPECT_GT(s.wall_seconds, 0.0);
+  EXPECT_GT(s.throughput_gbps(), 0.0);
+  EXPECT_GE(s.queue_high_water, 1u);
+  // Queue capacity defaults to 2 * threads; backpressure caps the backlog.
+  EXPECT_LE(s.queue_high_water, 6u);
+
+  const auto back = eng.decompress(result.stream);
+  EXPECT_EQ(back.stats.chunks, 32u);
+  EXPECT_EQ(back.stats.uncompressed_bytes, data.size() * sizeof(f32));
+  EXPECT_GT(back.stats.wall_seconds, 0.0);
+}
+
+// --- thread pool / bounded queue -------------------------------------------
+
+TEST(BoundedQueue, BlocksProducersAtCapacityAndTracksHighWater) {
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    q.push(3);  // must block until a pop frees a slot
+    third_pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_pushed.load());
+  EXPECT_EQ(q.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(q.high_water(), 2u);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+  q.close();
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(q.push(4));
+}
+
+TEST(ThreadPool, RunsEveryTaskAndReportsBusyTime) {
+  ThreadPool pool(4, 2);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    pool.submit([&sum, i] { sum += i; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), 5050);
+  EXPECT_EQ(pool.busy_seconds().size(), 4u);
+  EXPECT_GE(pool.queue_high_water(), 1u);
+  EXPECT_LE(pool.queue_high_water(), 2u);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.wait_idle();  // no tasks: returns immediately
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) pool.submit([&] { ++count; });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), (round + 1) * 10);
+  }
+}
+
+}  // namespace
+}  // namespace ceresz::engine

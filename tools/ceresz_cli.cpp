@@ -22,15 +22,24 @@ using namespace ceresz;
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  ceresz compress   <in.f32> <out.csz> [--rel B | --abs B]\n"
-               "  ceresz decompress <in.csz> <out.f32>\n"
+               "  ceresz compress   <in.f32> <out.csz> [--rel B | --abs B]"
+               " [--threads N] [--chunk-elems N]\n"
+               "  ceresz decompress <in.csz> <out.f32> [--threads N]"
+               " [--lenient]\n"
                "  ceresz info       <in.csz>\n"
                "  ceresz simulate   <in.f32> [--rows R --cols C --pl N]"
                " [--rel B]\n"
                "  ceresz archive    <out.csza> <in1.f32> [in2.f32 ...]"
                " [--rel B]\n"
                "  ceresz list       <in.csza>\n"
-               "  ceresz extract    <in.csza> <field-name> <out.f32>\n");
+               "  ceresz extract    <in.csza> <field-name> <out.f32>\n"
+               "\n"
+               "  --threads N      worker threads (N > 1 uses the parallel\n"
+               "                   engine's chunked container; 1 = legacy\n"
+               "                   single-stream format)\n"
+               "  --chunk-elems N  elements per chunk (multiple of 32)\n"
+               "  --lenient        zero-fill corrupt chunks on decompress\n"
+               "                   instead of aborting\n");
   return 2;
 }
 
@@ -38,7 +47,27 @@ struct Args {
   std::vector<std::string> positional;
   core::ErrorBound bound = core::ErrorBound::relative(1e-3);
   u32 rows = 16, cols = 32, pl = 1;
+  u32 threads = 1;
+  u64 chunk_elems = engine::EngineOptions{}.chunk_elems;
+  bool lenient = false;
 };
+
+engine::EngineOptions engine_options(const Args& args) {
+  engine::EngineOptions opt;
+  opt.threads = args.threads;
+  opt.chunk_elems = args.chunk_elems;
+  opt.lenient = args.lenient;
+  return opt;
+}
+
+void print_engine_stats(const engine::EngineStats& stats) {
+  std::printf("engine: %u thread(s), %llu chunk(s), %.3fs wall, "
+              "%.2f GB/s, %.0f%% worker utilization, queue high-water %llu\n",
+              stats.threads, static_cast<unsigned long long>(stats.chunks),
+              stats.wall_seconds, stats.throughput_gbps(),
+              100.0 * stats.worker_utilization(),
+              static_cast<unsigned long long>(stats.queue_high_water));
+}
 
 bool parse_args(int argc, char** argv, Args& args) {
   for (int i = 2; i < argc; ++i) {
@@ -64,6 +93,14 @@ bool parse_args(int argc, char** argv, Args& args) {
     } else if (a == "--pl") {
       if (!next_value(v)) return false;
       args.pl = static_cast<u32>(v);
+    } else if (a == "--threads") {
+      if (!next_value(v)) return false;
+      args.threads = static_cast<u32>(v);
+    } else if (a == "--chunk-elems") {
+      if (!next_value(v)) return false;
+      args.chunk_elems = static_cast<u64>(v);
+    } else if (a == "--lenient") {
+      args.lenient = true;
     } else if (!a.empty() && a[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
       return false;
@@ -86,6 +123,18 @@ std::vector<f32> load_f32(const std::string& path) {
 int cmd_compress(const Args& args) {
   if (args.positional.size() != 2) return usage();
   const auto values = load_f32(args.positional[0]);
+  if (args.threads > 1) {
+    const engine::ParallelEngine eng(engine_options(args));
+    const auto result = eng.compress(values, args.bound);
+    io::write_bytes(args.positional[1], result.stream);
+    std::printf("%zu values -> %s (ratio %.2fx, eps %g, %.1f%% zero "
+                "blocks)\n",
+                values.size(), fmt_bytes(result.stream.size()).c_str(),
+                result.compression_ratio(), result.eps_abs,
+                100.0 * result.stats.stream.zero_fraction());
+    print_engine_stats(result.stats);
+    return 0;
+  }
   const core::StreamCodec codec;
   const auto result = codec.compress(values, args.bound);
   io::write_bytes(args.positional[1], result.stream);
@@ -99,8 +148,21 @@ int cmd_compress(const Args& args) {
 int cmd_decompress(const Args& args) {
   if (args.positional.size() != 2) return usage();
   const auto stream = io::read_bytes(args.positional[0]);
-  const core::StreamCodec codec;
-  const auto values = codec.decompress(stream);
+  std::vector<f32> values;
+  if (engine::ParallelEngine::is_chunked_stream(stream)) {
+    const engine::ParallelEngine eng(engine_options(args));
+    auto result = eng.decompress(stream);
+    for (u64 c : result.corrupt_chunks) {
+      std::fprintf(stderr,
+                   "warning: chunk %llu was corrupt and zero-filled\n",
+                   static_cast<unsigned long long>(c));
+    }
+    print_engine_stats(result.stats);
+    values = std::move(result.values);
+  } else {
+    const core::StreamCodec codec;
+    values = codec.decompress(stream);
+  }
   std::vector<u8> bytes(values.size() * sizeof(f32));
   std::memcpy(bytes.data(), values.data(), bytes.size());
   io::write_bytes(args.positional[1], bytes);
@@ -112,6 +174,21 @@ int cmd_decompress(const Args& args) {
 int cmd_info(const Args& args) {
   if (args.positional.size() != 1) return usage();
   const auto stream = io::read_bytes(args.positional[0]);
+  if (engine::ParallelEngine::is_chunked_stream(stream)) {
+    // Validating the header + table is enough to describe the container;
+    // payload CRCs are the reader's per-chunk job.
+    const auto parsed = io::parse_container(stream);
+    const f64 ratio =
+        static_cast<f64>(parsed.header.element_count * sizeof(f32)) /
+        static_cast<f64>(stream.size());
+    std::printf("valid CereSZ chunked stream: %llu values in %u chunk(s) "
+                "of %llu, %s compressed, ratio %.2fx\n",
+                static_cast<unsigned long long>(parsed.header.element_count),
+                parsed.header.chunk_count,
+                static_cast<unsigned long long>(parsed.header.chunk_elems),
+                fmt_bytes(stream.size()).c_str(), ratio);
+    return 0;
+  }
   const core::StreamCodec codec;
   // Decompressing validates the whole stream; report what we learn.
   const auto values = codec.decompress(stream);
