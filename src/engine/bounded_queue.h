@@ -5,6 +5,7 @@
 // engine's metrics surface.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
 #include <mutex>

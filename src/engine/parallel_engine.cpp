@@ -224,49 +224,58 @@ DecompressResult ParallelEngine::decompress(std::span<const u8> stream) const {
 
   for (u64 c = 0; c < parsed.entries.size(); ++c) {
     pool.submit([&, c] {
-      const io::ChunkEntry& e = parsed.entries[c];
-      const u64 begin = c * h.chunk_elems;
-      // A bad chunk either aborts the run (strict) or is zero-filled and
-      // reported (lenient) — in both cases localized to this chunk.
-      auto chunk_failed = [&](const std::string& message) {
-        if (options_.lenient) {
-          std::fill(out + begin, out + begin + e.element_count, 0.0f);
-          std::lock_guard lock(state_mutex);
-          result.corrupt_chunks.push_back(c);
-        } else {
-          std::lock_guard lock(state_mutex);
-          if (!first_error) {
-            first_error = std::make_exception_ptr(Error(message));
-          }
-        }
-      };
-
-      const auto payload = stream.subspan(e.offset, e.compressed_bytes);
-      if (crc32c(payload) != e.crc32c) {
-        chunk_failed("ParallelEngine: chunk " + std::to_string(c) +
-                     " failed its CRC32C check (corrupt payload)");
-        return;
-      }
+      // ThreadPool tasks must not throw, so the entire body — including the
+      // CRC check and the failure paths, which allocate strings/vector
+      // slots — sits inside a try block. The outer catch records the error
+      // without allocating.
       try {
-        u64 pos = 0;
-        std::vector<f32> padded(L);
-        for (u64 done = 0; done < e.element_count; done += L) {
-          const u64 count = std::min<u64>(L, e.element_count - done);
-          CERESZ_CHECK(pos <= payload.size(),
-                       "chunk payload ends before its last block");
-          std::span<f32> dst = count == L
-                                   ? std::span<f32>(out + begin + done, L)
-                                   : std::span<f32>(padded);
-          pos += block_codec_.decompress(payload.subspan(pos), h.eps_abs, dst);
-          if (count < L) {
-            std::copy_n(padded.begin(), count, out + begin + done);
+        const io::ChunkEntry& e = parsed.entries[c];
+        const u64 begin = c * h.chunk_elems;
+        // A bad chunk either aborts the run (strict) or is zero-filled and
+        // reported (lenient) — in both cases localized to this chunk.
+        auto chunk_failed = [&](const std::string& message) {
+          if (options_.lenient) {
+            std::fill(out + begin, out + begin + e.element_count, 0.0f);
+            std::lock_guard lock(state_mutex);
+            result.corrupt_chunks.push_back(c);
+          } else {
+            std::lock_guard lock(state_mutex);
+            if (!first_error) {
+              first_error = std::make_exception_ptr(Error(message));
+            }
           }
+        };
+
+        const auto payload = stream.subspan(e.offset, e.compressed_bytes);
+        if (crc32c(payload) != e.crc32c) {
+          chunk_failed("ParallelEngine: chunk " + std::to_string(c) +
+                       " failed its CRC32C check (corrupt payload)");
+          return;
         }
-        CERESZ_CHECK(pos == e.compressed_bytes,
-                     "chunk payload has trailing bytes");
-      } catch (const std::exception& ex) {
-        chunk_failed("ParallelEngine: chunk " + std::to_string(c) +
-                     " is corrupt: " + ex.what());
+        try {
+          u64 pos = 0;
+          std::vector<f32> padded(L);
+          for (u64 done = 0; done < e.element_count; done += L) {
+            const u64 count = std::min<u64>(L, e.element_count - done);
+            CERESZ_CHECK(pos <= payload.size(),
+                         "chunk payload ends before its last block");
+            std::span<f32> dst = count == L
+                                     ? std::span<f32>(out + begin + done, L)
+                                     : std::span<f32>(padded);
+            pos += block_codec_.decompress(payload.subspan(pos), h.eps_abs, dst);
+            if (count < L) {
+              std::copy_n(padded.begin(), count, out + begin + done);
+            }
+          }
+          CERESZ_CHECK(pos == e.compressed_bytes,
+                       "chunk payload has trailing bytes");
+        } catch (const std::exception& ex) {
+          chunk_failed("ParallelEngine: chunk " + std::to_string(c) +
+                       " is corrupt: " + ex.what());
+        }
+      } catch (...) {
+        std::lock_guard lock(state_mutex);
+        if (!first_error) first_error = std::current_exception();
       }
     });
   }

@@ -1,5 +1,6 @@
 #include "engine/thread_pool.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace ceresz::engine {

@@ -51,6 +51,13 @@ void write_container_prefix(std::vector<u8>& out, const ChunkedHeader& header,
   CERESZ_CHECK(out.empty(), "chunk container: output buffer must be empty");
   CERESZ_CHECK(entries.size() == header.chunk_count,
                "chunk container: entry count does not match header");
+  CERESZ_CHECK(header.version <= 0xff && header.codec_header_bytes > 0 &&
+                   header.codec_header_bytes <= 0xff,
+               "chunk container: codec header width does not fit the u8 "
+               "header field");
+  CERESZ_CHECK(header.block_size > 0 && header.block_size <= 0xffff,
+               "chunk container: block size does not fit the u16 header "
+               "field");
 
   out.insert(out.end(), kMagic, kMagic + 4);
   out.push_back(static_cast<u8>(header.version));
@@ -106,10 +113,23 @@ ParsedContainer parse_container(std::span<const u8> stream) {
 
   CERESZ_CHECK(h.version == 1, "chunk container: unsupported version");
   CERESZ_CHECK(h.block_size > 0, "chunk container: corrupt header (block size)");
+  CERESZ_CHECK(h.codec_header_bytes > 0,
+               "chunk container: corrupt header (zero codec header width)");
   CERESZ_CHECK(h.eps_abs > 0.0 || h.element_count == 0,
                "chunk container: corrupt header (non-positive error bound)");
-  CERESZ_CHECK(h.chunk_elems > 0 || h.chunk_count == 0,
+  CERESZ_CHECK(h.chunk_elems > 0 || h.element_count == 0,
                "chunk container: corrupt header (zero chunk size)");
+  // Structural consistency: the chunk count must be exactly the one implied
+  // by element_count / chunk_elems. Computed without ceil-style addition so
+  // hostile 2^64-scale values cannot wrap.
+  const u64 expected_chunks =
+      h.element_count == 0
+          ? 0
+          : h.element_count / h.chunk_elems +
+                (h.element_count % h.chunk_elems != 0 ? 1 : 0);
+  CERESZ_CHECK(h.chunk_count == expected_chunks,
+               "chunk container: chunk count does not match element count "
+               "and chunk size");
   // Bound the table size by the stream before allocating for it.
   CERESZ_CHECK(stream.size() >= ChunkedHeader::kHeaderBytes + h.table_bytes(),
                "chunk container: truncated chunk table");
@@ -134,12 +154,31 @@ ParsedContainer parse_container(std::span<const u8> stream) {
     e.crc32c = read_u32(p + 24);
     CERESZ_CHECK(e.offset == expected_offset,
                  "chunk container: chunk offsets are not contiguous");
-    CERESZ_CHECK(e.offset + e.compressed_bytes <= stream.size(),
+    // expected_offset <= stream.size() holds inductively, so the subtraction
+    // cannot wrap — unlike `offset + compressed_bytes`, which a hostile
+    // compressed_bytes near 2^64 would overflow past the bound.
+    CERESZ_CHECK(e.compressed_bytes <= stream.size() - e.offset,
                  "chunk container: chunk payload extends past the stream");
     CERESZ_CHECK(e.element_count > 0 && e.element_count <= h.chunk_elems,
                  "chunk container: chunk element count out of range");
+    // Overflow-checked accumulation: each entry may claim at most the
+    // elements still unaccounted for, so the sum can never wrap around to
+    // h.element_count and smuggle oversized chunks past the total check.
+    CERESZ_CHECK(e.element_count <= h.element_count - total_elems,
+                 "chunk container: chunk element counts exceed the header's "
+                 "element count");
     CERESZ_CHECK(i + 1 == h.chunk_count || e.element_count == h.chunk_elems,
                  "chunk container: only the last chunk may be short");
+    // Anti-bomb bound: every block record is at least codec_header_bytes
+    // wide, so a chunk of element_count elements needs at least
+    // ceil(element_count / block_size) * codec_header_bytes payload bytes.
+    // This ties the decoded size to the actual stream size before the
+    // reader allocates anything. Division form avoids overflow.
+    const u64 min_blocks = e.element_count / h.block_size +
+                           (e.element_count % h.block_size != 0 ? 1 : 0);
+    CERESZ_CHECK(min_blocks <= e.compressed_bytes / h.codec_header_bytes,
+                 "chunk container: chunk payload too small for its element "
+                 "count");
     expected_offset += e.compressed_bytes;
     total_elems += e.element_count;
   }

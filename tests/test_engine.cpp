@@ -7,6 +7,7 @@
 #include <string>
 #include <thread>
 
+#include "common/checksum.h"
 #include "common/error.h"
 #include "core/stream_codec.h"
 #include "engine/bounded_queue.h"
@@ -197,6 +198,99 @@ TEST(ParallelEngine, HeaderAndTableCorruptionDetected) {
   auto cut = clean.stream;
   cut.resize(cut.size() - 1);
   EXPECT_THROW(eng.decompress(cut), Error);
+}
+
+// --- hostile (crafted) container inputs ------------------------------------
+// These streams carry *valid* header and table CRCs — the tampering happens
+// before the CRCs are recomputed — so only the semantic validation in
+// parse_container stands between them and the decoder.
+
+void patch_u64(std::vector<u8>& s, std::size_t off, u64 v) {
+  for (int b = 0; b < 8; ++b) s[off + b] = static_cast<u8>((v >> (8 * b)) & 0xff);
+}
+
+void patch_u32(std::vector<u8>& s, std::size_t off, u32 v) {
+  for (int b = 0; b < 4; ++b) s[off + b] = static_cast<u8>((v >> (8 * b)) & 0xff);
+}
+
+// Recompute the header and chunk-table CRCs after tampering with fields.
+void reseal(std::vector<u8>& s) {
+  patch_u32(s, 44, crc32c(std::span<const u8>(s.data(), 44)));
+  u32 chunk_count = 0;
+  for (int b = 0; b < 4; ++b) chunk_count |= static_cast<u32>(s[12 + b]) << (8 * b);
+  const std::size_t entry_bytes =
+      static_cast<std::size_t>(chunk_count) * io::ChunkedHeader::kEntryBytes;
+  patch_u32(s, io::ChunkedHeader::kHeaderBytes + entry_bytes,
+            crc32c(std::span<const u8>(s.data() + io::ChunkedHeader::kHeaderBytes,
+                                       entry_bytes)));
+}
+
+TEST(ParallelEngine, RejectsElementCountOverflowInChunkTable) {
+  // Two chunks whose element counts wrap u64 back to the true total. With
+  // unchecked accumulation this passes the sum check and turns into an
+  // out-of-bounds write in decompress.
+  const auto data = test::smooth_signal(2048);
+  const ParallelEngine eng(small_chunks(2, 1024));
+  auto stream = eng.compress(data, core::ErrorBound::absolute(1e-3)).stream;
+  const auto parsed = io::parse_container(stream);
+  ASSERT_EQ(parsed.entries.size(), 2u);
+  const u64 huge = u64(1) << 63;
+  patch_u64(stream, 24, huge);  // header chunk_elems
+  const std::size_t t = io::ChunkedHeader::kHeaderBytes;
+  patch_u64(stream, t + 16, huge);  // entry 0 element_count
+  patch_u64(stream, t + io::ChunkedHeader::kEntryBytes + 16,
+            2048 - 2 * huge);  // entry 1: wraps the sum back to 2048
+  reseal(stream);
+  EXPECT_THROW(io::parse_container(stream), Error);
+  EXPECT_THROW(eng.decompress(stream), Error);
+}
+
+TEST(ParallelEngine, RejectsDecompressionBomb) {
+  // A ~200-byte container claiming 2^40 elements must be rejected during
+  // parsing, before decompress allocates terabytes for the output.
+  const auto data = test::smooth_signal(1024);
+  const ParallelEngine eng(small_chunks(2, 1024));
+  auto stream = eng.compress(data, core::ErrorBound::absolute(1e-3)).stream;
+  const u64 bomb = u64(1) << 40;
+  patch_u64(stream, 16, bomb);  // header element_count
+  patch_u64(stream, 24, bomb);  // header chunk_elems (keeps chunk_count = 1)
+  patch_u64(stream, io::ChunkedHeader::kHeaderBytes + 16, bomb);  // entry
+  reseal(stream);
+  EXPECT_THROW(io::parse_container(stream), Error);
+  EXPECT_THROW(eng.decompress(stream), Error);
+}
+
+TEST(ParallelEngine, RejectsInconsistentChunkCount) {
+  const auto data = test::smooth_signal(2048);
+  const ParallelEngine eng(small_chunks(2, 1024));
+  auto stream = eng.compress(data, core::ErrorBound::absolute(1e-3)).stream;
+  // Claim one huge chunk covers everything while two table entries remain.
+  patch_u64(stream, 24, u64(1) << 32);  // header chunk_elems
+  reseal(stream);
+  EXPECT_THROW(io::parse_container(stream), Error);
+}
+
+TEST(ParallelEngine, RejectsPayloadLengthOverflow) {
+  // compressed_bytes near 2^64 would wrap `offset + compressed_bytes` past
+  // the stream-size bound and feed an out-of-range subspan to the reader.
+  const auto data = test::smooth_signal(2048);
+  const ParallelEngine eng(small_chunks(2, 1024));
+  auto stream = eng.compress(data, core::ErrorBound::absolute(1e-3)).stream;
+  patch_u64(stream, io::ChunkedHeader::kHeaderBytes + 8, ~u64(0) - 8);
+  reseal(stream);
+  EXPECT_THROW(io::parse_container(stream), Error);
+}
+
+TEST(ChunkContainer, WriterRejectsFieldsThatDoNotFitTheirEncoding) {
+  std::vector<u8> out;
+  io::ChunkedHeader header;
+  header.chunk_count = 0;
+  header.block_size = 0x10000;  // does not fit the u16 field
+  EXPECT_THROW(io::write_container_prefix(out, header, {}), Error);
+  out.clear();
+  header.block_size = 32;
+  header.codec_header_bytes = 0x100;  // does not fit the u8 field
+  EXPECT_THROW(io::write_container_prefix(out, header, {}), Error);
 }
 
 TEST(ParallelEngine, RejectsLegacyStreamAndMismatchedConfig) {
