@@ -95,8 +95,44 @@ int main() {
                     result.stats.queue_high_water));
   }
 
+  // Degraded-mode row: one injected transient worker fault every 16
+  // chunks. Every fault is retried, so the output must still be
+  // byte-identical to the clean runs; the row quantifies the throughput
+  // cost of riding through faults (retry work + backoff).
+  {
+    engine::EngineOptions opt;
+    opt.threads = 8;
+    const u64 n_chunks = (elems + opt.chunk_elems - 1) / opt.chunk_elems;
+    opt.faults = engine::WorkerFaultPlan::every_nth(16, n_chunks);
+    const engine::ParallelEngine eng(opt);
+
+    const auto result = eng.compress(values, bound);
+    identical = identical && result.stream == reference_stream;
+
+    const f64 comp_gbps = result.stats.throughput_gbps();
+    table.add_row({"8 (degraded)", fmt_f64(comp_gbps, 3),
+                   fmt_f64(comp_gbps / comp_base, 2) + "x", "-", "-",
+                   fmt_f64(100.0 * result.stats.worker_utilization(), 0),
+                   std::to_string(result.stats.queue_high_water),
+                   fmt_f64(result.compression_ratio(), 2)});
+    std::printf("{\"bench\":\"engine_scaling\",\"threads\":8,"
+                "\"degraded\":true,\"fault_every_n_chunks\":16,"
+                "\"elements\":%llu,\"compress_gbps\":%.4f,"
+                "\"compress_speedup\":%.3f,\"retries\":%llu,"
+                "\"ratio\":%.3f,\"utilization\":%.3f,"
+                "\"queue_high_water\":%llu}\n",
+                static_cast<unsigned long long>(elems), comp_gbps,
+                comp_gbps / comp_base,
+                static_cast<unsigned long long>(result.stats.retries),
+                result.compression_ratio(),
+                result.stats.worker_utilization(),
+                static_cast<unsigned long long>(
+                    result.stats.queue_high_water));
+  }
+
   std::printf("\n%s\n", table.render().c_str());
-  std::printf("output byte-identical across thread counts: %s\n",
+  std::printf("output byte-identical across thread counts (including the "
+              "degraded run): %s\n",
               identical ? "yes" : "NO — BUG");
   std::printf("shape checks: throughput rises with threads until the "
               "machine's core count; speedup at 8 threads should be >= 3x "

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Build with a sanitizer and run the concurrency-sensitive tests: the
+# engine, the checksum kernels, and the fault-injection chaos suite.
+#
+#   scripts/run_sanitizer_tests.sh thread  [build-dir]   # ThreadSanitizer
+#   scripts/run_sanitizer_tests.sh address [build-dir]   # AddressSanitizer
+#
+# Default build dir: build-<mode>.
+#
+# OpenMP is disabled for the TSan build: libgomp's barrier implementation
+# is not TSan-instrumented and produces known false positives; the
+# engine's own threading (std::thread + mutex/condvar) is what we are
+# checking. The ASan build keeps OpenMP on.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-}"
+case "$MODE" in
+  thread|address) ;;
+  *)
+    echo "usage: $0 thread|address [build-dir]" >&2
+    exit 2
+    ;;
+esac
+BUILD_DIR="${2:-build-$MODE}"
+
+EXTRA_FLAGS=()
+if [ "$MODE" = "thread" ]; then
+  EXTRA_FLAGS+=(-DCMAKE_DISABLE_FIND_PACKAGE_OpenMP=TRUE)
+fi
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCERESZ_SANITIZE="$MODE" \
+  -DCERESZ_BUILD_BENCH=OFF \
+  -DCERESZ_BUILD_EXAMPLES=OFF \
+  "${EXTRA_FLAGS[@]}"
+
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target test_engine test_checksum test_fault_injection
+
+cd "$BUILD_DIR"
+if [ "$MODE" = "thread" ]; then
+  export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+else
+  export ASAN_OPTIONS="halt_on_error=1 detect_stack_use_after_return=1"
+fi
+ctest --output-on-failure -R '^test_(engine|checksum|fault_injection)$'
+echo "${MODE} sanitizer tests passed."

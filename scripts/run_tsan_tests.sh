@@ -1,28 +1,7 @@
 #!/usr/bin/env bash
-# Build with ThreadSanitizer and run the engine + checksum tests to catch
-# data races in the worker pool and chunk assembly.
-#
-# OpenMP is disabled for this build: libgomp's barrier implementation is
-# not TSan-instrumented and produces known false positives; the engine's
-# own threading (std::thread + mutex/condvar) is what we are checking.
+# Back-compat wrapper: TSan build + engine/checksum/fault-injection tests.
+# See scripts/run_sanitizer_tests.sh for the general (thread|address) form.
 #
 # Usage: scripts/run_tsan_tests.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
-cd "$(dirname "$0")/.."
-
-BUILD_DIR="${1:-build-tsan}"
-
-cmake -B "$BUILD_DIR" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCERESZ_SANITIZE=thread \
-  -DCMAKE_DISABLE_FIND_PACKAGE_OpenMP=TRUE \
-  -DCERESZ_BUILD_BENCH=OFF \
-  -DCERESZ_BUILD_EXAMPLES=OFF
-
-cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target test_engine test_checksum
-
-cd "$BUILD_DIR"
-TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
-  ctest --output-on-failure -R '^test_(engine|checksum)$'
-echo "TSan engine tests passed."
+exec "$(dirname "$0")/run_sanitizer_tests.sh" thread "${1:-build-tsan}"

@@ -37,6 +37,28 @@ class BoundedQueue {
     return true;
   }
 
+  /// Non-blocking push. Returns false when the queue is full or closed
+  /// (the item is dropped); never waits.
+  bool try_push(T item) {
+    std::lock_guard lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    high_water_ = std::max(high_water_, items_.size());
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop. Returns nullopt when the queue is empty (closed or
+  /// not); never waits.
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
   /// Blocks while the queue is empty. Returns nullopt once the queue is
   /// closed and drained.
   std::optional<T> pop() {

@@ -24,6 +24,14 @@ struct EngineStats {
   /// Largest backlog the bounded work queue ever reached.
   u64 queue_high_water = 0;
 
+  // Fault-tolerance counters (all zero on a healthy run).
+  u64 retries = 0;          ///< chunk attempts re-dispatched after a failure
+  u64 timeouts = 0;         ///< attempts cancelled by the deadline watchdog
+  u64 worker_crashes = 0;   ///< worker threads lost mid-run
+  u64 fallback_chunks = 0;  ///< attempts run inline after the pool collapsed
+  u64 quarantined = 0;      ///< chunks that terminally failed and were
+                            ///< zero-filled (lenient decompression only)
+
   /// Per-block statistics merged across all chunks (compression runs
   /// only; zeroed for decompression).
   core::StreamStats stream;

@@ -1,6 +1,7 @@
 #include "engine/parallel_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <exception>
 #include <mutex>
@@ -10,6 +11,7 @@
 #include "common/checksum.h"
 #include "common/error.h"
 #include "common/timer.h"
+#include "engine/chunk_runner.h"
 #include "engine/thread_pool.h"
 #include "io/chunk_container.h"
 
@@ -24,6 +26,45 @@ struct ChunkOutput {
   f64 fl_sum = 0.0;  ///< sum of fixed lengths over non-zero blocks
   u32 crc = 0;
 };
+
+/// Apply the injected fault (if any) for this attempt. kStall sleeps in
+/// cancellable 1 ms ticks; if the watchdog fires mid-stall the attempt
+/// aborts with ChunkTimeout, otherwise it proceeds with the real work
+/// (modeling a worker that was slow, not broken).
+void maybe_inject(const WorkerFaultPlan& plan, u64 chunk, u32 attempt,
+                  const CancelToken& cancel) {
+  switch (plan.fault(chunk, attempt)) {
+    case WorkerFault::kNone:
+      return;
+    case WorkerFault::kThrow:
+      throw Error("injected transient fault at chunk " +
+                  std::to_string(chunk) + " attempt " +
+                  std::to_string(attempt));
+    case WorkerFault::kCrash:
+      throw WorkerCrash{};
+    case WorkerFault::kStall: {
+      const auto until = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(plan.stall_ms);
+      while (std::chrono::steady_clock::now() < until) {
+        if (cancel.cancelled()) {
+          throw ChunkTimeout("injected stall at chunk " +
+                             std::to_string(chunk) +
+                             " was cancelled by the watchdog");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return;
+    }
+  }
+}
+
+/// Fold a ChunkRunner report into the run's stats.
+void merge_report(EngineStats& stats, const RunReport& report) {
+  stats.retries += report.retries;
+  stats.timeouts += report.timeouts;
+  stats.worker_crashes += report.worker_crashes;
+  stats.fallback_chunks += report.fallback_chunks;
+}
 
 }  // namespace
 
@@ -100,20 +141,26 @@ EngineResult ParallelEngine::compress(std::span<const f32> data,
     eps = bound.resolve(hi - lo);
   }
 
-  // Compress chunks. Each task writes only its own ChunkOutput slot, so
-  // the payload bytes depend on chunk boundaries alone — never on how the
-  // chunks were scheduled across workers.
+  // Compress chunks. Each attempt builds a fresh ChunkOutput and installs
+  // it only on success, so a failed or retried attempt never leaves a
+  // half-written slot; the payload bytes depend on chunk boundaries alone
+  // — never on scheduling, retries, or which worker ran the chunk.
   std::vector<ChunkOutput> outs(n_chunks);
-  for (u64 c = 0; c < n_chunks; ++c) {
-    pool.submit([&, c] {
-      try {
+  ChunkRunner runner(pool, options_.retry);
+  const RunReport report = runner.run(
+      n_chunks, [&](u64 c, u32 attempt, const CancelToken& cancel) {
+        maybe_inject(options_.faults, c, attempt, cancel);
         const u64 begin = c * C;
         const u64 end = std::min(n, begin + C);
-        ChunkOutput& o = outs[c];
+        ChunkOutput o;
         const u64 blocks = (end - begin + L - 1) / L;
         o.bytes.reserve(blocks * block_codec_.max_compressed_size());
         std::vector<f32> padded(L);
         for (u64 bstart = begin; bstart < end; bstart += L) {
+          if (cancel.cancelled()) {
+            throw ChunkTimeout("chunk " + std::to_string(c) +
+                               " exceeded its compression deadline");
+          }
           const u64 count = std::min<u64>(L, end - bstart);
           std::span<const f32> block;
           if (count == L) {
@@ -138,13 +185,17 @@ EngineResult ParallelEngine::compress(std::span<const f32> data,
           }
         }
         o.crc = crc32c(o.bytes);
-      } catch (...) {
-        record_error();
-      }
-    });
+        outs[c] = std::move(o);
+      });
+  // Compression has no lenient mode: the caller asked for a complete
+  // container, and a chunk that exhausted its attempts means there is
+  // none to give.
+  if (!report.all_succeeded()) {
+    const ChunkFailure& f = report.failed.front();
+    throw Error("ParallelEngine: chunk " + std::to_string(f.chunk) +
+                " failed after " + std::to_string(options_.retry.max_attempts) +
+                " attempt(s): " + f.message);
   }
-  pool.wait_idle();
-  if (first_error) std::rethrow_exception(first_error);
 
   // Assemble the container: header + chunk table, then payloads in order.
   io::ChunkedHeader header;
@@ -196,6 +247,7 @@ EngineResult ParallelEngine::compress(std::span<const f32> data,
   result.stats.queue_high_water = pool.queue_high_water();
   result.stats.worker_busy_seconds = pool.busy_seconds();
   result.stats.wall_seconds = timer.seconds();
+  merge_report(result.stats, report);
   return result;
 }
 
@@ -219,43 +271,34 @@ DecompressResult ParallelEngine::decompress(std::span<const u8> stream) const {
 
   const u32 threads = resolved_threads();
   ThreadPool pool(threads, options_.queue_capacity);
-  std::mutex state_mutex;
-  std::exception_ptr first_error;
 
-  for (u64 c = 0; c < parsed.entries.size(); ++c) {
-    pool.submit([&, c] {
-      // ThreadPool tasks must not throw, so the entire body — including the
-      // CRC check and the failure paths, which allocate strings/vector
-      // slots — sits inside a try block. The outer catch records the error
-      // without allocating.
-      try {
+  // Each attempt decodes straight into its disjoint output range. Corrupt
+  // data (CRC mismatch, undecodable record) throws PermanentChunkError —
+  // retrying cannot fix bytes — while injected/transient faults and
+  // timeouts go through the ChunkRunner retry ladder. A chunk that still
+  // fails is quarantined below: zero-filled and reported in lenient mode,
+  // fatal in strict mode.
+  ChunkRunner runner(pool, options_.retry);
+  const RunReport report = runner.run(
+      parsed.entries.size(),
+      [&](u64 c, u32 attempt, const CancelToken& cancel) {
+        maybe_inject(options_.faults, c, attempt, cancel);
         const io::ChunkEntry& e = parsed.entries[c];
         const u64 begin = c * h.chunk_elems;
-        // A bad chunk either aborts the run (strict) or is zero-filled and
-        // reported (lenient) — in both cases localized to this chunk.
-        auto chunk_failed = [&](const std::string& message) {
-          if (options_.lenient) {
-            std::fill(out + begin, out + begin + e.element_count, 0.0f);
-            std::lock_guard lock(state_mutex);
-            result.corrupt_chunks.push_back(c);
-          } else {
-            std::lock_guard lock(state_mutex);
-            if (!first_error) {
-              first_error = std::make_exception_ptr(Error(message));
-            }
-          }
-        };
-
         const auto payload = stream.subspan(e.offset, e.compressed_bytes);
         if (crc32c(payload) != e.crc32c) {
-          chunk_failed("ParallelEngine: chunk " + std::to_string(c) +
-                       " failed its CRC32C check (corrupt payload)");
-          return;
+          throw PermanentChunkError(
+              "ParallelEngine: chunk " + std::to_string(c) +
+              " failed its CRC32C check (corrupt payload)");
         }
         try {
           u64 pos = 0;
           std::vector<f32> padded(L);
           for (u64 done = 0; done < e.element_count; done += L) {
+            if (cancel.cancelled()) {
+              throw ChunkTimeout("chunk " + std::to_string(c) +
+                                 " exceeded its decompression deadline");
+            }
             const u64 count = std::min<u64>(L, e.element_count - done);
             CERESZ_CHECK(pos <= payload.size(),
                          "chunk payload ends before its last block");
@@ -269,19 +312,23 @@ DecompressResult ParallelEngine::decompress(std::span<const u8> stream) const {
           }
           CERESZ_CHECK(pos == e.compressed_bytes,
                        "chunk payload has trailing bytes");
+        } catch (const ChunkTimeout&) {
+          throw;  // a timeout is transient, not data corruption
         } catch (const std::exception& ex) {
-          chunk_failed("ParallelEngine: chunk " + std::to_string(c) +
-                       " is corrupt: " + ex.what());
+          throw PermanentChunkError("ParallelEngine: chunk " +
+                                    std::to_string(c) +
+                                    " is corrupt: " + ex.what());
         }
-      } catch (...) {
-        std::lock_guard lock(state_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
+      });
+
+  for (const ChunkFailure& f : report.failed) {
+    if (!options_.lenient) throw Error(f.message);
+    const io::ChunkEntry& e = parsed.entries[f.chunk];
+    const u64 begin = f.chunk * h.chunk_elems;
+    std::fill(out + begin, out + begin + e.element_count, 0.0f);
+    result.corrupt_chunks.push_back(f.chunk);
+    ++result.stats.quarantined;
   }
-  pool.wait_idle();
-  if (first_error) std::rethrow_exception(first_error);
-  std::sort(result.corrupt_chunks.begin(), result.corrupt_chunks.end());
 
   result.stats.threads = threads;
   result.stats.chunks = parsed.entries.size();
@@ -290,6 +337,7 @@ DecompressResult ParallelEngine::decompress(std::span<const u8> stream) const {
   result.stats.queue_high_water = pool.queue_high_water();
   result.stats.worker_busy_seconds = pool.busy_seconds();
   result.stats.wall_seconds = timer.seconds();
+  merge_report(result.stats, report);
   return result;
 }
 

@@ -13,6 +13,13 @@
 // chunk; in lenient mode the chunk's element range is zero-filled, its
 // index is reported in DecompressResult::corrupt_chunks, and every other
 // chunk is still recovered.
+//
+// Fault tolerance: chunk work runs through a ChunkRunner — transient
+// worker failures are retried with capped exponential backoff, stalled
+// attempts are cancelled by a deadline watchdog, crashed workers shrink
+// the pool without aborting the run, and a fully collapsed pool degrades
+// to single-threaded inline execution. Output bytes are unchanged by any
+// recovered fault; see docs/robustness.md.
 #pragma once
 
 #include <span>
@@ -21,7 +28,9 @@
 #include "core/block_codec.h"
 #include "core/config.h"
 #include "core/stream_codec.h"
+#include "engine/chunk_runner.h"
 #include "engine/engine_stats.h"
+#include "engine/fault_injection.h"
 
 namespace ceresz::engine {
 
@@ -41,6 +50,15 @@ struct EngineOptions {
   /// bad: false = throw naming the chunk, true = zero-fill just that
   /// chunk and keep going.
   bool lenient = false;
+
+  /// Retry/backoff/deadline policy applied to every chunk attempt (see
+  /// chunk_runner.h). Transient failures are retried up to
+  /// `retry.max_attempts` times; data corruption is never retried.
+  RetryPolicy retry;
+
+  /// Injected worker faults, keyed by (chunk, attempt) — empty in
+  /// production; chaos tests and the degraded-mode benchmark fill it in.
+  WorkerFaultPlan faults;
 
   core::CodecConfig codec;
 };

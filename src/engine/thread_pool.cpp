@@ -9,6 +9,7 @@ ThreadPool::ThreadPool(u32 threads, std::size_t queue_capacity)
     : queue_(queue_capacity > 0 ? queue_capacity : 2 * std::max<u32>(1, threads)) {
   CERESZ_CHECK(threads >= 1, "ThreadPool: need at least one worker");
   busy_seconds_.assign(threads, 0.0);
+  alive_.store(threads, std::memory_order_release);
   workers_.reserve(threads);
   for (u32 i = 0; i < threads; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -33,6 +34,32 @@ void ThreadPool::submit(std::function<void()> task) {
   }
 }
 
+bool ThreadPool::try_submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(state_mutex_);
+    ++in_flight_;
+  }
+  if (!queue_.try_push(std::move(task))) {
+    std::lock_guard lock(state_mutex_);
+    if (--in_flight_ == 0) idle_.notify_all();
+    return false;
+  }
+  return true;
+}
+
+bool ThreadPool::run_one_inline() {
+  auto task = queue_.try_pop();
+  if (!task) return false;
+  try {
+    (*task)();
+  } catch (const WorkerCrash&) {
+    // The caller's thread is only borrowed; a crash here kills nothing.
+  }
+  std::lock_guard lock(state_mutex_);
+  if (--in_flight_ == 0) idle_.notify_all();
+  return true;
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(state_mutex_);
   idle_.wait(lock, [&] { return in_flight_ == 0; });
@@ -47,11 +74,23 @@ void ThreadPool::worker_loop(u32 index) {
   using clock = std::chrono::steady_clock;
   while (auto task = queue_.pop()) {
     const auto start = clock::now();
-    (*task)();
+    bool crashed = false;
+    try {
+      (*task)();
+    } catch (const WorkerCrash&) {
+      crashed = true;
+    }
     const f64 elapsed = std::chrono::duration<f64>(clock::now() - start).count();
-    std::lock_guard lock(state_mutex_);
-    busy_seconds_[index] += elapsed;
-    if (--in_flight_ == 0) idle_.notify_all();
+    {
+      std::lock_guard lock(state_mutex_);
+      busy_seconds_[index] += elapsed;
+      if (--in_flight_ == 0) idle_.notify_all();
+    }
+    if (crashed) {
+      crashed_.fetch_add(1, std::memory_order_acq_rel);
+      alive_.fetch_sub(1, std::memory_order_acq_rel);
+      return;  // this worker is gone; survivors keep draining the queue
+    }
   }
 }
 

@@ -25,8 +25,27 @@ PerfPrediction PerfModel::predict(const PipelinePlan& plan, u32 rows,
   CERESZ_CHECK(rows >= 1 && cols >= 1, "PerfModel: empty mesh");
   const u32 pl = plan.length();
   CERESZ_CHECK(pl <= cols, "PerfModel: pipeline longer than the row");
-  const u32 n_pipes = cols / pl;
+  return predict_mesh(plan, rows, cols / pl, blocks_total, block_extent,
+                      block_bytes);
+}
 
+PerfPrediction PerfModel::predict_degraded(const PipelinePlan& plan,
+                                           u32 surviving_rows,
+                                           u32 pipes_per_row,
+                                           u64 blocks_total, u32 block_extent,
+                                           u32 block_bytes) const {
+  CERESZ_CHECK(surviving_rows >= 1 && pipes_per_row >= 1,
+               "PerfModel: a degraded mesh still needs at least one "
+               "surviving pipeline");
+  return predict_mesh(plan, surviving_rows, pipes_per_row, blocks_total,
+                      block_extent, block_bytes);
+}
+
+PerfPrediction PerfModel::predict_mesh(const PipelinePlan& plan, u32 rows,
+                                       u32 n_pipes, u64 blocks_total,
+                                       u32 block_extent,
+                                       u32 block_bytes) const {
+  const u32 pl = plan.length();
   PerfPrediction p;
   p.c1 = relay_c1(block_extent);
   p.c2 = forward_c2(block_extent);

@@ -51,7 +51,21 @@ class PerfModel {
                          u64 blocks_total, u32 block_extent,
                          u32 block_bytes) const;
 
+  /// Predict a degraded run on the placement a fault plan leaves behind:
+  /// `surviving_rows` rows carry blocks and the narrowest of them still
+  /// runs `pipes_per_row` pipelines. The round cost is governed by that
+  /// narrowest row (it deals the same block share with fewer pipelines),
+  /// so the prediction is an upper bound for mixed-width survivors.
+  PerfPrediction predict_degraded(const PipelinePlan& plan,
+                                  u32 surviving_rows, u32 pipes_per_row,
+                                  u64 blocks_total, u32 block_extent,
+                                  u32 block_bytes) const;
+
  private:
+  PerfPrediction predict_mesh(const PipelinePlan& plan, u32 rows,
+                              u32 n_pipes, u64 blocks_total, u32 block_extent,
+                              u32 block_bytes) const;
+
   wse::WseConfig wse_;
 };
 

@@ -56,11 +56,13 @@ void build_row_program(wse::Fabric& fabric, u32 row, const PipelinePlan& plan,
                        PipeDirection direction,
                        std::shared_ptr<const SubStageExecutor> executor,
                        std::vector<RowBlock> row_blocks,
-                       f64 ingress_cycles_per_wavelet) {
+                       f64 ingress_cycles_per_wavelet, u32 usable_cols) {
   CERESZ_CHECK(ingress_cycles_per_wavelet >= 1.0,
                "build_row_program: ingress rate cannot beat the fabric "
                "(one wavelet per cycle)");
-  const u32 cols = fabric.config().cols;
+  CERESZ_CHECK(usable_cols <= fabric.config().cols,
+               "build_row_program: usable columns exceed the mesh");
+  const u32 cols = usable_cols == 0 ? fabric.config().cols : usable_cols;
   const u32 pl = plan.length();
   CERESZ_CHECK(pl >= 1 && pl <= cols,
                "build_row_program: pipeline longer than the row");

@@ -61,11 +61,17 @@ struct RowBlock {
 /// per cycle, the paper's evaluation setting); larger values model a
 /// producer slower than the fabric, which caps the row's throughput at
 /// the generation rate regardless of the PE count.
+///
+/// `usable_cols` restricts the program to the row's westmost columns
+/// (0 = the whole row). The fault-tolerant mapper passes the column count
+/// west of the row's first dead PE, so no route or task ever touches a
+/// failed PE.
 void build_row_program(wse::Fabric& fabric, u32 row,
                        const PipelinePlan& plan, PipeDirection direction,
                        std::shared_ptr<const SubStageExecutor> executor,
                        std::vector<RowBlock> row_blocks,
-                       f64 ingress_cycles_per_wavelet = 1.0);
+                       f64 ingress_cycles_per_wavelet = 1.0,
+                       u32 usable_cols = 0);
 
 /// Estimated local SRAM one stage group needs (message staging plus the
 /// buffers its sub-stages read and write).

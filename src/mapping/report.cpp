@@ -32,6 +32,16 @@ std::string run_summary(const WaferRunResult& result, u32 rows, u32 cols) {
     << fmt_f64(result.seconds * 1e3, 3) << " ms @ 850 MHz; throughput "
     << fmt_f64(result.throughput_gbps, 3) << " GB/s"
     << (result.extrapolated ? " (row-extrapolated)" : "") << ".";
+  if (result.degraded) {
+    o << " DEGRADED: " << result.rows_failed << " row(s) failed, "
+      << result.pipelines_lost << " pipeline(s) lost to faults.";
+  }
+  if (result.run_stats.messages_dropped != 0 ||
+      result.run_stats.messages_corrupted != 0) {
+    o << " Faults observed: " << result.run_stats.messages_dropped
+      << " dropped, " << result.run_stats.messages_corrupted
+      << " corrupted message(s).";
+  }
   return o.str();
 }
 

@@ -14,29 +14,80 @@ namespace {
 /// stream is a whole number of rounds); their results are discarded.
 constexpr u64 kPadTagBase = u64{1} << 63;
 
+/// One surviving row of the (possibly degraded) placement.
+struct RowSlot {
+  u32 row = 0;          ///< fabric row index
+  u32 n_pipes = 1;      ///< pipelines this row still runs
+  u32 usable_cols = 0;  ///< columns west of the row's first dead PE
+};
+
+/// The fault-aware placement: which rows carry blocks and how wide each
+/// still is, plus the degradation bookkeeping reported to the caller.
+struct DegradedLayout {
+  std::vector<RowSlot> slots;
+  u32 stride = 0;  ///< round-robin bins blocks are dealt into
+  u32 rows_failed = 0;
+  u32 pipelines_lost = 0;
+  bool degraded = false;
+};
+
+/// Re-run the placement on the surviving mesh: a row survives iff at
+/// least one whole pipeline fits west of its first dead PE; surviving
+/// rows absorb the failed rows' block share (stride shrinks to the
+/// survivor count, so every block still lands somewhere).
+DegradedLayout plan_layout(const MapperOptions& opt, u32 rows_sim, u32 pl,
+                           bool extrapolated) {
+  const bool faulted = !opt.fault_plan.empty();
+  CERESZ_CHECK(!(faulted && extrapolated),
+               "WaferMapper: fault-aware mapping requires exact simulation "
+               "of every row (raise max_exact_rows or shrink the mesh)");
+  const u32 nominal_pipes = opt.cols / pl;
+  DegradedLayout layout;
+  for (u32 r = 0; r < rows_sim; ++r) {
+    u32 usable = opt.cols;
+    if (const auto dead = opt.fault_plan.first_dead_col(r)) {
+      usable = std::min(usable, *dead);
+    }
+    const u32 pipes = usable / pl;
+    if (pipes == 0) {
+      ++layout.rows_failed;
+      layout.pipelines_lost += nominal_pipes;
+      continue;
+    }
+    layout.pipelines_lost += nominal_pipes - pipes;
+    layout.slots.push_back({r, pipes, usable});
+  }
+  CERESZ_CHECK(!layout.slots.empty(),
+               "WaferMapper: the fault plan leaves no usable rows");
+  layout.degraded = layout.rows_failed > 0 || layout.pipelines_lost > 0;
+  layout.stride = faulted ? static_cast<u32>(layout.slots.size()) : opt.rows;
+  return layout;
+}
+
 struct RowAssignment {
-  std::vector<std::vector<RowBlock>> per_row;  // rows_simulated entries
+  std::vector<std::vector<RowBlock>> per_row;  // one entry per slot
   u64 padded_blocks = 0;
 };
 
-/// Round-robin blocks over `rows_total` rows (the full mesh), materializing
-/// only the first `rows_sim` rows; pad each to a multiple of n_pipes.
+/// Deal blocks round-robin into `layout.stride` bins, materializing one
+/// bin per surviving slot (extrapolation materializes only the simulated
+/// rows of a larger healthy mesh); pad each to a multiple of the slot's
+/// pipeline count.
 template <typename MakeBlock>
-RowAssignment assign_blocks(u64 n_blocks, u32 rows_total, u32 rows_sim,
-                            u32 n_pipes, MakeBlock&& make_block,
-                            RowBlock pad_template) {
+RowAssignment assign_blocks(u64 n_blocks, const DegradedLayout& layout,
+                            MakeBlock&& make_block, RowBlock pad_template) {
   RowAssignment a;
-  a.per_row.resize(rows_sim);
-  for (u32 r = 0; r < rows_sim; ++r) {
-    auto& list = a.per_row[r];
-    for (u64 b = r; b < n_blocks; b += rows_total) {
+  a.per_row.resize(layout.slots.size());
+  for (std::size_t s = 0; s < layout.slots.size(); ++s) {
+    auto& list = a.per_row[s];
+    for (u64 b = s; b < n_blocks; b += layout.stride) {
       list.push_back(make_block(b));
     }
-    u64 pad_tag = kPadTagBase + r;
-    while (list.size() % n_pipes != 0) {
+    u64 pad_tag = kPadTagBase + s;
+    while (list.size() % layout.slots[s].n_pipes != 0) {
       RowBlock pad = pad_template;
       pad.tag = pad_tag;
-      pad_tag += rows_sim;
+      pad_tag += layout.slots.size();
       // Each padding block needs its own work state.
       pad.work = std::make_shared<BlockWork>(*pad_template.work);
       list.push_back(std::move(pad));
@@ -104,6 +155,12 @@ WaferRunResult WaferMapper::compress(std::span<const f32> data,
   result.extrapolated = options_.rows > options_.max_exact_rows;
   result.rows_simulated =
       result.extrapolated ? options_.max_exact_rows : options_.rows;
+  const DegradedLayout layout = plan_layout(options_, result.rows_simulated,
+                                            result.plan.length(),
+                                            result.extrapolated);
+  result.degraded = layout.degraded;
+  result.rows_failed = layout.rows_failed;
+  result.pipelines_lost = layout.pipelines_lost;
 
   auto make_block = [&](u64 b) {
     RowBlock rb;
@@ -122,8 +179,7 @@ WaferRunResult WaferMapper::compress(std::span<const f32> data,
   pad_template.work->input.assign(L, 0.0f);
 
   RowAssignment assignment =
-      assign_blocks(n_blocks, options_.rows, result.rows_simulated, n_pipes,
-                    make_block, pad_template);
+      assign_blocks(n_blocks, layout, make_block, pad_template);
   result.padded_blocks = assignment.padded_blocks;
 
   // 3. Build and run the fabric.
@@ -131,12 +187,15 @@ WaferRunResult WaferMapper::compress(std::span<const f32> data,
   wcfg.rows = result.rows_simulated;
   wcfg.cols = options_.cols;
   wse::Fabric fabric(wcfg);
+  fabric.set_fault_plan(options_.fault_plan);
   auto executor = std::make_shared<const SubStageExecutor>(
       options_.codec, options_.cost, result.eps_abs);
-  for (u32 r = 0; r < result.rows_simulated; ++r) {
-    build_row_program(fabric, r, result.plan, PipeDirection::kCompress,
-                      executor, std::move(assignment.per_row[r]),
-                      options_.ingress_cycles_per_wavelet);
+  for (std::size_t s = 0; s < layout.slots.size(); ++s) {
+    build_row_program(fabric, layout.slots[s].row, result.plan,
+                      PipeDirection::kCompress, executor,
+                      std::move(assignment.per_row[s]),
+                      options_.ingress_cycles_per_wavelet,
+                      layout.slots[s].usable_cols);
   }
   result.run_stats = fabric.run();
   result.makespan = result.run_stats.makespan;
@@ -248,6 +307,12 @@ WaferRunResult WaferMapper::decompress(std::span<const u8> stream) const {
   result.extrapolated = options_.rows > options_.max_exact_rows;
   result.rows_simulated =
       result.extrapolated ? options_.max_exact_rows : options_.rows;
+  const DegradedLayout layout = plan_layout(options_, result.rows_simulated,
+                                            result.plan.length(),
+                                            result.extrapolated);
+  result.degraded = layout.degraded;
+  result.rows_failed = layout.rows_failed;
+  result.pipelines_lost = layout.pipelines_lost;
 
   auto make_block = [&](u64 b) {
     RowBlock rb;
@@ -266,20 +331,22 @@ WaferRunResult WaferMapper::decompress(std::span<const u8> stream) const {
   pad_template.extent = 1;
 
   RowAssignment assignment =
-      assign_blocks(n_blocks, options_.rows, result.rows_simulated, n_pipes,
-                    make_block, pad_template);
+      assign_blocks(n_blocks, layout, make_block, pad_template);
   result.padded_blocks = assignment.padded_blocks;
 
   wse::WseConfig wcfg = options_.wse;
   wcfg.rows = result.rows_simulated;
   wcfg.cols = options_.cols;
   wse::Fabric fabric(wcfg);
+  fabric.set_fault_plan(options_.fault_plan);
   auto executor = std::make_shared<const SubStageExecutor>(
       options_.codec, options_.cost, eps_abs);
-  for (u32 r = 0; r < result.rows_simulated; ++r) {
-    build_row_program(fabric, r, result.plan, PipeDirection::kDecompress,
-                      executor, std::move(assignment.per_row[r]),
-                      options_.ingress_cycles_per_wavelet);
+  for (std::size_t s = 0; s < layout.slots.size(); ++s) {
+    build_row_program(fabric, layout.slots[s].row, result.plan,
+                      PipeDirection::kDecompress, executor,
+                      std::move(assignment.per_row[s]),
+                      options_.ingress_cycles_per_wavelet,
+                      layout.slots[s].usable_cols);
   }
   result.run_stats = fabric.run();
   result.makespan = result.run_stats.makespan;

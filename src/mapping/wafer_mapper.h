@@ -43,6 +43,14 @@ struct MapperOptions {
   /// cycle-balanced split that fits, or a memory-greedy split if none
   /// does. The resulting length must still fit within `cols`.
   bool plan_for_sram = false;
+  /// Hardware faults to survive: the mapper places no work on (or east of)
+  /// a dead PE — rows with a dead PE before `pipeline_length` columns are
+  /// skipped entirely, pipelines east of a mid-row dead PE are lost, and
+  /// the surviving rows absorb the failed rows' block share. The plan is
+  /// also installed into the Fabric, so slow-PE/drop/corrupt faults are
+  /// modeled during the run. A non-empty plan requires exact simulation
+  /// (rows <= max_exact_rows).
+  wse::FaultPlan fault_plan{};
   /// Assemble the full output (stream / reconstruction). Requires exact
   /// simulation of all rows; automatically disabled when extrapolating.
   bool collect_output = true;
@@ -57,7 +65,12 @@ struct WaferRunResult {
   u64 padded_blocks = 0;  ///< zero blocks appended to square off rounds
   bool extrapolated = false;
   u32 rows_simulated = 0;
-  u32 pipelines_per_row = 0;
+  u32 pipelines_per_row = 0;  ///< healthy-row pipeline count (nominal)
+  // Fault-tolerance surface (nonzero only under a MapperOptions fault
+  // plan): the degraded placement actually used.
+  bool degraded = false;
+  u32 rows_failed = 0;      ///< rows with no usable pipeline (skipped)
+  u32 pipelines_lost = 0;   ///< pipelines lost to dead PEs, mesh-wide
   f64 eps_abs = 0.0;
   DataProfile profile;
   PipelinePlan plan;

@@ -60,6 +60,7 @@ struct Fabric::Pe {
   std::deque<Color> ready;
   bool busy = false;
   Cycles send_free = 0;  // serializes the PE's outgoing fabric injections
+  u64 arrivals = 0;      // bursts seen so far, indexes the fault schedule
 
   // Actions recorded by the currently running task, applied at TaskFinish.
   struct TaskScratch {
@@ -255,6 +256,11 @@ void Fabric::inject(u32 row, u32 col, Message msg, Cycles arrival) {
   initial_events_.push_back(std::move(ev));
 }
 
+void Fabric::set_fault_plan(FaultPlan plan) {
+  CERESZ_CHECK(!ran_, "Fabric: cannot install a fault plan after run()");
+  fault_plan_ = std::move(plan);
+}
+
 void Fabric::push_event(Event ev) {
   ev.seq = next_seq_++;
   heap_->push(std::move(ev));
@@ -273,6 +279,16 @@ RunStats Fabric::run() {
     ++events_processed_;
     makespan_ = std::max(makespan_, ev.time);
     Pe& pe = *pes_[ev.pe_index];
+    if (fault_plan_.is_dead(pe.row, pe.col)) {
+      // A dead PE is inert: deliveries vanish, activations are lost, and
+      // it can have no in-flight tasks or ops to finish.
+      if (ev.kind == Event::Kind::kDeliver) {
+        ++pe.stats.messages_dropped;
+      } else if (ev.kind == Event::Kind::kActivate) {
+        ++pe.stats.activations_suppressed;
+      }
+      continue;
+    }
     pe.stats.finish_time = std::max(pe.stats.finish_time, ev.time);
     switch (ev.kind) {
       case Event::Kind::kDeliver:
@@ -295,12 +311,36 @@ RunStats Fabric::run() {
   rs.makespan = makespan_;
   rs.events_processed = events_processed_;
   rs.tasks_run = tasks_run_total_;
+  for (const auto& pe : pes_) {
+    rs.messages_dropped += pe->stats.messages_dropped;
+    rs.messages_corrupted += pe->stats.messages_corrupted;
+    rs.activations_suppressed += pe->stats.activations_suppressed;
+  }
   return rs;
 }
 
 void Fabric::deliver(Pe& pe, Message msg, Cycles time) {
   const Color channel = msg.color;
   CERESZ_CHECK(channel < kNumColors, "deliver: color id out of range");
+  switch (fault_plan_.delivery_fault(pe.row, pe.col, pe.arrivals++)) {
+    case DeliveryFault::kNone:
+      break;
+    case DeliveryFault::kDrop:
+      ++pe.stats.messages_dropped;
+      return;
+    case DeliveryFault::kCorrupt:
+      ++pe.stats.messages_corrupted;
+      msg.corrupted = true;
+      if (msg.payload && !msg.payload->empty()) {
+        // Copy-on-corrupt: the payload is shared with other in-flight
+        // copies of the burst, which arrive intact.
+        auto flipped = std::make_shared<std::vector<Wavelet>>(*msg.payload);
+        const u64 bit = (pe.arrivals * 31) % (flipped->size() * 32);
+        (*flipped)[bit / 32] ^= u32{1} << (bit % 32);
+        msg.payload = std::move(flipped);
+      }
+      break;
+  }
   auto& binding = pe.bindings[channel];
   const bool have_op = !pe.ops[channel].empty();
   if (!have_op && binding.bound &&
@@ -375,7 +415,11 @@ void Fabric::maybe_start_task(Pe& pe, Cycles time) {
   ContextImpl ctx(*this, pe, time);
   binding.fn(ctx);
 
-  const Cycles duration = config_.task_overhead_cycles + ctx.consumed();
+  Cycles duration = config_.task_overhead_cycles + ctx.consumed();
+  const f64 mult = fault_plan_.cycle_multiplier(pe.row, pe.col);
+  if (mult > 1.0) {
+    duration = static_cast<Cycles>(static_cast<f64>(duration) * mult + 0.5);
+  }
   pe.busy = true;
   pe.scratch = ctx.take_scratch();
   pe.stats.busy_cycles += duration;
@@ -488,7 +532,12 @@ void Fabric::route_send(const Pe& from, Message msg, Cycles depart) {
     CERESZ_CHECK(!visited.contains(key),
                  "route_send: color route forms a cycle");
     visited.insert(key);
-    const Pe& pe = *pes_[f.row * config_.cols + f.col];
+    Pe& pe = *pes_[f.row * config_.cols + f.col];
+    if (fault_plan_.is_dead(f.row, f.col)) {
+      // The burst dies at a dead PE's router; hops behind it never happen.
+      ++pe.stats.messages_dropped;
+      continue;
+    }
     const RouteEntry& entry = pe.router.route(color);
     CERESZ_CHECK(entry.configured,
                  "route_send: wavelet reached a PE with no route for its "

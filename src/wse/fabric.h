@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "wse/config.h"
+#include "wse/fault_plan.h"
 #include "wse/memory.h"
 #include "wse/program.h"
 #include "wse/router.h"
@@ -32,6 +33,10 @@ struct PeStats {
   u64 messages_relayed = 0;  ///< forward_async completions
   u64 messages_received = 0; ///< recv_async / data-triggered deliveries
   u64 messages_sent = 0;     ///< send_async completions
+  // Fault-injection counters (nonzero only under a FaultPlan).
+  u64 messages_dropped = 0;    ///< bursts swallowed at this PE
+  u64 messages_corrupted = 0;  ///< bursts delivered with a flipped bit
+  u64 activations_suppressed = 0;  ///< task activations lost to a dead PE
 };
 
 /// Whole-run summary.
@@ -39,6 +44,10 @@ struct RunStats {
   Cycles makespan = 0;       ///< last event time across the fabric
   u64 events_processed = 0;
   u64 tasks_run = 0;
+  // Fault-injection totals, summed over all PEs after the run.
+  u64 messages_dropped = 0;
+  u64 messages_corrupted = 0;
+  u64 activations_suppressed = 0;
 };
 
 /// One emitted result record (see PeContext::emit_result).
@@ -66,6 +75,15 @@ class Fabric {
 
   /// Local SRAM accounting of the PE at (row, col).
   PeMemory& memory(u32 row, u32 col);
+
+  /// Install a deterministic fault schedule consulted during run(): dead
+  /// PEs swallow every event addressed to (or routed through) them, slow
+  /// PEs stretch task execution by their cycle multiplier, and scheduled
+  /// delivery faults drop or bit-corrupt arriving bursts. Must be called
+  /// before run().
+  void set_fault_plan(FaultPlan plan);
+
+  const FaultPlan& fault_plan() const { return fault_plan_; }
 
   /// Bind `fn` to `color` on one PE. A color can hold at most one task.
   void bind_task(u32 row, u32 col, Color color, TaskFn fn,
@@ -109,6 +127,7 @@ class Fabric {
   void route_send(const Pe& from, Message msg, Cycles depart);
 
   WseConfig config_;
+  FaultPlan fault_plan_;
   std::vector<std::unique_ptr<Pe>> pes_;
   std::vector<ResultRecord> results_;
   std::unique_ptr<InFlight> in_flight_;

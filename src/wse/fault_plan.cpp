@@ -1,0 +1,93 @@
+#include "wse/fault_plan.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ceresz::wse {
+
+bool FaultPlan::empty() const {
+  return dead_by_row_.empty() && slow_.empty() && per_arrival_.empty();
+}
+
+void FaultPlan::kill_pe(u32 row, u32 col) {
+  if (dead_by_row_[row].insert(col).second) ++dead_pes_;
+}
+
+void FaultPlan::slow_pe(u32 row, u32 col, f64 cycle_multiplier) {
+  CERESZ_CHECK(cycle_multiplier >= 1.0,
+               "FaultPlan: a slow PE cannot run faster than the clock");
+  slow_[pe_key(row, col)] = cycle_multiplier;
+}
+
+void FaultPlan::drop_delivery(u32 row, u32 col, u64 arrival_index) {
+  auto& faults = per_arrival_[pe_key(row, col)];
+  if (faults.emplace(arrival_index, DeliveryFault::kDrop).second) {
+    ++delivery_faults_;
+  }
+}
+
+void FaultPlan::corrupt_delivery(u32 row, u32 col, u64 arrival_index) {
+  auto& faults = per_arrival_[pe_key(row, col)];
+  if (faults.emplace(arrival_index, DeliveryFault::kCorrupt).second) {
+    ++delivery_faults_;
+  }
+}
+
+bool FaultPlan::is_dead(u32 row, u32 col) const {
+  const auto it = dead_by_row_.find(row);
+  return it != dead_by_row_.end() && it->second.contains(col);
+}
+
+f64 FaultPlan::cycle_multiplier(u32 row, u32 col) const {
+  const auto it = slow_.find(pe_key(row, col));
+  return it == slow_.end() ? 1.0 : it->second;
+}
+
+DeliveryFault FaultPlan::delivery_fault(u32 row, u32 col,
+                                        u64 arrival_index) const {
+  const auto pe = per_arrival_.find(pe_key(row, col));
+  if (pe == per_arrival_.end()) return DeliveryFault::kNone;
+  const auto it = pe->second.find(arrival_index);
+  return it == pe->second.end() ? DeliveryFault::kNone : it->second;
+}
+
+std::optional<u32> FaultPlan::first_dead_col(u32 row) const {
+  const auto it = dead_by_row_.find(row);
+  if (it == dead_by_row_.end() || it->second.empty()) return std::nullopt;
+  return *it->second.begin();
+}
+
+FaultPlan FaultPlan::random(u64 seed, u32 rows, u32 cols,
+                            const FaultSpec& spec) {
+  CERESZ_CHECK(rows >= 1 && cols >= 1, "FaultPlan::random: empty mesh");
+  FaultPlan plan(seed);
+  Rng rng(seed);
+  const auto pick_pe = [&](u32& row, u32& col) {
+    row = static_cast<u32>(rng.next_below(rows));
+    col = static_cast<u32>(rng.next_below(cols));
+  };
+  for (u32 i = 0; i < spec.dead_pes; ++i) {
+    u32 r, c;
+    pick_pe(r, c);
+    plan.kill_pe(r, c);
+  }
+  for (u32 i = 0; i < spec.slow_pes; ++i) {
+    u32 r, c;
+    pick_pe(r, c);
+    plan.slow_pe(r, c, rng.uniform(1.0, spec.max_slowdown));
+  }
+  const u64 horizon = spec.arrival_horizon > 0 ? spec.arrival_horizon : 1;
+  for (u32 i = 0; i < spec.dropped_bursts; ++i) {
+    u32 r, c;
+    pick_pe(r, c);
+    plan.drop_delivery(r, c, rng.next_below(horizon));
+  }
+  for (u32 i = 0; i < spec.corrupted_bursts; ++i) {
+    u32 r, c;
+    pick_pe(r, c);
+    plan.corrupt_delivery(r, c, rng.next_below(horizon));
+  }
+  return plan;
+}
+
+}  // namespace ceresz::wse

@@ -1,0 +1,92 @@
+// Deterministic fault injection for the simulated WSE.
+//
+// A FaultPlan is a fixed schedule of hardware failures the Fabric consults
+// while it runs: dead PEs (never execute tasks, swallow traffic), slow PEs
+// (a cycle-rate multiplier on task execution), dropped wavelet bursts, and
+// bit-corrupted message payloads. Plans are either built explicitly
+// (kill_pe, slow_pe, ...) or drawn from a seeded Rng (FaultPlan::random),
+// so the same seed always yields the same fault schedule — chaos tests can
+// assert exact counters and byte-identical recovered output.
+//
+// The plan only *describes* faults; all modeling lives in Fabric (which
+// stays deterministic because its event loop is serial). The mapping layer
+// reads the same plan to place work around dead PEs before the run starts.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/types.h"
+
+namespace ceresz::wse {
+
+/// What happens to one message burst arriving at a PE.
+enum class DeliveryFault : u8 {
+  kNone = 0,
+  kDrop,     ///< the burst vanishes on the link (router/relay failure)
+  kCorrupt,  ///< the burst arrives with a flipped payload bit
+};
+
+/// Knobs for FaultPlan::random.
+struct FaultSpec {
+  u32 dead_pes = 0;
+  u32 slow_pes = 0;
+  /// Slow PEs run at a uniform multiplier in [1, max_slowdown].
+  f64 max_slowdown = 4.0;
+  u32 dropped_bursts = 0;
+  u32 corrupted_bursts = 0;
+  /// Drop/corrupt faults target per-PE arrival indices below this horizon.
+  u64 arrival_horizon = 64;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(u64 seed) : seed_(seed) {}
+
+  /// Draw a plan from `spec` with Rng(seed) over a rows x cols mesh. The
+  /// same (seed, rows, cols, spec) always yields the same plan.
+  static FaultPlan random(u64 seed, u32 rows, u32 cols, const FaultSpec& spec);
+
+  u64 seed() const { return seed_; }
+  bool empty() const;
+
+  // ---- Plan construction ----
+  void kill_pe(u32 row, u32 col);
+  /// `cycle_multiplier` >= 1 scales the PE's task execution time.
+  void slow_pe(u32 row, u32 col, f64 cycle_multiplier);
+  /// Drop the `arrival_index`-th burst delivered to (row, col) (0-based,
+  /// counted over the PE's whole run).
+  void drop_delivery(u32 row, u32 col, u64 arrival_index);
+  /// Flip one payload bit of the `arrival_index`-th burst at (row, col).
+  void corrupt_delivery(u32 row, u32 col, u64 arrival_index);
+
+  // ---- Queries (Fabric hot path + mapper placement) ----
+  bool is_dead(u32 row, u32 col) const;
+  f64 cycle_multiplier(u32 row, u32 col) const;
+  DeliveryFault delivery_fault(u32 row, u32 col, u64 arrival_index) const;
+
+  u64 dead_pe_count() const { return dead_pes_; }
+  u64 slow_pe_count() const { return slow_.size(); }
+  u64 delivery_fault_count() const { return delivery_faults_; }
+
+  /// Westmost dead column in `row`, if any — what bounds the row's usable
+  /// pipeline columns (traffic streams west to east, so everything at or
+  /// east of the first dead PE is unreachable).
+  std::optional<u32> first_dead_col(u32 row) const;
+
+ private:
+  static u64 pe_key(u32 row, u32 col) {
+    return (static_cast<u64>(row) << 32) | col;
+  }
+
+  u64 seed_ = 0;
+  u64 dead_pes_ = 0;
+  u64 delivery_faults_ = 0;
+  std::map<u32, std::set<u32>> dead_by_row_;
+  std::map<u64, f64> slow_;
+  std::map<u64, std::map<u64, DeliveryFault>> per_arrival_;
+};
+
+}  // namespace ceresz::wse

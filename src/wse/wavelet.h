@@ -82,6 +82,11 @@ struct Message {
   std::shared_ptr<const std::vector<Wavelet>> payload;
   u64 tag = 0;  ///< caller-defined identifier (e.g. global block index)
 
+  /// Set by fault injection when the burst arrived with a flipped payload
+  /// bit (receivers that carry end-to-end integrity checks can consult it;
+  /// the flip itself only touches `payload`, never `user`).
+  bool corrupted = false;
+
   /// Host-side attachment for typed in-flight state (e.g. a compression
   /// pipeline's partially processed block). Purely a simulation
   /// convenience: it does not affect timing — `extent` must still honestly

@@ -7,6 +7,8 @@
 #include "common/rng.h"
 #include "core/stream_codec.h"
 #include "core/tiled_codec.h"
+#include "engine/parallel_engine.h"
+#include "io/chunk_container.h"
 #include "test_util.h"
 
 namespace ceresz {
@@ -94,6 +96,76 @@ TEST_P(StreamFuzz, BitFlipsNeverCrashBaselines) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StreamFuzz, ::testing::Values(1, 2, 3, 4));
+
+// ---- Chunked "CSZC" container fuzz ----
+
+engine::EngineOptions chunked_options(bool lenient = false) {
+  engine::EngineOptions opt;
+  opt.threads = 2;
+  opt.chunk_elems = 256;  // 8 chunks for the 2048-element inputs below
+  opt.lenient = lenient;
+  return opt;
+}
+
+std::vector<u8> make_chunked_stream(u64 seed) {
+  const engine::ParallelEngine eng(chunked_options());
+  const auto data = test::smooth_signal(2048, seed);
+  return eng.compress(data, core::ErrorBound::absolute(1e-3)).stream;
+}
+
+TEST_P(StreamFuzz, ChunkedHeaderAndTableFlipsAreRejectedStructurally) {
+  const auto stream = make_chunked_stream(GetParam());
+  // Every byte of the header and chunk table is covered by a CRC (or is
+  // the magic/CRC itself), so ANY flip there must throw — in strict AND
+  // lenient mode: lenient only forgives payload corruption, never a
+  // container whose structure cannot be trusted.
+  const std::size_t prefix = io::parse_container(stream).header.payload_start();
+  const engine::ParallelEngine strict(chunked_options(false));
+  const engine::ParallelEngine lenient(chunked_options(true));
+  Rng rng(GetParam() * 271 + 9);
+  for (int trial = 0; trial < 150; ++trial) {
+    auto corrupted = stream;
+    const std::size_t byte = rng.next_below(prefix);
+    corrupted[byte] ^= static_cast<u8>(1u << rng.next_below(8));
+    EXPECT_THROW(strict.decompress(corrupted), Error) << "byte " << byte;
+    EXPECT_THROW(lenient.decompress(corrupted), Error) << "byte " << byte;
+  }
+}
+
+TEST_P(StreamFuzz, ChunkedPayloadFlipsAreDetectedPerChunk) {
+  const auto stream = make_chunked_stream(GetParam());
+  const std::size_t prefix = io::parse_container(stream).header.payload_start();
+  const engine::ParallelEngine strict(chunked_options(false));
+  const engine::ParallelEngine lenient(chunked_options(true));
+  Rng rng(GetParam() * 83 + 11);
+  for (int trial = 0; trial < 40; ++trial) {
+    auto corrupted = stream;
+    const std::size_t byte =
+        prefix + rng.next_below(corrupted.size() - prefix);
+    corrupted[byte] ^= static_cast<u8>(1u << rng.next_below(8));
+    // A single payload flip always changes the chunk's CRC32C: strict
+    // throws, lenient quarantines exactly the flipped chunk.
+    EXPECT_THROW(strict.decompress(corrupted), Error) << "byte " << byte;
+    const auto recovered = lenient.decompress(corrupted);
+    EXPECT_EQ(recovered.corrupt_chunks.size(), 1u) << "byte " << byte;
+    EXPECT_EQ(recovered.stats.quarantined, 1u);
+  }
+}
+
+TEST_P(StreamFuzz, ChunkedTruncationsAreRejectedStructurally) {
+  const auto stream = make_chunked_stream(GetParam());
+  const engine::ParallelEngine strict(chunked_options(false));
+  const engine::ParallelEngine lenient(chunked_options(true));
+  Rng rng(GetParam() * 47 + 13);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t cut = rng.next_below(stream.size());
+    const std::vector<u8> truncated(stream.begin(), stream.begin() + cut);
+    // The last chunk's payload runs to the final byte, so every proper
+    // prefix breaks either the table or a chunk's recorded extent.
+    EXPECT_THROW(strict.decompress(truncated), Error) << "cut " << cut;
+    EXPECT_THROW(lenient.decompress(truncated), Error) << "cut " << cut;
+  }
+}
 
 // ---- Magic-value cross-feeding: every decoder rejects every other
 // codec's streams. ----

@@ -39,7 +39,8 @@ int usage() {
                "                   single-stream format)\n"
                "  --chunk-elems N  elements per chunk (multiple of 32)\n"
                "  --lenient        zero-fill corrupt chunks on decompress\n"
-               "                   instead of aborting\n");
+               "                   instead of aborting; exits 3 (instead of\n"
+               "                   0) when any chunk had to be zero-filled\n");
   return 2;
 }
 
@@ -149,16 +150,13 @@ int cmd_decompress(const Args& args) {
   if (args.positional.size() != 2) return usage();
   const auto stream = io::read_bytes(args.positional[0]);
   std::vector<f32> values;
+  std::vector<u64> corrupt_chunks;
   if (engine::ParallelEngine::is_chunked_stream(stream)) {
     const engine::ParallelEngine eng(engine_options(args));
     auto result = eng.decompress(stream);
-    for (u64 c : result.corrupt_chunks) {
-      std::fprintf(stderr,
-                   "warning: chunk %llu was corrupt and zero-filled\n",
-                   static_cast<unsigned long long>(c));
-    }
     print_engine_stats(result.stats);
     values = std::move(result.values);
+    corrupt_chunks = std::move(result.corrupt_chunks);
   } else {
     const core::StreamCodec codec;
     values = codec.decompress(stream);
@@ -168,6 +166,20 @@ int cmd_decompress(const Args& args) {
   io::write_bytes(args.positional[1], bytes);
   std::printf("%s -> %zu values\n", fmt_bytes(stream.size()).c_str(),
               values.size());
+  if (!corrupt_chunks.empty()) {
+    // Partial recovery: the output was written, but some ranges are
+    // zero-filled. Exit 3 so scripts can tell "recovered with losses"
+    // (3) apart from "failed outright" (1) and "bad usage" (2).
+    std::string list;
+    for (u64 c : corrupt_chunks) {
+      if (!list.empty()) list += ", ";
+      list += std::to_string(c);
+    }
+    std::fprintf(stderr,
+                 "decompress: %zu corrupt chunk(s) zero-filled: %s\n",
+                 corrupt_chunks.size(), list.c_str());
+    return 3;
+  }
   return 0;
 }
 
