@@ -7,7 +7,14 @@
 // (e.g. CERESZ_BENCH_SCALE=0.25 for a 16M-element quick run). Alongside
 // the table, each row is emitted as one JSON object so scripted runs can
 // scrape the numbers, mirroring the text-report style of bench_fig11/12.
+//
+// With --trace-out F and/or --metrics-out F, a final instrumented
+// 8-thread compress+decompress pass runs with the observability hooks
+// enabled and exports a Chrome trace / metrics file (Prometheus text for
+// .prom, JSON otherwise), plus the fraction of measured worker busy time
+// covered by trace task spans.
 #include <cmath>
+#include <fstream>
 #include <thread>
 
 #include "bench_util.h"
@@ -29,9 +36,89 @@ std::vector<f32> tile_to(const std::vector<f32>& src, u64 target) {
   return out;
 }
 
+/// Run one observability-enabled compress+decompress pass and export the
+/// trace/metrics files. Returns false when a written file went bad or the
+/// trace's task spans cover less than 95% of the measured busy time.
+bool instrumented_run(std::span<const f32> values, core::ErrorBound bound,
+                      const std::string& trace_out,
+                      const std::string& metrics_out) {
+  obs::Tracer tracer;
+  obs::MetricsRegistry registry;
+  engine::declare_engine_metrics(registry);
+
+  engine::EngineOptions opt;
+  opt.threads = 8;
+  opt.tracer = &tracer;
+  opt.metrics = &registry;
+  const engine::ParallelEngine eng(opt);
+
+  f64 busy_total = 0.0;
+  const f64 wall = bench::time_seconds([&] {
+    const auto result = eng.compress(values, bound);
+    const auto back = eng.decompress(result.stream);
+    busy_total = result.stats.busy_seconds_total() +
+                 back.stats.busy_seconds_total();
+  });
+
+  // Span coverage: the pool's per-task spans bracket the same region its
+  // busy_seconds accounting does, so their total duration should account
+  // for (essentially all of) the measured busy time.
+  u64 task_span_ns = 0;
+  for (const auto& ev : tracer.snapshot_events()) {
+    if (ev.phase == 'X' && std::string_view(ev.cat) == "pool" &&
+        std::string_view(ev.name) == "task") {
+      task_span_ns += ev.dur_ns;
+    }
+  }
+  const f64 coverage =
+      busy_total > 0.0 ? static_cast<f64>(task_span_ns) * 1e-9 / busy_total
+                       : 1.0;
+
+  bool ok = true;
+  if (!trace_out.empty()) {
+    std::ofstream os(trace_out, std::ios::binary);
+    tracer.write_chrome_trace(os);
+    ok = ok && os.good();
+  }
+  if (!metrics_out.empty()) {
+    const auto snap = registry.snapshot();
+    std::ofstream os(metrics_out, std::ios::binary);
+    os << (metrics_out.ends_with(".prom") ? obs::to_prometheus(snap)
+                                          : obs::to_json(snap));
+    ok = ok && os.good();
+  }
+  std::printf("{\"bench\":\"engine_scaling\",\"instrumented\":true,"
+              "\"wall_seconds\":%.4f,\"busy_seconds\":%.4f,"
+              "\"task_span_coverage\":%.4f,\"events_recorded\":%llu,"
+              "\"events_dropped\":%llu}\n",
+              wall, busy_total, coverage,
+              static_cast<unsigned long long>(tracer.events_recorded()),
+              static_cast<unsigned long long>(tracer.events_dropped()));
+  if (coverage < 0.95) {
+    std::printf("instrumented run: task spans cover only %.1f%% of busy "
+                "time — BUG\n", 100.0 * coverage);
+    ok = false;
+  }
+  return ok;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out, metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (a == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_engine_scaling [--trace-out FILE] "
+                   "[--metrics-out FILE]\n");
+      return 2;
+    }
+  }
   const u64 elems = static_cast<u64>(
       static_cast<f64>(kBaseElems) * bench::bench_scale(1.0));
   const auto base = data::generate_field(data::DatasetId::kNyx, 0, 42, 0.5);
@@ -130,6 +217,11 @@ int main() {
                     result.stats.queue_high_water));
   }
 
+  bool instrumented_ok = true;
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    instrumented_ok = instrumented_run(values, bound, trace_out, metrics_out);
+  }
+
   std::printf("\n%s\n", table.render().c_str());
   std::printf("output byte-identical across thread counts (including the "
               "degraded run): %s\n",
@@ -138,5 +230,5 @@ int main() {
               "machine's core count; speedup at 8 threads should be >= 3x "
               "on an 8-core host (this host: %u hardware threads).\n",
               std::max(1u, std::thread::hardware_concurrency()));
-  return identical ? 0 : 1;
+  return identical && instrumented_ok ? 0 : 1;
 }

@@ -19,6 +19,16 @@
 
 namespace ceresz::bench {
 
+/// Wall time of `fn()` on the shared monotonic clock (common/timer.h
+/// now_ns()) — the same clock the tracer stamps spans with, so bench
+/// timings and trace timestamps are directly comparable.
+template <typename F>
+inline f64 time_seconds(F&& fn) {
+  const u64 start = now_ns();
+  fn();
+  return static_cast<f64>(now_ns() - start) * 1e-9;
+}
+
 /// Scale factor for generated datasets, overridable for quick runs:
 ///   CERESZ_BENCH_SCALE=0.2 ./bench_...
 inline f64 bench_scale(f64 default_scale = 0.5) {

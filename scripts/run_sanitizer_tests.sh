@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Build with a sanitizer and run the concurrency-sensitive tests: the
-# engine, the checksum kernels, and the fault-injection chaos suite.
+# engine, the checksum kernels, the fault-injection chaos suite, and the
+# observability registry/tracer suite.
 #
 #   scripts/run_sanitizer_tests.sh thread  [build-dir]   # ThreadSanitizer
 #   scripts/run_sanitizer_tests.sh address [build-dir]   # AddressSanitizer
@@ -37,7 +38,7 @@ cmake -B "$BUILD_DIR" -S . \
   "${EXTRA_FLAGS[@]}"
 
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target test_engine test_checksum test_fault_injection
+  --target test_engine test_checksum test_fault_injection test_obs
 
 cd "$BUILD_DIR"
 if [ "$MODE" = "thread" ]; then
@@ -45,5 +46,5 @@ if [ "$MODE" = "thread" ]; then
 else
   export ASAN_OPTIONS="halt_on_error=1 detect_stack_use_after_return=1"
 fi
-ctest --output-on-failure -R '^test_(engine|checksum|fault_injection)$'
+ctest --output-on-failure -R '^test_(engine|checksum|fault_injection|obs)$'
 echo "${MODE} sanitizer tests passed."

@@ -12,6 +12,8 @@
 //   baselines::*       — SZ/SZp/cuSZ/cuSZp reimplementations
 //   data::*            — synthetic SDRBench-style dataset generators
 //   metrics::*         — PSNR / SSIM / throughput
+//   obs::*             — metrics registry (JSON/Prometheus exporters) and
+//                        Chrome-trace tracer (docs/observability.md)
 #pragma once
 
 #include "baselines/compressor.h"
@@ -34,4 +36,6 @@
 #include "mapping/scheduler.h"
 #include "mapping/wafer_mapper.h"
 #include "metrics/quality.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "wse/fabric.h"

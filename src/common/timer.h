@@ -1,24 +1,37 @@
-// Wall-clock timer for measured (as opposed to simulated) throughput.
+// Wall-clock timing for measured (as opposed to simulated) performance.
+//
+// now_ns() is THE monotonic clock of the codebase: trace timestamps
+// (obs::Tracer), worker busy accounting (engine::ThreadPool), and bench
+// timing all read it, so their numbers are directly comparable.
 #pragma once
 
 #include <chrono>
 
+#include "common/types.h"
+
 namespace ceresz {
+
+/// Monotonic nanoseconds since an arbitrary epoch (steady_clock).
+inline u64 now_ns() {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 class WallTimer {
  public:
-  WallTimer() : start_(clock::now()) {}
+  WallTimer() : start_ns_(now_ns()) {}
 
-  void reset() { start_ = clock::now(); }
+  void reset() { start_ns_ = now_ns(); }
 
   /// Seconds elapsed since construction or the last reset().
   double seconds() const {
-    return std::chrono::duration<double>(clock::now() - start_).count();
+    return static_cast<double>(now_ns() - start_ns_) * 1e-9;
   }
 
  private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point start_;
+  u64 start_ns_;
 };
 
 }  // namespace ceresz

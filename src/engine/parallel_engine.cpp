@@ -27,6 +27,60 @@ struct ChunkOutput {
   u32 crc = 0;
 };
 
+/// Handles into the per-run metrics registry — the run's single write
+/// path for every scalar that EngineStats later reports (EngineStats is
+/// materialized from the registry snapshot, never updated directly).
+struct EngineMetrics {
+  obs::Counter& chunks;
+  obs::Counter& uncompressed_bytes;
+  obs::Counter& compressed_bytes;
+  obs::Counter& retries;
+  obs::Counter& timeouts;
+  obs::Counter& worker_crashes;
+  obs::Counter& fallback_chunks;
+  obs::Counter& quarantined;
+  obs::Gauge& threads;
+  obs::Gauge& queue_high_water;
+  obs::Gauge& wall_seconds;
+  obs::Gauge& busy_seconds;
+  obs::Histogram& chunk_seconds;
+
+  explicit EngineMetrics(obs::MetricsRegistry& reg)
+      : chunks(reg.counter(kMetricChunks)),
+        uncompressed_bytes(reg.counter(kMetricUncompressedBytes)),
+        compressed_bytes(reg.counter(kMetricCompressedBytes)),
+        retries(reg.counter(kMetricRetries)),
+        timeouts(reg.counter(kMetricTimeouts)),
+        worker_crashes(reg.counter(kMetricWorkerCrashes)),
+        fallback_chunks(reg.counter(kMetricFallbackChunks)),
+        quarantined(reg.counter(kMetricQuarantined)),
+        threads(reg.gauge(kMetricThreads)),
+        queue_high_water(reg.gauge(kMetricQueueHighWater)),
+        wall_seconds(reg.gauge(kMetricWallSeconds)),
+        busy_seconds(reg.gauge(kMetricBusySeconds)),
+        chunk_seconds(reg.histogram(
+            kMetricChunkSeconds,
+            obs::MetricsRegistry::default_seconds_buckets())) {}
+
+  /// Fold a ChunkRunner report into the run's counters.
+  void merge(const RunReport& report) {
+    retries.add(report.retries);
+    timeouts.add(report.timeouts);
+    worker_crashes.add(report.worker_crashes);
+    fallback_chunks.add(report.fallback_chunks);
+  }
+
+  /// End-of-run gauges, set just before the snapshot is taken.
+  void finish(u32 thread_count, const ThreadPool& pool, f64 wall) {
+    threads.set(thread_count);
+    queue_high_water.set(static_cast<f64>(pool.queue_high_water()));
+    wall_seconds.set(wall);
+    f64 busy = 0.0;
+    for (f64 s : pool.busy_seconds()) busy += s;
+    busy_seconds.set(busy);
+  }
+};
+
 /// Apply the injected fault (if any) for this attempt. kStall sleeps in
 /// cancellable 1 ms ticks; if the watchdog fires mid-stall the attempt
 /// aborts with ChunkTimeout, otherwise it proceeds with the real work
@@ -58,15 +112,12 @@ void maybe_inject(const WorkerFaultPlan& plan, u64 chunk, u32 attempt,
   }
 }
 
-/// Fold a ChunkRunner report into the run's stats.
-void merge_report(EngineStats& stats, const RunReport& report) {
-  stats.retries += report.retries;
-  stats.timeouts += report.timeouts;
-  stats.worker_crashes += report.worker_crashes;
-  stats.fallback_chunks += report.fallback_chunks;
-}
-
 }  // namespace
+
+void declare_engine_metrics(obs::MetricsRegistry& reg) {
+  EngineMetrics declared(reg);
+  (void)declared;
+}
 
 ParallelEngine::ParallelEngine(EngineOptions options)
     : options_(options), block_codec_(options.codec) {
@@ -94,8 +145,14 @@ EngineResult ParallelEngine::compress(std::span<const f32> data,
   const u64 n_chunks = (n + C - 1) / C;
 
   WallTimer timer;
+  obs::Tracer* const tracer = options_.tracer;
+  obs::MetricsRegistry reg;
+  EngineMetrics em(reg);
+  obs::SpanGuard run_span(tracer, "engine.compress", "engine", "chunks",
+                          static_cast<i64>(n_chunks), "elements",
+                          static_cast<i64>(n));
   const u32 threads = resolved_threads();
-  ThreadPool pool(threads, options_.queue_capacity);
+  ThreadPool pool(threads, options_.queue_capacity, tracer);
 
   std::mutex error_mutex;
   std::exception_ptr first_error;
@@ -112,6 +169,7 @@ EngineResult ParallelEngine::compress(std::span<const f32> data,
   if (bound.mode == core::ErrorBound::Mode::kAbsolute || n == 0) {
     eps = bound.resolve(0.0);
   } else {
+    obs::SpanGuard minmax_span(tracer, "engine.minmax", "engine");
     std::vector<f64> slice_min(n_chunks), slice_max(n_chunks);
     for (u64 c = 0; c < n_chunks; ++c) {
       pool.submit([&, c] {
@@ -149,44 +207,67 @@ EngineResult ParallelEngine::compress(std::span<const f32> data,
   ChunkRunner runner(pool, options_.retry);
   const RunReport report = runner.run(
       n_chunks, [&](u64 c, u32 attempt, const CancelToken& cancel) {
-        maybe_inject(options_.faults, c, attempt, cancel);
-        const u64 begin = c * C;
-        const u64 end = std::min(n, begin + C);
-        ChunkOutput o;
-        const u64 blocks = (end - begin + L - 1) / L;
-        o.bytes.reserve(blocks * block_codec_.max_compressed_size());
-        std::vector<f32> padded(L);
-        for (u64 bstart = begin; bstart < end; bstart += L) {
-          if (cancel.cancelled()) {
-            throw ChunkTimeout("chunk " + std::to_string(c) +
-                               " exceeded its compression deadline");
-          }
-          const u64 count = std::min<u64>(L, end - bstart);
-          std::span<const f32> block;
-          if (count == L) {
-            block = data.subspan(bstart, L);
-          } else {
-            std::fill(padded.begin(), padded.end(), 0.0f);
-            std::copy_n(data.data() + bstart, count, padded.begin());
-            block = padded;
-          }
-          const core::BlockInfo info = block_codec_.compress(block, eps, o.bytes);
-          ++o.stats.total_blocks;
-          if (info.zero_block) {
-            ++o.stats.zero_blocks;
-            ++o.stats.fl_histogram[0];
-          } else if (info.constant_block) {
-            ++o.stats.constant_blocks;
-          } else {
-            o.fl_sum += info.fixed_length;
-            o.stats.max_fixed_length =
-                std::max(o.stats.max_fixed_length, info.fixed_length);
-            ++o.stats.fl_histogram[info.fixed_length];
-          }
+        const u64 attempt_start = now_ns();
+        obs::SpanGuard span(tracer, "chunk.compress", "engine", "chunk",
+                            static_cast<i64>(c), "attempt",
+                            static_cast<i64>(attempt));
+        if (attempt > 0 && tracer) {
+          tracer->instant("chunk.retry", "engine", "chunk",
+                          static_cast<i64>(c));
         }
-        o.crc = crc32c(o.bytes);
-        outs[c] = std::move(o);
+        try {
+          maybe_inject(options_.faults, c, attempt, cancel);
+          const u64 begin = c * C;
+          const u64 end = std::min(n, begin + C);
+          ChunkOutput o;
+          const u64 blocks = (end - begin + L - 1) / L;
+          o.bytes.reserve(blocks * block_codec_.max_compressed_size());
+          std::vector<f32> padded(L);
+          for (u64 bstart = begin; bstart < end; bstart += L) {
+            if (cancel.cancelled()) {
+              throw ChunkTimeout("chunk " + std::to_string(c) +
+                                 " exceeded its compression deadline");
+            }
+            const u64 count = std::min<u64>(L, end - bstart);
+            std::span<const f32> block;
+            if (count == L) {
+              block = data.subspan(bstart, L);
+            } else {
+              std::fill(padded.begin(), padded.end(), 0.0f);
+              std::copy_n(data.data() + bstart, count, padded.begin());
+              block = padded;
+            }
+            const core::BlockInfo info =
+                block_codec_.compress(block, eps, o.bytes);
+            ++o.stats.total_blocks;
+            if (info.zero_block) {
+              ++o.stats.zero_blocks;
+              ++o.stats.fl_histogram[0];
+            } else if (info.constant_block) {
+              ++o.stats.constant_blocks;
+            } else {
+              o.fl_sum += info.fixed_length;
+              o.stats.max_fixed_length =
+                  std::max(o.stats.max_fixed_length, info.fixed_length);
+              ++o.stats.fl_histogram[info.fixed_length];
+            }
+          }
+          o.crc = crc32c(o.bytes);
+          outs[c] = std::move(o);
+        } catch (const ChunkTimeout&) {
+          if (tracer) {
+            tracer->instant("chunk.timeout", "engine", "chunk",
+                            static_cast<i64>(c));
+          }
+          throw;
+        }
+        em.chunk_seconds.observe(static_cast<f64>(now_ns() - attempt_start) *
+                                 1e-9);
       });
+  // All chunks are resolved, but a worker's final busy/span accounting
+  // lands after it records the completion — wait for true idleness before
+  // reading the pool's counters (see ThreadPool::busy_seconds()).
+  pool.wait_idle();
   // Compression has no lenient mode: the caller asked for a complete
   // container, and a chunk that exhausted its attempts means there is
   // none to give.
@@ -220,39 +301,53 @@ EngineResult ParallelEngine::compress(std::span<const f32> data,
   result.eps_abs = eps;
   result.element_count = n;
   result.stream.reserve(offset);
-  io::write_container_prefix(result.stream, header, entries);
-  f64 fl_sum = 0.0;
-  u64 nonzero = 0;
-  for (u64 c = 0; c < n_chunks; ++c) {
-    const ChunkOutput& o = outs[c];
-    result.stream.insert(result.stream.end(), o.bytes.begin(), o.bytes.end());
-    result.stats.stream.total_blocks += o.stats.total_blocks;
-    result.stats.stream.zero_blocks += o.stats.zero_blocks;
-    result.stats.stream.constant_blocks += o.stats.constant_blocks;
-    result.stats.stream.max_fixed_length = std::max(
-        result.stats.stream.max_fixed_length, o.stats.max_fixed_length);
-    for (std::size_t i = 0; i < o.stats.fl_histogram.size(); ++i) {
-      result.stats.stream.fl_histogram[i] += o.stats.fl_histogram[i];
+  {
+    obs::SpanGuard assemble_span(tracer, "engine.assemble", "engine");
+    io::write_container_prefix(result.stream, header, entries);
+    core::StreamStats stream_stats;
+    f64 fl_sum = 0.0;
+    u64 nonzero = 0;
+    for (u64 c = 0; c < n_chunks; ++c) {
+      const ChunkOutput& o = outs[c];
+      result.stream.insert(result.stream.end(), o.bytes.begin(),
+                           o.bytes.end());
+      stream_stats.total_blocks += o.stats.total_blocks;
+      stream_stats.zero_blocks += o.stats.zero_blocks;
+      stream_stats.constant_blocks += o.stats.constant_blocks;
+      stream_stats.max_fixed_length =
+          std::max(stream_stats.max_fixed_length, o.stats.max_fixed_length);
+      for (std::size_t i = 0; i < o.stats.fl_histogram.size(); ++i) {
+        stream_stats.fl_histogram[i] += o.stats.fl_histogram[i];
+      }
+      fl_sum += o.fl_sum;
+      nonzero +=
+          o.stats.total_blocks - o.stats.zero_blocks - o.stats.constant_blocks;
     }
-    fl_sum += o.fl_sum;
-    nonzero += o.stats.total_blocks - o.stats.zero_blocks - o.stats.constant_blocks;
+    stream_stats.mean_fixed_length =
+        nonzero > 0 ? fl_sum / static_cast<f64>(nonzero) : 0.0;
+    result.stats.stream = stream_stats;
   }
-  result.stats.stream.mean_fixed_length =
-      nonzero > 0 ? fl_sum / static_cast<f64>(nonzero) : 0.0;
 
-  result.stats.threads = threads;
-  result.stats.chunks = n_chunks;
-  result.stats.uncompressed_bytes = n * sizeof(f32);
-  result.stats.compressed_bytes = result.stream.size();
-  result.stats.queue_high_water = pool.queue_high_water();
+  em.chunks.add(n_chunks);
+  em.uncompressed_bytes.add(n * sizeof(f32));
+  em.compressed_bytes.add(result.stream.size());
+  em.merge(report);
+  em.finish(threads, pool, timer.seconds());
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const core::StreamStats stream_stats = result.stats.stream;
+  result.stats = EngineStats::from_snapshot(snap);
+  result.stats.stream = stream_stats;
   result.stats.worker_busy_seconds = pool.busy_seconds();
-  result.stats.wall_seconds = timer.seconds();
-  merge_report(result.stats, report);
+  if (options_.metrics) options_.metrics->accumulate(snap);
   return result;
 }
 
 DecompressResult ParallelEngine::decompress(std::span<const u8> stream) const {
   WallTimer timer;
+  obs::Tracer* const tracer = options_.tracer;
+  obs::MetricsRegistry reg;
+  EngineMetrics em(reg);
   const io::ParsedContainer parsed = io::parse_container(stream);
   const io::ChunkedHeader& h = parsed.header;
   const core::CodecConfig& cfg = block_codec_.config();
@@ -265,12 +360,16 @@ DecompressResult ParallelEngine::decompress(std::span<const u8> stream) const {
   const u32 L = cfg.block_size;
   const u64 n = h.element_count;
 
+  obs::SpanGuard run_span(tracer, "engine.decompress", "engine", "chunks",
+                          static_cast<i64>(parsed.entries.size()), "elements",
+                          static_cast<i64>(n));
+
   DecompressResult result;
   result.values.assign(n, 0.0f);
   f32* out = result.values.data();
 
   const u32 threads = resolved_threads();
-  ThreadPool pool(threads, options_.queue_capacity);
+  ThreadPool pool(threads, options_.queue_capacity, tracer);
 
   // Each attempt decodes straight into its disjoint output range. Corrupt
   // data (CRC mismatch, undecodable record) throws PermanentChunkError —
@@ -282,6 +381,14 @@ DecompressResult ParallelEngine::decompress(std::span<const u8> stream) const {
   const RunReport report = runner.run(
       parsed.entries.size(),
       [&](u64 c, u32 attempt, const CancelToken& cancel) {
+        const u64 attempt_start = now_ns();
+        obs::SpanGuard span(tracer, "chunk.decompress", "engine", "chunk",
+                            static_cast<i64>(c), "attempt",
+                            static_cast<i64>(attempt));
+        if (attempt > 0 && tracer) {
+          tracer->instant("chunk.retry", "engine", "chunk",
+                          static_cast<i64>(c));
+        }
         maybe_inject(options_.faults, c, attempt, cancel);
         const io::ChunkEntry& e = parsed.entries[c];
         const u64 begin = c * h.chunk_elems;
@@ -305,7 +412,8 @@ DecompressResult ParallelEngine::decompress(std::span<const u8> stream) const {
             std::span<f32> dst = count == L
                                      ? std::span<f32>(out + begin + done, L)
                                      : std::span<f32>(padded);
-            pos += block_codec_.decompress(payload.subspan(pos), h.eps_abs, dst);
+            pos += block_codec_.decompress(payload.subspan(pos), h.eps_abs,
+                                           dst);
             if (count < L) {
               std::copy_n(padded.begin(), count, out + begin + done);
             }
@@ -313,13 +421,24 @@ DecompressResult ParallelEngine::decompress(std::span<const u8> stream) const {
           CERESZ_CHECK(pos == e.compressed_bytes,
                        "chunk payload has trailing bytes");
         } catch (const ChunkTimeout&) {
-          throw;  // a timeout is transient, not data corruption
+          // A timeout is transient, not data corruption.
+          if (tracer) {
+            tracer->instant("chunk.timeout", "engine", "chunk",
+                            static_cast<i64>(c));
+          }
+          throw;
         } catch (const std::exception& ex) {
           throw PermanentChunkError("ParallelEngine: chunk " +
                                     std::to_string(c) +
                                     " is corrupt: " + ex.what());
         }
+        em.chunk_seconds.observe(static_cast<f64>(now_ns() - attempt_start) *
+                                 1e-9);
       });
+
+  // See the matching wait in compress(): pool counters are only
+  // consistent once every worker has finished its post-task accounting.
+  pool.wait_idle();
 
   for (const ChunkFailure& f : report.failed) {
     if (!options_.lenient) throw Error(f.message);
@@ -327,17 +446,23 @@ DecompressResult ParallelEngine::decompress(std::span<const u8> stream) const {
     const u64 begin = f.chunk * h.chunk_elems;
     std::fill(out + begin, out + begin + e.element_count, 0.0f);
     result.corrupt_chunks.push_back(f.chunk);
-    ++result.stats.quarantined;
+    em.quarantined.add(1);
+    if (tracer) {
+      tracer->instant("chunk.quarantined", "engine", "chunk",
+                      static_cast<i64>(f.chunk));
+    }
   }
 
-  result.stats.threads = threads;
-  result.stats.chunks = parsed.entries.size();
-  result.stats.uncompressed_bytes = n * sizeof(f32);
-  result.stats.compressed_bytes = stream.size();
-  result.stats.queue_high_water = pool.queue_high_water();
+  em.chunks.add(parsed.entries.size());
+  em.uncompressed_bytes.add(n * sizeof(f32));
+  em.compressed_bytes.add(stream.size());
+  em.merge(report);
+  em.finish(threads, pool, timer.seconds());
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  result.stats = EngineStats::from_snapshot(snap);
   result.stats.worker_busy_seconds = pool.busy_seconds();
-  result.stats.wall_seconds = timer.seconds();
-  merge_report(result.stats, report);
+  if (options_.metrics) options_.metrics->accumulate(snap);
   return result;
 }
 

@@ -31,6 +31,8 @@
 #include "engine/chunk_runner.h"
 #include "engine/engine_stats.h"
 #include "engine/fault_injection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ceresz::engine {
 
@@ -59,6 +61,16 @@ struct EngineOptions {
   /// Injected worker faults, keyed by (chunk, attempt) — empty in
   /// production; chaos tests and the degraded-mode benchmark fill it in.
   WorkerFaultPlan faults;
+
+  /// Observability (both nullable, both borrowed — they must outlive
+  /// the engine's runs). `tracer` records per-chunk spans, worker busy
+  /// spans, and the queue-depth counter track. `metrics` receives the
+  /// run's counters on completion (accumulated, so one registry can
+  /// serve many runs); the engine's own EngineStats view works without
+  /// it. With both null the instrumentation cost is one pointer test
+  /// per site.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 
   core::CodecConfig codec;
 };

@@ -1,12 +1,17 @@
 #include "engine/thread_pool.h"
 
 #include <algorithm>
-#include <chrono>
+#include <string>
+
+#include "common/timer.h"
 
 namespace ceresz::engine {
 
-ThreadPool::ThreadPool(u32 threads, std::size_t queue_capacity)
-    : queue_(queue_capacity > 0 ? queue_capacity : 2 * std::max<u32>(1, threads)) {
+ThreadPool::ThreadPool(u32 threads, std::size_t queue_capacity,
+                       obs::Tracer* tracer)
+    : tracer_(tracer),
+      queue_(queue_capacity > 0 ? queue_capacity
+                                : 2 * std::max<u32>(1, threads)) {
   CERESZ_CHECK(threads >= 1, "ThreadPool: need at least one worker");
   busy_seconds_.assign(threads, 0.0);
   alive_.store(threads, std::memory_order_release);
@@ -32,6 +37,10 @@ void ThreadPool::submit(std::function<void()> task) {
     --in_flight_;
     CERESZ_FAIL("ThreadPool: submit after shutdown");
   }
+  if (tracer_) {
+    tracer_->counter("pool.queue_depth",
+                     static_cast<i64>(queue_.depth()));
+  }
 }
 
 bool ThreadPool::try_submit(std::function<void()> task) {
@@ -43,6 +52,10 @@ bool ThreadPool::try_submit(std::function<void()> task) {
     std::lock_guard lock(state_mutex_);
     if (--in_flight_ == 0) idle_.notify_all();
     return false;
+  }
+  if (tracer_) {
+    tracer_->counter("pool.queue_depth",
+                     static_cast<i64>(queue_.depth()));
   }
   return true;
 }
@@ -71,22 +84,48 @@ std::vector<f64> ThreadPool::busy_seconds() const {
 }
 
 void ThreadPool::worker_loop(u32 index) {
-  using clock = std::chrono::steady_clock;
+  if (!tracer_) {
+    run_tasks(index);
+    return;
+  }
+  tracer_->set_thread_name(obs::kHostPid, tracer_->thread_id(),
+                           "worker-" + std::to_string(index));
+  const u64 start = tracer_->now_rel_ns();
+  run_tasks(index);
+  obs::TraceEvent ev;
+  ev.name = "worker.lifetime";
+  ev.cat = "pool";
+  ev.ts_ns = start;
+  ev.dur_ns = tracer_->now_rel_ns() - start;
+  tracer_->record(ev);
+}
+
+void ThreadPool::run_tasks(u32 index) {
   while (auto task = queue_.pop()) {
-    const auto start = clock::now();
-    bool crashed = false;
-    try {
-      (*task)();
-    } catch (const WorkerCrash&) {
-      crashed = true;
+    if (tracer_) {
+      tracer_->counter("pool.queue_depth",
+                       static_cast<i64>(queue_.depth()));
     }
-    const f64 elapsed = std::chrono::duration<f64>(clock::now() - start).count();
+    const u64 start_ns = now_ns();
+    bool crashed = false;
+    {
+      // The busy span and busy_seconds_ bracket the same region, so the
+      // trace's task spans account for (cover) the measured busy time.
+      obs::SpanGuard span(tracer_, "task", "pool");
+      try {
+        (*task)();
+      } catch (const WorkerCrash&) {
+        crashed = true;
+      }
+    }
+    const f64 elapsed = static_cast<f64>(now_ns() - start_ns) * 1e-9;
     {
       std::lock_guard lock(state_mutex_);
       busy_seconds_[index] += elapsed;
       if (--in_flight_ == 0) idle_.notify_all();
     }
     if (crashed) {
+      if (tracer_) tracer_->instant("worker.crash", "pool");
       crashed_.fetch_add(1, std::memory_order_acq_rel);
       alive_.fetch_sub(1, std::memory_order_acq_rel);
       return;  // this worker is gone; survivors keep draining the queue

@@ -20,6 +20,7 @@
 
 #include "common/types.h"
 #include "engine/bounded_queue.h"
+#include "obs/trace.h"
 
 namespace ceresz::engine {
 
@@ -37,8 +38,11 @@ class WorkerCrash : public std::exception {
 class ThreadPool {
  public:
   /// `threads` must be >= 1. `queue_capacity` bounds the number of
-  /// submitted-but-not-started tasks (0 picks 2 * threads).
-  explicit ThreadPool(u32 threads, std::size_t queue_capacity = 0);
+  /// submitted-but-not-started tasks (0 picks 2 * threads). A non-null
+  /// `tracer` records worker lifetime + per-task busy spans and a
+  /// "pool.queue_depth" counter track; it must outlive the pool.
+  explicit ThreadPool(u32 threads, std::size_t queue_capacity = 0,
+                      obs::Tracer* tracer = nullptr);
 
   /// Joins the workers; pending tasks are still executed first.
   ~ThreadPool();
@@ -90,7 +94,9 @@ class ThreadPool {
 
  private:
   void worker_loop(u32 index);
+  void run_tasks(u32 index);
 
+  obs::Tracer* tracer_ = nullptr;  // set before workers start, then const
   BoundedQueue<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   std::vector<f64> busy_seconds_;  // one slot per worker, owner-written

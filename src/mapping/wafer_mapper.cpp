@@ -106,7 +106,30 @@ void append_u64(std::vector<u8>& out, u64 v) {
   for (int b = 0; b < 8; ++b) out.push_back(static_cast<u8>((v >> (8 * b)) & 0xff));
 }
 
+/// Fold a finished run into the caller's long-lived registry.
+void record_mapper_metrics(obs::MetricsRegistry* reg,
+                           const WaferRunResult& result) {
+  if (!reg) return;
+  reg->counter(kMetricMapperRuns).add(1);
+  reg->counter(kMetricMapperBlocks).add(result.total_blocks);
+  reg->counter(kMetricMapperPaddedBlocks).add(result.padded_blocks);
+  reg->counter(kMetricMapperRowsFailed).add(result.rows_failed);
+  reg->counter(kMetricMapperPipelinesLost).add(result.pipelines_lost);
+  reg->gauge(kMetricMapperMakespan).set(static_cast<f64>(result.makespan));
+  reg->gauge(kMetricMapperThroughput).set(result.throughput_gbps);
+}
+
 }  // namespace
+
+void declare_mapper_metrics(obs::MetricsRegistry& reg) {
+  reg.counter(kMetricMapperRuns);
+  reg.counter(kMetricMapperBlocks);
+  reg.counter(kMetricMapperPaddedBlocks);
+  reg.counter(kMetricMapperRowsFailed);
+  reg.counter(kMetricMapperPipelinesLost);
+  reg.gauge(kMetricMapperMakespan);
+  reg.gauge(kMetricMapperThroughput);
+}
 
 WaferMapper::WaferMapper(MapperOptions options) : options_(options) {
   options_.codec.validate();
@@ -128,26 +151,36 @@ WaferRunResult WaferMapper::compress(std::span<const f32> data,
   CERESZ_CHECK(!data.empty(), "WaferMapper::compress: empty input");
 
   WaferRunResult result;
+  obs::SpanGuard run_span(options_.tracer, "mapper.compress", "mapper",
+                          "elements", static_cast<i64>(data.size()));
 
   // 1. Profile + schedule.
-  StageProfiler profiler(options_.codec, options_.cost,
-                         options_.sample_fraction);
-  result.profile = profiler.profile(data, bound);
+  {
+    obs::SpanGuard span(options_.tracer, "mapper.profile", "mapper");
+    StageProfiler profiler(options_.codec, options_.cost,
+                           options_.sample_fraction);
+    result.profile = profiler.profile(data, bound);
+  }
   result.eps_abs = result.profile.eps_abs;
-  GreedyScheduler scheduler(options_.cost, L);
-  const auto substages =
-      core::compression_substages(result.profile.est_fixed_length);
-  if (options_.plan_for_sram) {
-    result.plan = plan_with_sram(scheduler, substages, L,
-                                 PipeDirection::kCompress,
-                                 options_.wse.sram_bytes);
-    CERESZ_CHECK(result.plan.length() <= options_.cols,
-                 "WaferMapper: SRAM-driven pipeline longer than the row");
-  } else {
-    result.plan = scheduler.distribute(substages, options_.pipeline_length);
+  {
+    obs::SpanGuard span(options_.tracer, "mapper.schedule", "mapper");
+    GreedyScheduler scheduler(options_.cost, L);
+    const auto substages =
+        core::compression_substages(result.profile.est_fixed_length);
+    if (options_.plan_for_sram) {
+      result.plan = plan_with_sram(scheduler, substages, L,
+                                   PipeDirection::kCompress,
+                                   options_.wse.sram_bytes);
+      CERESZ_CHECK(result.plan.length() <= options_.cols,
+                   "WaferMapper: SRAM-driven pipeline longer than the row");
+    } else {
+      result.plan = scheduler.distribute(substages, options_.pipeline_length);
+    }
   }
 
   // 2. Row assignment.
+  const u64 assign_start =
+      options_.tracer ? options_.tracer->now_rel_ns() : 0;
   const u64 n_blocks = (data.size() + L - 1) / L;
   result.total_blocks = n_blocks;
   const u32 n_pipes = options_.cols / result.plan.length();
@@ -181,6 +214,16 @@ WaferRunResult WaferMapper::compress(std::span<const f32> data,
   RowAssignment assignment =
       assign_blocks(n_blocks, layout, make_block, pad_template);
   result.padded_blocks = assignment.padded_blocks;
+  if (options_.tracer) {
+    obs::TraceEvent ev;
+    ev.name = "mapper.assign";
+    ev.cat = "mapper";
+    ev.ts_ns = assign_start;
+    ev.dur_ns = options_.tracer->now_rel_ns() - assign_start;
+    ev.arg1_name = "blocks";
+    ev.arg1 = static_cast<i64>(n_blocks);
+    options_.tracer->record(ev);
+  }
 
   // 3. Build and run the fabric.
   wse::WseConfig wcfg = options_.wse;
@@ -188,6 +231,8 @@ WaferRunResult WaferMapper::compress(std::span<const f32> data,
   wcfg.cols = options_.cols;
   wse::Fabric fabric(wcfg);
   fabric.set_fault_plan(options_.fault_plan);
+  fabric.set_tracer(options_.tracer);
+  fabric.set_metrics(options_.metrics);
   auto executor = std::make_shared<const SubStageExecutor>(
       options_.codec, options_.cost, result.eps_abs);
   for (std::size_t s = 0; s < layout.slots.size(); ++s) {
@@ -197,7 +242,10 @@ WaferRunResult WaferMapper::compress(std::span<const f32> data,
                       options_.ingress_cycles_per_wavelet,
                       layout.slots[s].usable_cols);
   }
-  result.run_stats = fabric.run();
+  {
+    obs::SpanGuard span(options_.tracer, "mapper.fabric_run", "mapper");
+    result.run_stats = fabric.run();
+  }
   result.makespan = result.run_stats.makespan;
   result.seconds = wcfg.seconds(result.makespan);
   result.throughput_gbps =
@@ -210,6 +258,7 @@ WaferRunResult WaferMapper::compress(std::span<const f32> data,
 
   // 4. Assemble the stream (exact mode only: every block was simulated).
   if (options_.collect_output && !result.extrapolated) {
+    obs::SpanGuard span(options_.tracer, "mapper.assemble", "mapper");
     std::vector<std::span<const u8>> records(n_blocks);
     for (const auto& rec : fabric.results()) {
       if (rec.tag >= kPadTagBase) continue;
@@ -232,6 +281,7 @@ WaferRunResult WaferMapper::compress(std::span<const f32> data,
       out.insert(out.end(), records[b].begin(), records[b].end());
     }
   }
+  record_mapper_metrics(options_.metrics, result);
   return result;
 }
 
@@ -258,6 +308,8 @@ WaferRunResult WaferMapper::decompress(std::span<const u8> stream) const {
   CERESZ_CHECK(eps_abs > 0.0, "WaferMapper::decompress: corrupt bound");
 
   WaferRunResult result;
+  obs::SpanGuard run_span(options_.tracer, "mapper.decompress", "mapper",
+                          "bytes", static_cast<i64>(stream.size()));
   result.eps_abs = eps_abs;
   const u64 n_blocks = (element_count + L - 1) / L;
   // Corrupt-header guard: every record is at least header_bytes wide.
@@ -273,35 +325,43 @@ WaferRunResult WaferMapper::decompress(std::span<const u8> stream) const {
   const core::BlockCodec& bc = codec.block_codec();
   std::vector<u64> offsets(n_blocks + 1);
   u32 max_fl = 1;
-  u64 pos = core::StreamCodec::header_size();
-  for (u64 b = 0; b < n_blocks; ++b) {
-    offsets[b] = pos;
-    const std::size_t rec = bc.record_size(stream.subspan(pos));
-    // Header low byte is the fixed length (<= 32).
-    max_fl = std::max(max_fl, static_cast<u32>(stream[pos]));
-    pos += rec;
-    CERESZ_CHECK(pos <= stream.size(),
-                 "WaferMapper::decompress: truncated stream");
+  {
+    obs::SpanGuard span(options_.tracer, "mapper.profile", "mapper");
+    u64 pos = core::StreamCodec::header_size();
+    for (u64 b = 0; b < n_blocks; ++b) {
+      offsets[b] = pos;
+      const std::size_t rec = bc.record_size(stream.subspan(pos));
+      // Header low byte is the fixed length (<= 32).
+      max_fl = std::max(max_fl, static_cast<u32>(stream[pos]));
+      pos += rec;
+      CERESZ_CHECK(pos <= stream.size(),
+                   "WaferMapper::decompress: truncated stream");
+    }
+    offsets[n_blocks] = pos;
   }
-  offsets[n_blocks] = pos;
 
   result.profile.eps_abs = eps_abs;
   result.profile.est_fixed_length = max_fl;
   result.profile.decompress_cycles =
       options_.cost.decompress_block_cycles(L, max_fl, false);
 
-  GreedyScheduler scheduler(options_.cost, L);
-  const auto substages = core::decompression_substages(max_fl);
-  if (options_.plan_for_sram) {
-    result.plan = plan_with_sram(scheduler, substages, L,
-                                 PipeDirection::kDecompress,
-                                 options_.wse.sram_bytes);
-    CERESZ_CHECK(result.plan.length() <= options_.cols,
-                 "WaferMapper: SRAM-driven pipeline longer than the row");
-  } else {
-    result.plan = scheduler.distribute(substages, options_.pipeline_length);
+  {
+    obs::SpanGuard span(options_.tracer, "mapper.schedule", "mapper");
+    GreedyScheduler scheduler(options_.cost, L);
+    const auto substages = core::decompression_substages(max_fl);
+    if (options_.plan_for_sram) {
+      result.plan = plan_with_sram(scheduler, substages, L,
+                                   PipeDirection::kDecompress,
+                                   options_.wse.sram_bytes);
+      CERESZ_CHECK(result.plan.length() <= options_.cols,
+                   "WaferMapper: SRAM-driven pipeline longer than the row");
+    } else {
+      result.plan = scheduler.distribute(substages, options_.pipeline_length);
+    }
   }
 
+  const u64 assign_start =
+      options_.tracer ? options_.tracer->now_rel_ns() : 0;
   const u32 n_pipes = options_.cols / result.plan.length();
   result.pipelines_per_row = n_pipes;
   result.extrapolated = options_.rows > options_.max_exact_rows;
@@ -333,12 +393,24 @@ WaferRunResult WaferMapper::decompress(std::span<const u8> stream) const {
   RowAssignment assignment =
       assign_blocks(n_blocks, layout, make_block, pad_template);
   result.padded_blocks = assignment.padded_blocks;
+  if (options_.tracer) {
+    obs::TraceEvent ev;
+    ev.name = "mapper.assign";
+    ev.cat = "mapper";
+    ev.ts_ns = assign_start;
+    ev.dur_ns = options_.tracer->now_rel_ns() - assign_start;
+    ev.arg1_name = "blocks";
+    ev.arg1 = static_cast<i64>(n_blocks);
+    options_.tracer->record(ev);
+  }
 
   wse::WseConfig wcfg = options_.wse;
   wcfg.rows = result.rows_simulated;
   wcfg.cols = options_.cols;
   wse::Fabric fabric(wcfg);
   fabric.set_fault_plan(options_.fault_plan);
+  fabric.set_tracer(options_.tracer);
+  fabric.set_metrics(options_.metrics);
   auto executor = std::make_shared<const SubStageExecutor>(
       options_.codec, options_.cost, eps_abs);
   for (std::size_t s = 0; s < layout.slots.size(); ++s) {
@@ -348,7 +420,10 @@ WaferRunResult WaferMapper::decompress(std::span<const u8> stream) const {
                       options_.ingress_cycles_per_wavelet,
                       layout.slots[s].usable_cols);
   }
-  result.run_stats = fabric.run();
+  {
+    obs::SpanGuard span(options_.tracer, "mapper.fabric_run", "mapper");
+    result.run_stats = fabric.run();
+  }
   result.makespan = result.run_stats.makespan;
   result.seconds = wcfg.seconds(result.makespan);
   // Decompression throughput is measured against the original data size
@@ -362,6 +437,7 @@ WaferRunResult WaferMapper::decompress(std::span<const u8> stream) const {
   }
 
   if (options_.collect_output && !result.extrapolated) {
+    obs::SpanGuard span(options_.tracer, "mapper.assemble", "mapper");
     result.output.assign(n_blocks * L, 0.0f);
     for (const auto& rec : fabric.results()) {
       if (rec.tag >= kPadTagBase) continue;
@@ -372,6 +448,7 @@ WaferRunResult WaferMapper::decompress(std::span<const u8> stream) const {
     }
     result.output.resize(element_count);
   }
+  record_mapper_metrics(options_.metrics, result);
   return result;
 }
 

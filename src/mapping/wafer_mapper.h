@@ -20,10 +20,30 @@
 #include "core/stream_codec.h"
 #include "mapping/profile.h"
 #include "mapping/scheduler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "wse/config.h"
 #include "wse/fabric.h"
 
 namespace ceresz::mapping {
+
+/// Canonical mapper metric names (Prometheus families).
+inline constexpr const char* kMetricMapperRuns = "ceresz_mapper_runs_total";
+inline constexpr const char* kMetricMapperBlocks =
+    "ceresz_mapper_blocks_total";
+inline constexpr const char* kMetricMapperPaddedBlocks =
+    "ceresz_mapper_padded_blocks_total";
+inline constexpr const char* kMetricMapperRowsFailed =
+    "ceresz_mapper_rows_failed_total";
+inline constexpr const char* kMetricMapperPipelinesLost =
+    "ceresz_mapper_pipelines_lost_total";
+inline constexpr const char* kMetricMapperMakespan =
+    "ceresz_mapper_makespan_cycles";
+inline constexpr const char* kMetricMapperThroughput =
+    "ceresz_mapper_throughput_gbps";
+
+/// Pre-create every mapper metric family in `reg` at zero.
+void declare_mapper_metrics(obs::MetricsRegistry& reg);
 
 struct MapperOptions {
   u32 rows = 1;
@@ -55,6 +75,13 @@ struct MapperOptions {
   /// simulation of all rows; automatically disabled when extrapolating.
   bool collect_output = true;
   f64 sample_fraction = 0.05;
+  /// Observability (both nullable, both borrowed — must outlive the
+  /// mapper's runs). `tracer` records host-clock planning spans
+  /// (profile/schedule/assign/assemble) plus the fabric's virtual-clock
+  /// per-PE occupancy timeline; `metrics` accumulates mapper and fabric
+  /// totals across runs.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct WaferRunResult {

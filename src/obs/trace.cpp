@@ -1,0 +1,226 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/timer.h"
+
+namespace ceresz::obs {
+
+namespace {
+
+std::atomic<u64> g_next_tracer_id{1};
+
+// Per-(tracer, thread) ring lookup cache. Entries for dead tracers are
+// harmless: their unique ids are never issued again, so a stale raw
+// pointer can never match a live lookup.
+using TlsEntry = detail::TraceTls;
+thread_local std::vector<TlsEntry> g_tls_rings;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Trace-event timestamps are microseconds (doubles).
+std::string fmt_us(u64 ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<f64>(ns) / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+TraceRing::TraceRing(std::size_t capacity) : slots_(capacity) {
+  CERESZ_CHECK(capacity >= 1, "TraceRing: capacity must be at least 1");
+}
+
+std::vector<TraceEvent> TraceRing::drain_copy() const {
+  const u64 n = pushed();
+  const u64 cap = slots_.size();
+  const u64 start = n > cap ? n - cap : 0;
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<std::size_t>(n - start));
+  for (u64 k = start; k < n; ++k) {
+    out.push_back(slots_[k % cap]);
+  }
+  return out;
+}
+
+Tracer::Tracer(std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity),
+      id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_ns_(now_ns()) {
+  CERESZ_CHECK(ring_capacity_ >= 1, "Tracer: ring capacity must be >= 1");
+  set_process_name(kHostPid, "ceresz host");
+}
+
+u64 Tracer::now_rel_ns() const { return now_ns() - epoch_ns_; }
+
+const detail::TraceTls& Tracer::local_entry() {
+  for (const TlsEntry& e : g_tls_rings) {
+    if (e.tracer_id == id_) return e;
+  }
+  auto ring = std::make_shared<TraceRing>(ring_capacity_);
+  TlsEntry entry;
+  entry.tracer_id = id_;
+  entry.ring = ring.get();
+  {
+    std::lock_guard lock(mu_);
+    rings_.push_back(std::move(ring));
+    entry.tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+  }
+  g_tls_rings.push_back(entry);
+  return g_tls_rings.back();
+}
+
+u32 Tracer::thread_id() { return local_entry().tid; }
+
+void Tracer::record(TraceEvent ev) {
+  const TlsEntry& e = local_entry();
+  if (ev.tid == 0) ev.tid = e.tid;
+  e.ring->push(ev);
+}
+
+void Tracer::instant(const char* name, const char* cat,
+                     const char* arg1_name, i64 arg1) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.phase = 'i';
+  ev.ts_ns = now_rel_ns();
+  ev.arg1_name = arg1_name;
+  ev.arg1 = arg1;
+  record(ev);
+}
+
+void Tracer::counter(const char* name, i64 value) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.phase = 'C';
+  ev.ts_ns = now_rel_ns();
+  ev.arg1_name = "value";
+  ev.arg1 = value;
+  record(ev);
+}
+
+void Tracer::set_process_name(u32 pid, std::string name) {
+  std::lock_guard lock(mu_);
+  process_names_[pid] = std::move(name);
+}
+
+void Tracer::set_thread_name(u32 pid, u32 tid, std::string name) {
+  std::lock_guard lock(mu_);
+  thread_names_[{pid, tid}] = std::move(name);
+}
+
+u64 Tracer::events_recorded() const {
+  std::lock_guard lock(mu_);
+  u64 n = 0;
+  for (const auto& r : rings_) n += r->pushed();
+  return n;
+}
+
+u64 Tracer::events_dropped() const {
+  std::lock_guard lock(mu_);
+  u64 n = 0;
+  for (const auto& r : rings_) n += r->dropped();
+  return n;
+}
+
+std::vector<TraceEvent> Tracer::snapshot_events() const {
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& r : rings_) {
+      auto evs = r->drain_copy();
+      all.insert(all.end(), evs.begin(), evs.end());
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return all;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  std::ostringstream os;
+  write_chrome_trace(os);
+  return os.str();
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  const std::vector<TraceEvent> events = snapshot_events();
+  std::map<u32, std::string> process_names;
+  std::map<std::pair<u32, u32>, std::string> thread_names;
+  {
+    std::lock_guard lock(mu_);
+    process_names = process_names_;
+    thread_names = thread_names_;
+  }
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  for (const auto& [pid, name] : process_names) {
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+  }
+  for (const auto& [key, name] : thread_names) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << key.first
+       << ",\"tid\":" << key.second << ",\"args\":{\"name\":\""
+       << json_escape(name) << "\"}}";
+  }
+  for (const TraceEvent& ev : events) {
+    sep();
+    os << "{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\""
+       << json_escape(*ev.cat ? ev.cat : "default") << "\",\"ph\":\""
+       << ev.phase << "\",\"pid\":" << ev.pid << ",\"tid\":" << ev.tid
+       << ",\"ts\":" << fmt_us(ev.ts_ns);
+    if (ev.phase == 'X') os << ",\"dur\":" << fmt_us(ev.dur_ns);
+    if (ev.phase == 'i') os << ",\"s\":\"t\"";
+    if (ev.arg1_name || ev.arg2_name) {
+      os << ",\"args\":{";
+      if (ev.arg1_name) {
+        os << "\"" << json_escape(ev.arg1_name) << "\":" << ev.arg1;
+      }
+      if (ev.arg2_name) {
+        if (ev.arg1_name) os << ",";
+        os << "\"" << json_escape(ev.arg2_name) << "\":" << ev.arg2;
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\",\"metadata\":{"
+     << "\"dropped_events\":" << events_dropped() << "}}\n";
+}
+
+}  // namespace ceresz::obs

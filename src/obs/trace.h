@@ -1,0 +1,188 @@
+// Tracer: RAII scoped spans and instant/counter events recorded into
+// per-thread ring buffers, exported as Chrome trace-event JSON (open the
+// file in Perfetto or chrome://tracing).
+//
+// Hot path: recording an event is one index increment and one struct
+// store into the calling thread's own ring — no locks, no allocation
+// (event names are static strings; numeric context travels in two typed
+// args). A full ring drops its OLDEST event and counts the drop, so
+// memory stays bounded at `ring_capacity` events per thread.
+//
+// Disabled overhead: every instrumentation site takes an `obs::Tracer*`
+// and does nothing when it is null — SpanGuard then skips even the
+// clock read — so a build running without a tracer pays one pointer
+// test per site.
+//
+// Clocks: host events are stamped with now_ns() (common/timer.h)
+// relative to the tracer's construction. The WSE simulator records on a
+// VIRTUAL clock instead — simulated cycles, exported under its own
+// process id (kFabricPid) at 1 cycle == 1 us of trace time — so a
+// single file shows wall-clock host work next to a Fig. 10-style
+// per-PE cycle timeline.
+//
+// write_chrome_trace()/chrome_trace_json() must not race with recording:
+// flush after worker pools have been joined / runs have finished (the
+// engine, mapper, and CLI all do).
+#pragma once
+
+#include <atomic>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ceresz::obs {
+
+/// Trace process ids: host wall-clock events vs the simulator's virtual
+/// cycle timeline.
+inline constexpr u32 kHostPid = 1;
+inline constexpr u32 kFabricPid = 2;
+
+/// One trace event. Names/categories must be string literals (or
+/// otherwise outlive the tracer); per-event numbers go in the args.
+struct TraceEvent {
+  const char* name = "";
+  const char* cat = "";
+  char phase = 'X';   ///< 'X' complete, 'i' instant, 'C' counter
+  u32 pid = kHostPid;
+  u32 tid = 0;        ///< 0 = stamp with the recording thread's id
+  u64 ts_ns = 0;      ///< relative to the tracer epoch (host) or virtual
+  u64 dur_ns = 0;     ///< 'X' only
+  const char* arg1_name = nullptr;
+  i64 arg1 = 0;
+  const char* arg2_name = nullptr;
+  i64 arg2 = 0;
+};
+
+class TraceRing;
+
+namespace detail {
+/// Per-(tracer, thread) ring lookup cache entry (see trace.cpp).
+struct TraceTls {
+  u64 tracer_id = 0;
+  TraceRing* ring = nullptr;
+  u32 tid = 0;
+};
+}  // namespace detail
+
+/// Single-writer ring buffer of TraceEvents. The owning thread pushes;
+/// readers must wait for it to quiesce (drain_copy is NOT synchronized
+/// against a concurrent push).
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity);
+
+  void push(const TraceEvent& ev) {
+    const u64 n = count_.load(std::memory_order_relaxed);
+    slots_[n % slots_.size()] = ev;
+    count_.store(n + 1, std::memory_order_release);
+  }
+
+  /// Events ever pushed (monotonic).
+  u64 pushed() const { return count_.load(std::memory_order_acquire); }
+
+  /// Events overwritten because the ring was full (drop-oldest).
+  u64 dropped() const {
+    const u64 n = pushed();
+    return n > slots_.size() ? n - slots_.size() : 0;
+  }
+
+  /// Surviving events, oldest first.
+  std::vector<TraceEvent> drain_copy() const;
+
+ private:
+  std::vector<TraceEvent> slots_;
+  std::atomic<u64> count_{0};
+};
+
+class Tracer {
+ public:
+  /// `ring_capacity`: events retained per recording thread.
+  explicit Tracer(std::size_t ring_capacity = std::size_t{1} << 16);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Nanoseconds since this tracer was constructed (host clock).
+  u64 now_rel_ns() const;
+
+  /// Small stable id of the calling thread within this tracer (>= 1).
+  u32 thread_id();
+
+  /// Record an event. A zero tid is replaced by the calling thread's
+  /// id; ts/dur are taken as given (SpanGuard fills them for you).
+  void record(TraceEvent ev);
+
+  /// Instant event ('i') stamped now on the calling thread.
+  void instant(const char* name, const char* cat,
+               const char* arg1_name = nullptr, i64 arg1 = 0);
+
+  /// Counter sample ('C') stamped now; rendered as a counter track.
+  void counter(const char* name, i64 value);
+
+  /// Display names for the trace viewer (cold path, mutex-protected).
+  void set_process_name(u32 pid, std::string name);
+  void set_thread_name(u32 pid, u32 tid, std::string name);
+
+  u64 events_recorded() const;
+  u64 events_dropped() const;
+
+  /// All surviving events, ts-sorted. Recording must be quiescent.
+  std::vector<TraceEvent> snapshot_events() const;
+
+  /// Chrome trace-event JSON (the "JSON object format": traceEvents +
+  /// metadata). Recording must be quiescent.
+  std::string chrome_trace_json() const;
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  const detail::TraceTls& local_entry();
+
+  const std::size_t ring_capacity_;
+  const u64 id_;        ///< globally unique, for the thread-local cache
+  const u64 epoch_ns_;
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<TraceRing>> rings_;
+  std::map<u32, std::string> process_names_;
+  std::map<std::pair<u32, u32>, std::string> thread_names_;
+  std::atomic<u32> next_tid_{1};
+};
+
+/// RAII scoped span: records one complete ('X') event covering its own
+/// lifetime. Null-tracer-safe (does nothing, reads no clock).
+class SpanGuard {
+ public:
+  explicit SpanGuard(Tracer* t, const char* name, const char* cat = "",
+                     const char* arg1_name = nullptr, i64 arg1 = 0,
+                     const char* arg2_name = nullptr, i64 arg2 = 0)
+      : t_(t) {
+    if (!t_) return;
+    ev_.name = name;
+    ev_.cat = cat;
+    ev_.arg1_name = arg1_name;
+    ev_.arg1 = arg1;
+    ev_.arg2_name = arg2_name;
+    ev_.arg2 = arg2;
+    ev_.ts_ns = t_->now_rel_ns();
+  }
+
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  ~SpanGuard() {
+    if (!t_) return;
+    ev_.dur_ns = t_->now_rel_ns() - ev_.ts_ns;
+    t_->record(ev_);
+  }
+
+ private:
+  Tracer* t_;
+  TraceEvent ev_{};
+};
+
+}  // namespace ceresz::obs

@@ -2,10 +2,23 @@
 
 #include <algorithm>
 #include <array>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
 namespace ceresz::wse {
+
+void declare_fabric_metrics(obs::MetricsRegistry& reg) {
+  reg.counter(kMetricFabricTasks);
+  reg.counter(kMetricFabricEvents);
+  reg.counter(kMetricFabricSent);
+  reg.counter(kMetricFabricReceived);
+  reg.counter(kMetricFabricRelayed);
+  reg.counter(kMetricFabricDropped);
+  reg.counter(kMetricFabricCorrupted);
+  reg.counter(kMetricFabricBusyCycles);
+  reg.gauge(kMetricFabricMakespan);
+}
 
 // ---------------------------------------------------------------------------
 // Internal structures
@@ -266,9 +279,32 @@ void Fabric::push_event(Event ev) {
   heap_->push(std::move(ev));
 }
 
+void Fabric::record_span(const Pe& pe, const char* name, Cycles start,
+                         Cycles end, const char* arg1_name, i64 arg1) {
+  if (!tracer_) return;
+  obs::TraceEvent ev;
+  ev.name = name;
+  ev.cat = "fabric";
+  ev.pid = obs::kFabricPid;
+  ev.tid = pe.index + 1;  // one trace row per PE
+  ev.ts_ns = start * kTraceNsPerCycle;
+  ev.dur_ns = (end - start) * kTraceNsPerCycle;
+  ev.arg1_name = arg1_name;
+  ev.arg1 = arg1;
+  tracer_->record(ev);
+}
+
 RunStats Fabric::run() {
   CERESZ_CHECK(!ran_, "Fabric::run may only be called once");
   ran_ = true;
+  if (tracer_) {
+    tracer_->set_process_name(obs::kFabricPid, "wse-fabric (virtual cycles)");
+    for (const auto& pe : pes_) {
+      tracer_->set_thread_name(obs::kFabricPid, pe->index + 1,
+                               "pe[" + std::to_string(pe->row) + "," +
+                                   std::to_string(pe->col) + "]");
+    }
+  }
   heap_ = new std::priority_queue<Event, std::vector<Event>, EventCompare>();
   for (auto& ev : initial_events_) push_event(std::move(ev));
   initial_events_.clear();
@@ -315,6 +351,25 @@ RunStats Fabric::run() {
     rs.messages_dropped += pe->stats.messages_dropped;
     rs.messages_corrupted += pe->stats.messages_corrupted;
     rs.activations_suppressed += pe->stats.activations_suppressed;
+  }
+  if (metrics_) {
+    u64 sent = 0, received = 0, relayed = 0, busy = 0;
+    for (const auto& pe : pes_) {
+      sent += pe->stats.messages_sent;
+      received += pe->stats.messages_received;
+      relayed += pe->stats.messages_relayed;
+      busy += pe->stats.busy_cycles;
+    }
+    metrics_->counter(kMetricFabricTasks).add(rs.tasks_run);
+    metrics_->counter(kMetricFabricEvents).add(rs.events_processed);
+    metrics_->counter(kMetricFabricSent).add(sent);
+    metrics_->counter(kMetricFabricReceived).add(received);
+    metrics_->counter(kMetricFabricRelayed).add(relayed);
+    metrics_->counter(kMetricFabricDropped).add(rs.messages_dropped);
+    metrics_->counter(kMetricFabricCorrupted).add(rs.messages_corrupted);
+    metrics_->counter(kMetricFabricBusyCycles).add(busy);
+    metrics_->gauge(kMetricFabricMakespan)
+        .set(static_cast<f64>(rs.makespan));
   }
   return rs;
 }
@@ -373,6 +428,8 @@ void Fabric::try_match_ops(Pe& pe, Cycles time) {
                                   ? config_.recv_overhead_cycles
                                   : config_.relay_overhead_cycles;
       const Cycles done = start + overhead + op.msg.extent;
+      record_span(pe, op.kind == PendingOp::Kind::kRecv ? "recv" : "relay",
+                  start, done, "color", static_cast<i64>(c));
       Event ev;
       ev.kind = Event::Kind::kOpComplete;
       ev.time = done;
@@ -425,6 +482,8 @@ void Fabric::maybe_start_task(Pe& pe, Cycles time) {
   pe.stats.busy_cycles += duration;
   ++pe.stats.tasks_run;
   ++tasks_run_total_;
+  record_span(pe, "task", time, time + duration, "color",
+              static_cast<i64>(color));
 
   Event ev;
   ev.kind = Event::Kind::kTaskFinish;
@@ -451,6 +510,8 @@ void Fabric::finish_task(Pe& pe, Cycles time) {
         depart + config_.send_overhead_cycles + send.msg.extent;
     pe.send_free = drained;
     ++pe.stats.messages_sent;
+    record_span(pe, "send", depart, drained, "color",
+                static_cast<i64>(send.msg.color));
     route_send(pe, std::move(send.msg), depart);
     if (send.activate) {
       Event ev;

@@ -16,6 +16,8 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "wse/config.h"
 #include "wse/fault_plan.h"
 #include "wse/memory.h"
@@ -24,6 +26,34 @@
 #include "wse/wavelet.h"
 
 namespace ceresz::wse {
+
+/// Canonical fabric metric names (Prometheus families), summed over all
+/// PEs at the end of run().
+inline constexpr const char* kMetricFabricTasks = "ceresz_fabric_tasks_total";
+inline constexpr const char* kMetricFabricEvents =
+    "ceresz_fabric_events_total";
+inline constexpr const char* kMetricFabricSent =
+    "ceresz_fabric_messages_sent_total";
+inline constexpr const char* kMetricFabricReceived =
+    "ceresz_fabric_messages_received_total";
+inline constexpr const char* kMetricFabricRelayed =
+    "ceresz_fabric_messages_relayed_total";
+inline constexpr const char* kMetricFabricDropped =
+    "ceresz_fabric_messages_dropped_total";
+inline constexpr const char* kMetricFabricCorrupted =
+    "ceresz_fabric_messages_corrupted_total";
+inline constexpr const char* kMetricFabricBusyCycles =
+    "ceresz_fabric_busy_cycles_total";
+inline constexpr const char* kMetricFabricMakespan =
+    "ceresz_fabric_makespan_cycles";
+
+/// Pre-create every fabric metric family in `reg` at zero.
+void declare_fabric_metrics(obs::MetricsRegistry& reg);
+
+/// Trace-time scale for the simulator's virtual clock: 1 simulated cycle
+/// is exported as 1000 ns (1 us) of trace time under kFabricPid, so the
+/// per-PE timeline renders at cycle granularity next to host spans.
+inline constexpr u64 kTraceNsPerCycle = 1000;
 
 /// Per-PE activity counters, reported after a run.
 struct PeStats {
@@ -108,6 +138,15 @@ class Fabric {
 
   Cycles makespan() const { return makespan_; }
 
+  /// Record per-PE task/recv/relay/send occupancy spans on the virtual
+  /// cycle clock (Fig. 10-style timeline) into `tracer`. Borrowed, must
+  /// outlive run(); call before run().
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Accumulate the run's fabric totals into `reg` when run() returns.
+  /// Borrowed, must outlive run(); call before run().
+  void set_metrics(obs::MetricsRegistry* reg) { metrics_ = reg; }
+
  private:
   struct Pe;
   struct Event;
@@ -125,8 +164,12 @@ class Fabric {
   void finish_task(Pe& pe, Cycles time);
   void complete_op(Pe& pe, Cycles time, u64 op_id);
   void route_send(const Pe& from, Message msg, Cycles depart);
+  void record_span(const Pe& pe, const char* name, Cycles start, Cycles end,
+                   const char* arg1_name = nullptr, i64 arg1 = 0);
 
   WseConfig config_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   FaultPlan fault_plan_;
   std::vector<std::unique_ptr<Pe>> pes_;
   std::vector<ResultRecord> results_;

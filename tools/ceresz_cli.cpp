@@ -11,6 +11,8 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <optional>
 #include <string>
 
 #include "ceresz.h"
@@ -40,7 +42,16 @@ int usage() {
                "  --chunk-elems N  elements per chunk (multiple of 32)\n"
                "  --lenient        zero-fill corrupt chunks on decompress\n"
                "                   instead of aborting; exits 3 (instead of\n"
-               "                   0) when any chunk had to be zero-filled\n");
+               "                   0) when any chunk had to be zero-filled\n"
+               "  --trace-out F    write a Chrome trace-event JSON timeline\n"
+               "                   (open in Perfetto / chrome://tracing)\n"
+               "  --metrics-out F  write the run's metrics: Prometheus text\n"
+               "                   if F ends in .prom, JSON otherwise\n"
+               "  --stats-json F   write engine run stats as JSON (parallel\n"
+               "                   engine paths, i.e. --threads > 1)\n"
+               "\n"
+               "exit codes: 0 success, 1 runtime error (bad stream, I/O),\n"
+               "2 usage error, 3 lenient decompress recovered with losses\n");
   return 2;
 }
 
@@ -51,13 +62,114 @@ struct Args {
   u32 threads = 1;
   u64 chunk_elems = engine::EngineOptions{}.chunk_elems;
   bool lenient = false;
+  std::string trace_out;
+  std::string metrics_out;
+  std::string stats_json;
 };
 
-engine::EngineOptions engine_options(const Args& args) {
+/// Per-invocation observability: the tracer exists only when --trace-out
+/// was given, the registry is exported only when --metrics-out was given
+/// (pre-declared with every layer's families so the export always
+/// advertises the full set), and both are flushed once after the command
+/// finishes.
+struct Observability {
+  std::optional<obs::Tracer> tracer;
+  obs::MetricsRegistry registry;
+  bool export_metrics = false;
+
+  explicit Observability(const Args& args) {
+    if (!args.trace_out.empty()) tracer.emplace();
+    export_metrics = !args.metrics_out.empty();
+    if (export_metrics) {
+      engine::declare_engine_metrics(registry);
+      wse::declare_fabric_metrics(registry);
+      mapping::declare_mapper_metrics(registry);
+    }
+  }
+
+  obs::Tracer* tracer_ptr() { return tracer ? &*tracer : nullptr; }
+  obs::MetricsRegistry* metrics_ptr() {
+    return export_metrics ? &registry : nullptr;
+  }
+
+  void flush(const Args& args) {
+    if (tracer) {
+      std::ofstream os(args.trace_out, std::ios::binary);
+      CERESZ_CHECK(os.good(), "cannot open trace output file");
+      tracer->write_chrome_trace(os);
+      CERESZ_CHECK(os.good(), "failed writing trace output file");
+    }
+    if (export_metrics) {
+      const auto snap = registry.snapshot();
+      const bool prom = args.metrics_out.size() >= 5 &&
+                        args.metrics_out.ends_with(".prom");
+      const std::string text =
+          prom ? obs::to_prometheus(snap) : obs::to_json(snap);
+      std::ofstream os(args.metrics_out, std::ios::binary);
+      CERESZ_CHECK(os.good(), "cannot open metrics output file");
+      os << text;
+      CERESZ_CHECK(os.good(), "failed writing metrics output file");
+    }
+  }
+};
+
+void write_stats_json(const std::string& path,
+                      const engine::EngineStats& s) {
+  std::ofstream os(path, std::ios::binary);
+  CERESZ_CHECK(os.good(), "cannot open stats output file");
+  char buf[256];
+  os << "{\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"threads\": %u,\n  \"chunks\": %llu,\n",
+                s.threads, static_cast<unsigned long long>(s.chunks));
+  os << buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"uncompressed_bytes\": %llu,\n  \"compressed_bytes\": %llu,\n",
+      static_cast<unsigned long long>(s.uncompressed_bytes),
+      static_cast<unsigned long long>(s.compressed_bytes));
+  os << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"compression_ratio\": %.6f,\n  \"wall_seconds\": %.9f,\n",
+                s.compression_ratio(), s.wall_seconds);
+  os << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"throughput_gbps\": %.6f,\n"
+                "  \"worker_utilization\": %.6f,\n",
+                s.throughput_gbps(), s.worker_utilization());
+  os << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"queue_high_water\": %llu,\n  \"retries\": %llu,\n",
+                static_cast<unsigned long long>(s.queue_high_water),
+                static_cast<unsigned long long>(s.retries));
+  os << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"timeouts\": %llu,\n  \"worker_crashes\": %llu,\n",
+                static_cast<unsigned long long>(s.timeouts),
+                static_cast<unsigned long long>(s.worker_crashes));
+  os << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"fallback_chunks\": %llu,\n  \"quarantined\": %llu,\n",
+                static_cast<unsigned long long>(s.fallback_chunks),
+                static_cast<unsigned long long>(s.quarantined));
+  os << buf;
+  os << "  \"worker_busy_seconds\": [";
+  for (std::size_t i = 0; i < s.worker_busy_seconds.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%.9f", i ? ", " : "",
+                  s.worker_busy_seconds[i]);
+    os << buf;
+  }
+  os << "]\n}\n";
+  CERESZ_CHECK(os.good(), "failed writing stats output file");
+}
+
+engine::EngineOptions engine_options(const Args& args, Observability& o) {
   engine::EngineOptions opt;
   opt.threads = args.threads;
   opt.chunk_elems = args.chunk_elems;
   opt.lenient = args.lenient;
+  opt.tracer = o.tracer_ptr();
+  opt.metrics = o.metrics_ptr();
   return opt;
 }
 
@@ -77,6 +189,11 @@ bool parse_args(int argc, char** argv, Args& args) {
       if (i + 1 >= argc) return false;
       out = std::atof(argv[++i]);
       return out > 0.0;
+    };
+    auto next_string = [&](std::string& out) {
+      if (i + 1 >= argc) return false;
+      out = argv[++i];
+      return !out.empty();
     };
     f64 v = 0.0;
     if (a == "--rel") {
@@ -102,6 +219,12 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.chunk_elems = static_cast<u64>(v);
     } else if (a == "--lenient") {
       args.lenient = true;
+    } else if (a == "--trace-out") {
+      if (!next_string(args.trace_out)) return false;
+    } else if (a == "--metrics-out") {
+      if (!next_string(args.metrics_out)) return false;
+    } else if (a == "--stats-json") {
+      if (!next_string(args.stats_json)) return false;
     } else if (!a.empty() && a[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
       return false;
@@ -121,11 +244,11 @@ std::vector<f32> load_f32(const std::string& path) {
   return values;
 }
 
-int cmd_compress(const Args& args) {
+int cmd_compress(const Args& args, Observability& o) {
   if (args.positional.size() != 2) return usage();
   const auto values = load_f32(args.positional[0]);
   if (args.threads > 1) {
-    const engine::ParallelEngine eng(engine_options(args));
+    const engine::ParallelEngine eng(engine_options(args, o));
     const auto result = eng.compress(values, args.bound);
     io::write_bytes(args.positional[1], result.stream);
     std::printf("%zu values -> %s (ratio %.2fx, eps %g, %.1f%% zero "
@@ -134,7 +257,13 @@ int cmd_compress(const Args& args) {
                 result.compression_ratio(), result.eps_abs,
                 100.0 * result.stats.stream.zero_fraction());
     print_engine_stats(result.stats);
+    if (!args.stats_json.empty()) write_stats_json(args.stats_json, result.stats);
     return 0;
+  }
+  if (!args.stats_json.empty()) {
+    std::fprintf(stderr,
+                 "note: --stats-json reports parallel-engine stats; "
+                 "run with --threads > 1\n");
   }
   const core::StreamCodec codec;
   const auto result = codec.compress(values, args.bound);
@@ -146,15 +275,16 @@ int cmd_compress(const Args& args) {
   return 0;
 }
 
-int cmd_decompress(const Args& args) {
+int cmd_decompress(const Args& args, Observability& o) {
   if (args.positional.size() != 2) return usage();
   const auto stream = io::read_bytes(args.positional[0]);
   std::vector<f32> values;
   std::vector<u64> corrupt_chunks;
   if (engine::ParallelEngine::is_chunked_stream(stream)) {
-    const engine::ParallelEngine eng(engine_options(args));
+    const engine::ParallelEngine eng(engine_options(args, o));
     auto result = eng.decompress(stream);
     print_engine_stats(result.stats);
+    if (!args.stats_json.empty()) write_stats_json(args.stats_json, result.stats);
     values = std::move(result.values);
     corrupt_chunks = std::move(result.corrupt_chunks);
   } else {
@@ -211,7 +341,7 @@ int cmd_info(const Args& args) {
   return 0;
 }
 
-int cmd_simulate(const Args& args) {
+int cmd_simulate(const Args& args, Observability& o) {
   if (args.positional.size() != 1) return usage();
   const auto values = load_f32(args.positional[0]);
   mapping::MapperOptions opt;
@@ -220,6 +350,8 @@ int cmd_simulate(const Args& args) {
   opt.pipeline_length = args.pl;
   opt.max_exact_rows = 1;
   opt.collect_output = false;
+  opt.tracer = o.tracer_ptr();
+  opt.metrics = o.metrics_ptr();
   const mapping::WaferMapper mapper(opt);
   const auto run = mapper.compress(values, args.bound);
   std::printf("mesh %ux%u, PL %u: makespan %llu cycles (%.3f ms), "
@@ -290,22 +422,31 @@ int cmd_extract(const Args& args) {
 
 }  // namespace
 
+int run_command(const std::string& cmd, const Args& args, Observability& o) {
+  if (cmd == "compress") return cmd_compress(args, o);
+  if (cmd == "decompress") return cmd_decompress(args, o);
+  if (cmd == "info") return cmd_info(args);
+  if (cmd == "simulate") return cmd_simulate(args, o);
+  if (cmd == "archive") return cmd_archive(args);
+  if (cmd == "list") return cmd_list(args);
+  if (cmd == "extract") return cmd_extract(args);
+  return usage();
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   Args args;
   if (!parse_args(argc, argv, args)) return usage();
   const std::string cmd = argv[1];
   try {
-    if (cmd == "compress") return cmd_compress(args);
-    if (cmd == "decompress") return cmd_decompress(args);
-    if (cmd == "info") return cmd_info(args);
-    if (cmd == "simulate") return cmd_simulate(args);
-    if (cmd == "archive") return cmd_archive(args);
-    if (cmd == "list") return cmd_list(args);
-    if (cmd == "extract") return cmd_extract(args);
+    Observability o(args);
+    const int rc = run_command(cmd, args, o);
+    // Flush even on the partial-recovery exit (3): a degraded run is
+    // exactly when the trace and fault counters matter most.
+    if (rc == 0 || rc == 3) o.flush(args);
+    return rc;
   } catch (const ceresz::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return usage();
 }
