@@ -3,11 +3,94 @@
 //      verifying Formula (2)'s TC*C1;
 //  (b) per-PE execution time vs pipeline length — inversely proportional,
 //      verifying Formula (3)'s C/PL (+ PL*C2 forwarding overhead).
+//
+// With --trace-out/--metrics-out/--history, an additional instrumented
+// run (fixed size, one row of 16 columns, PL=2 — deterministic, so the
+// history records gate tightly) exports the trace + metrics pair that
+// ceresz_report consumes and appends its makespan/throughput to the
+// bench history for ceresz_perfgate.
+#include <fstream>
+
 #include "bench_util.h"
 
 using namespace ceresz;
 
-int main() {
+namespace {
+
+/// The deterministic instrumented pass behind --trace-out/--metrics-out/
+/// --history. Returns false when an output file went bad.
+bool instrumented_run(const std::string& trace_out,
+                      const std::string& metrics_out,
+                      bench::HistoryWriter& history) {
+  // Fixed workload, independent of CERESZ_BENCH_SCALE: committed
+  // baselines must reproduce bit-for-bit on any machine.
+  const data::Field field =
+      data::generate_field(data::DatasetId::kQmcpack, 0, 42, 0.02);
+  obs::Tracer tracer;
+  obs::MetricsRegistry registry;
+  wse::declare_fabric_metrics(registry);
+  mapping::declare_mapper_metrics(registry);
+  obs::declare_trace_metrics(registry);
+
+  mapping::MapperOptions opt;
+  opt.rows = 1;
+  opt.cols = 16;
+  opt.pipeline_length = 2;
+  opt.max_exact_rows = 1;
+  opt.collect_output = false;
+  opt.tracer = &tracer;
+  opt.metrics = &registry;
+  const mapping::WaferMapper mapper(opt);
+  const auto run =
+      mapper.compress(field.view(), core::ErrorBound::relative(1e-3));
+
+  history.add("fig10_relay_profile", "makespan_cycles",
+              static_cast<f64>(run.makespan), "cycles", "lower", 0.01);
+  history.add("fig10_relay_profile", "sim_gbps", run.throughput_gbps,
+              "GB/s", "higher", 0.01);
+
+  bool ok = history.ok();
+  if (!trace_out.empty()) {
+    std::ofstream os(trace_out, std::ios::binary);
+    tracer.write_chrome_trace(os);
+    ok = ok && os.good();
+  }
+  if (!metrics_out.empty()) {
+    obs::export_trace_metrics(tracer, registry);
+    const auto snap = registry.snapshot();
+    std::ofstream os(metrics_out, std::ios::binary);
+    os << (obs::is_prometheus_path(metrics_out) ? obs::to_prometheus(snap)
+                                                : obs::to_json(snap));
+    ok = ok && os.good();
+  }
+  std::printf("instrumented run: %llu blocks, makespan %llu cycles, "
+              "%.3f GB/s simulated\n",
+              static_cast<unsigned long long>(run.total_blocks),
+              static_cast<unsigned long long>(run.makespan),
+              run.throughput_gbps);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_out, metrics_out, history_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (a == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (a == "--history" && i + 1 < argc) {
+      history_out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_fig10_relay_profile [--trace-out FILE] "
+                   "[--metrics-out FILE] [--history FILE]\n");
+      return 2;
+    }
+  }
+
   std::printf("=== Figure 10: relay and execution profiling (QMCPack) ===\n\n");
 
   const data::Field field = data::generate_field(
@@ -59,5 +142,12 @@ int main() {
   std::printf("shape check: the bottleneck group shrinks ~inversely with "
               "the pipeline length until the longest indivisible sub-stage "
               "(Multiplication) dominates (Formula 3 / Section 4.2).\n");
-  return 0;
+
+  bool instrumented_ok = true;
+  if (!trace_out.empty() || !metrics_out.empty() || !history_out.empty()) {
+    bench::HistoryWriter history(history_out);
+    std::printf("\n");
+    instrumented_ok = instrumented_run(trace_out, metrics_out, history);
+  }
+  return instrumented_ok ? 0 : 1;
 }

@@ -13,9 +13,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "ceresz.h"
+#include "obs/analysis/perfgate.h"
 
 namespace ceresz::bench {
 
@@ -108,6 +110,45 @@ inline SimulatedRun simulate_decompression(std::span<const u8> stream,
       out.run.throughput_gbps * static_cast<f64>(full_rows) / rows;
   return out;
 }
+
+/// Append-only writer for the bench history format consumed by
+/// ceresz_perfgate (bench/history/*.jsonl; see obs/analysis/perfgate.h
+/// for the record schema and docs/observability.md for the workflow).
+/// A default-constructed / empty-path writer swallows records, so
+/// benches can call add() unconditionally.
+class HistoryWriter {
+ public:
+  HistoryWriter() = default;
+  explicit HistoryWriter(const std::string& path) {
+    if (!path.empty()) {
+      out_.open(path, std::ios::app | std::ios::binary);
+      if (!out_.good()) {
+        std::fprintf(stderr, "history: cannot open %s\n", path.c_str());
+      }
+    }
+  }
+
+  /// `better` is "higher" or "lower"; `noise` the relative band the
+  /// gate tolerates. Simulated (deterministic) metrics should use a
+  /// tight band, wall-clock metrics a generous one.
+  void add(const std::string& bench, const std::string& metric, f64 value,
+           const std::string& unit, const std::string& better, f64 noise) {
+    if (!out_.is_open()) return;
+    obs::analysis::HistoryRecord rec;
+    rec.bench = bench;
+    rec.metric = metric;
+    rec.value = value;
+    rec.unit = unit;
+    rec.better = better;
+    rec.noise = noise;
+    out_ << rec.to_jsonl() << "\n";
+  }
+
+  bool ok() const { return !out_.is_open() || out_.good(); }
+
+ private:
+  std::ofstream out_;
+};
 
 /// The three REL bounds the paper evaluates.
 inline constexpr f64 kRelBounds[] = {1e-2, 1e-3, 1e-4};

@@ -55,18 +55,19 @@ PerfPrediction PerfModel::predict_mesh(const PipelinePlan& plan, u32 rows,
   // pipeline each stage boundary forwards the intermediate block once.
   // Steady state is bound by the slowest stage group, but a single PE also
   // serializes its relay work with its compute (Formula 2 + Formula 3).
-  const Cycles relay_per_round =
+  p.relay_cycles_per_round =
       static_cast<Cycles>(n_pipes > 0 ? n_pipes - 1 : 0) * p.c1;
-  const Cycles recv_own = wse_.task_overhead_cycles + kRelayTaskConsume +
-                          wse_.recv_overhead_cycles + block_extent;
-  const Cycles compute =
+  p.recv_cycles_per_round = wse_.task_overhead_cycles + kRelayTaskConsume +
+                            wse_.recv_overhead_cycles + block_extent;
+  p.compute_cycles_per_round =
       wse_.task_overhead_cycles + plan.bottleneck_cycles() +
       static_cast<Cycles>(pl > 1 ? pl - 1 : 0) * p.c2;
-  p.round_cycles = relay_per_round + recv_own + compute;
+  p.round_cycles = p.relay_cycles_per_round + p.recv_cycles_per_round +
+                   p.compute_cycles_per_round;
 
   const u64 blocks_per_row = (blocks_total + rows - 1) / rows;
-  const u64 rounds = (blocks_per_row + n_pipes - 1) / n_pipes;
-  p.total_cycles = rounds * p.round_cycles;
+  p.rounds = (blocks_per_row + n_pipes - 1) / n_pipes;
+  p.total_cycles = p.rounds * p.round_cycles;
   p.seconds = wse_.seconds(p.total_cycles);
   p.throughput_gbps = static_cast<f64>(blocks_total) * block_bytes /
                       p.seconds / 1.0e9;

@@ -26,7 +26,13 @@ namespace ceresz::mapping {
 struct PerfPrediction {
   Cycles c1 = 0;            ///< per-block software relay cost at one head
   Cycles c2 = 0;            ///< per-block intermediate forward cost
+  // Per-term breakdown of one round (the quantities the trace-analytics
+  // layer validates against measured fabric spans, obs/analysis):
+  Cycles relay_cycles_per_round = 0;    ///< (P-1) * C1 at the head
+  Cycles recv_cycles_per_round = 0;     ///< head ingesting its own block
+  Cycles compute_cycles_per_round = 0;  ///< bottleneck + (PL-1) * C2
   Cycles round_cycles = 0;  ///< one round: P blocks per row
+  u64 rounds = 0;           ///< rounds the busiest row executes
   Cycles total_cycles = 0;  ///< whole run
   f64 seconds = 0.0;
   f64 throughput_gbps = 0.0;

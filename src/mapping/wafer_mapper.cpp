@@ -1,10 +1,13 @@
 #include "mapping/wafer_mapper.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 
 #include "common/error.h"
+#include "mapping/perf_model.h"
 #include "mapping/pipeline_program.h"
+#include "obs/analysis/model_check.h"
 
 namespace ceresz::mapping {
 
@@ -106,6 +109,110 @@ void append_u64(std::vector<u8>& out, u64 v) {
   for (int b = 0; b < 8; ++b) out.push_back(static_cast<u8>((v >> (8 * b)) & 0xff));
 }
 
+/// Sub-stage family label used in enriched trace thread names and in
+/// the analysis layer's bottleneck attribution. Single token (no
+/// spaces, ':' or '+' — those are the stages= list's separators), with
+/// all bit planes of a (un)shuffle folded into one family.
+const char* stage_label(core::SubStageKind kind) {
+  switch (kind) {
+    case core::SubStageKind::kPrequantMul: return "Multiplication";
+    case core::SubStageKind::kPrequantAdd: return "Addition";
+    case core::SubStageKind::kLorenzo: return "Lorenzo";
+    case core::SubStageKind::kSign: return "Sign";
+    case core::SubStageKind::kMax: return "Max";
+    case core::SubStageKind::kGetLength: return "GetLength";
+    case core::SubStageKind::kShuffleBit: return "Bitshuffle";
+    case core::SubStageKind::kUnshuffleBit: return "Unshuffle";
+    case core::SubStageKind::kPrefixSum: return "PrefixSum";
+    case core::SubStageKind::kDequantMul: return "Dequantization";
+  }
+  return "Unknown";
+}
+
+/// Overwrite the fabric's plain `pe[r,c]` thread names with the
+/// schedule: `pe[r,c] pipe=P stage=G stages=<label>:<cycles>+...`.
+/// This makes an exported trace self-describing — the analysis layer
+/// (obs/analysis/trace_analysis.h) re-derives stage attribution from
+/// the names alone, with no dependency on the mapper.
+void enrich_thread_names(const MapperOptions& opt,
+                         const DegradedLayout& layout,
+                         const PipelinePlan& plan, u32 block_size) {
+  if (!opt.tracer) return;
+  const u32 pl = plan.length();
+  for (const RowSlot& slot : layout.slots) {
+    for (u32 p = 0; p < slot.n_pipes; ++p) {
+      for (u32 g = 0; g < pl; ++g) {
+        const u32 c = p * pl + g;
+        // Aggregate the group's sub-stages by family, keeping order.
+        std::vector<std::pair<const char*, f64>> shares;
+        for (const core::SubStage& st : plan.groups[g].stages) {
+          const char* label = stage_label(st.kind);
+          const f64 cycles =
+              static_cast<f64>(opt.cost.substage_cycles(st, block_size));
+          if (!shares.empty() && shares.back().first == label) {
+            shares.back().second += cycles;
+          } else {
+            shares.emplace_back(label, cycles);
+          }
+        }
+        std::string name = "pe[" + std::to_string(slot.row) + "," +
+                           std::to_string(c) + "] pipe=" +
+                           std::to_string(p) + " stage=" +
+                           std::to_string(g) + " stages=";
+        for (std::size_t i = 0; i < shares.size(); ++i) {
+          if (i > 0) name += '+';
+          char cyc[32];
+          std::snprintf(cyc, sizeof(cyc), "%.1f", shares[i].second);
+          name += shares[i].first;
+          name += ':';
+          name += cyc;
+        }
+        opt.tracer->set_thread_name(obs::kFabricPid,
+                                    slot.row * opt.cols + c + 1,
+                                    std::move(name));
+      }
+    }
+  }
+}
+
+/// Export the analytic cost-model terms as gauges so a metrics file is
+/// self-sufficient for measured-vs-predicted validation (the gauge
+/// names live in obs/analysis/model_check.h). The prediction targets
+/// the narrowest surviving row — the one that governs the makespan.
+void export_predictions(obs::MetricsRegistry* reg, const MapperOptions& opt,
+                        const DegradedLayout& layout,
+                        const PipelinePlan& plan, u64 n_blocks,
+                        u32 block_extent, u32 block_bytes) {
+  if (!reg) return;
+  u32 min_pipes = layout.slots.front().n_pipes;
+  for (const RowSlot& slot : layout.slots) {
+    min_pipes = std::min(min_pipes, slot.n_pipes);
+  }
+  const PerfModel model(opt.wse);
+  const PerfPrediction p = model.predict_degraded(
+      plan, layout.stride, min_pipes, n_blocks, block_extent, block_bytes);
+
+  namespace oa = obs::analysis;
+  reg->gauge(oa::kGaugeMeshRows).set(static_cast<f64>(opt.rows));
+  reg->gauge(oa::kGaugeMeshCols).set(static_cast<f64>(opt.cols));
+  reg->gauge(oa::kGaugePipelineLength).set(static_cast<f64>(plan.length()));
+  reg->gauge(oa::kGaugePipelinesPerRow).set(static_cast<f64>(min_pipes));
+  reg->gauge(oa::kGaugePredictedC1).set(static_cast<f64>(p.c1));
+  reg->gauge(oa::kGaugePredictedC2).set(static_cast<f64>(p.c2));
+  reg->gauge(oa::kGaugePredictedRelayPerRound)
+      .set(static_cast<f64>(p.relay_cycles_per_round));
+  reg->gauge(oa::kGaugePredictedRecvPerRound)
+      .set(static_cast<f64>(p.recv_cycles_per_round));
+  reg->gauge(oa::kGaugePredictedComputeTask)
+      .set(static_cast<f64>(opt.wse.task_overhead_cycles +
+                            plan.bottleneck_cycles()));
+  reg->gauge(oa::kGaugePredictedRoundCycles)
+      .set(static_cast<f64>(p.round_cycles));
+  reg->gauge(oa::kGaugePredictedTotalCycles)
+      .set(static_cast<f64>(p.total_cycles));
+  reg->gauge(oa::kGaugePredictedRounds).set(static_cast<f64>(p.rounds));
+}
+
 /// Fold a finished run into the caller's long-lived registry.
 void record_mapper_metrics(obs::MetricsRegistry* reg,
                            const WaferRunResult& result) {
@@ -129,6 +236,19 @@ void declare_mapper_metrics(obs::MetricsRegistry& reg) {
   reg.counter(kMetricMapperPipelinesLost);
   reg.gauge(kMetricMapperMakespan);
   reg.gauge(kMetricMapperThroughput);
+  namespace oa = obs::analysis;
+  reg.gauge(oa::kGaugeMeshRows);
+  reg.gauge(oa::kGaugeMeshCols);
+  reg.gauge(oa::kGaugePipelineLength);
+  reg.gauge(oa::kGaugePipelinesPerRow);
+  reg.gauge(oa::kGaugePredictedC1);
+  reg.gauge(oa::kGaugePredictedC2);
+  reg.gauge(oa::kGaugePredictedRelayPerRound);
+  reg.gauge(oa::kGaugePredictedRecvPerRound);
+  reg.gauge(oa::kGaugePredictedComputeTask);
+  reg.gauge(oa::kGaugePredictedRoundCycles);
+  reg.gauge(oa::kGaugePredictedTotalCycles);
+  reg.gauge(oa::kGaugePredictedRounds);
 }
 
 WaferMapper::WaferMapper(MapperOptions options) : options_(options) {
@@ -246,6 +366,9 @@ WaferRunResult WaferMapper::compress(std::span<const f32> data,
     obs::SpanGuard span(options_.tracer, "mapper.fabric_run", "mapper");
     result.run_stats = fabric.run();
   }
+  enrich_thread_names(options_, layout, result.plan, L);
+  export_predictions(options_.metrics, options_, layout, result.plan,
+                     n_blocks, L, L * sizeof(f32));
   result.makespan = result.run_stats.makespan;
   result.seconds = wcfg.seconds(result.makespan);
   result.throughput_gbps =
@@ -423,6 +546,15 @@ WaferRunResult WaferMapper::decompress(std::span<const u8> stream) const {
   {
     obs::SpanGuard span(options_.tracer, "mapper.fabric_run", "mapper");
     result.run_stats = fabric.run();
+  }
+  enrich_thread_names(options_, layout, result.plan, L);
+  {
+    // Record extents vary per block; predict with the mean wavelet count.
+    const u64 payload = offsets[n_blocks] - offsets[0];
+    const u32 avg_extent = std::max<u32>(
+        1, static_cast<u32>((payload / n_blocks + 3) / 4));
+    export_predictions(options_.metrics, options_, layout, result.plan,
+                       n_blocks, avg_extent, L * sizeof(f32));
   }
   result.makespan = result.run_stats.makespan;
   result.seconds = wcfg.seconds(result.makespan);

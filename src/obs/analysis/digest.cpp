@@ -1,0 +1,114 @@
+#include "obs/analysis/digest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace ceresz::obs::analysis {
+
+QuantileEstimator::QuantileEstimator(f64 p) : p_(p) {
+  CERESZ_CHECK(p > 0.0 && p < 1.0,
+               "QuantileEstimator: p must be in (0, 1)");
+  dn_ = {0.0, p_ / 2.0, p_, (1.0 + p_) / 2.0, 1.0};
+}
+
+void QuantileEstimator::observe(f64 x) {
+  if (count_ < 5) {
+    q_[count_++] = x;
+    if (count_ == 5) {
+      std::sort(q_.begin(), q_.end());
+      for (int i = 0; i < 5; ++i) {
+        n_[i] = i + 1;
+        np_[i] = 1.0 + 4.0 * dn_[i];
+      }
+    }
+    return;
+  }
+  ++count_;
+
+  // Find the cell x falls into, clamping the extreme markers.
+  int k;
+  if (x < q_[0]) {
+    q_[0] = x;
+    k = 0;
+  } else if (x >= q_[4]) {
+    q_[4] = std::max(q_[4], x);
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= q_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) n_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) np_[i] += dn_[i];
+
+  // Nudge the three interior markers toward their desired positions:
+  // parabolic (P^2) interpolation, linear when that would de-sort them.
+  for (int i = 1; i <= 3; ++i) {
+    const f64 d = np_[i] - n_[i];
+    if ((d >= 1.0 && n_[i + 1] - n_[i] > 1.0) ||
+        (d <= -1.0 && n_[i - 1] - n_[i] < -1.0)) {
+      const f64 s = d >= 0 ? 1.0 : -1.0;
+      const f64 qp =
+          q_[i] + s / (n_[i + 1] - n_[i - 1]) *
+                      ((n_[i] - n_[i - 1] + s) * (q_[i + 1] - q_[i]) /
+                           (n_[i + 1] - n_[i]) +
+                       (n_[i + 1] - n_[i] - s) * (q_[i] - q_[i - 1]) /
+                           (n_[i] - n_[i - 1]));
+      if (q_[i - 1] < qp && qp < q_[i + 1]) {
+        q_[i] = qp;
+      } else {
+        const int j = i + (s > 0 ? 1 : -1);
+        q_[i] += s * (q_[j] - q_[i]) / (n_[j] - n_[i]);
+      }
+      n_[i] += s;
+    }
+  }
+}
+
+f64 QuantileEstimator::estimate() const {
+  if (count_ == 0) return std::numeric_limits<f64>::quiet_NaN();
+  if (count_ >= 5) return q_[2];
+  // Small-sample fallback: exact order statistic with linear
+  // interpolation over the stored values.
+  std::array<f64, 5> sorted = q_;
+  std::sort(sorted.begin(), sorted.begin() + count_);
+  const f64 rank = p_ * static_cast<f64>(count_ - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min<std::size_t>(lo + 1, count_ - 1);
+  const f64 frac = rank - static_cast<f64>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+LatencyDigest::LatencyDigest() : p50_(0.50), p95_(0.95), p99_(0.99) {}
+
+void LatencyDigest::observe(f64 seconds) {
+  if (count_ == 0) {
+    min_ = max_ = seconds;
+  } else {
+    min_ = std::min(min_, seconds);
+    max_ = std::max(max_, seconds);
+  }
+  ++count_;
+  sum_ += seconds;
+  p50_.observe(seconds);
+  p95_.observe(seconds);
+  p99_.observe(seconds);
+}
+
+f64 LatencyDigest::min() const {
+  return count_ ? min_ : std::numeric_limits<f64>::quiet_NaN();
+}
+
+f64 LatencyDigest::max() const {
+  return count_ ? max_ : std::numeric_limits<f64>::quiet_NaN();
+}
+
+f64 LatencyDigest::mean() const {
+  return count_ ? sum_ / static_cast<f64>(count_)
+                : std::numeric_limits<f64>::quiet_NaN();
+}
+
+}  // namespace ceresz::obs::analysis

@@ -1,0 +1,70 @@
+// Streaming percentile digests for per-chunk engine latency.
+//
+// QuantileEstimator is the P-squared algorithm (Jain & Chlamtac, CACM
+// 1985): one quantile tracked with five markers in O(1) memory and O(1)
+// per observation — no sample buffer, so a million chunk latencies cost
+// the same as a hundred. Estimates are exact up to five observations
+// and converge quickly after; unit tests pin the error on known
+// distributions. LatencyDigest bundles the report's p50/p95/p99 plus
+// min/max/mean over one stream.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ceresz::obs::analysis {
+
+/// One streaming quantile, P-squared.
+class QuantileEstimator {
+ public:
+  /// `p` in (0, 1), e.g. 0.95 for the 95th percentile.
+  explicit QuantileEstimator(f64 p);
+
+  void observe(f64 x);
+
+  /// Current estimate. Exact (order statistic with linear interpolation)
+  /// while count() <= 5; the P-squared marker estimate after. NaN when
+  /// no observations have been made.
+  f64 estimate() const;
+
+  u64 count() const { return count_; }
+  f64 p() const { return p_; }
+
+ private:
+  f64 p_;
+  u64 count_ = 0;
+  std::array<f64, 5> q_{};   ///< marker heights
+  std::array<f64, 5> n_{};   ///< marker positions (1-based)
+  std::array<f64, 5> np_{};  ///< desired positions
+  std::array<f64, 5> dn_{};  ///< desired-position increments
+};
+
+/// p50/p95/p99 + min/max/mean of one latency stream.
+class LatencyDigest {
+ public:
+  LatencyDigest();
+
+  void observe(f64 seconds);
+
+  u64 count() const { return count_; }
+  f64 min() const;
+  f64 max() const;
+  f64 mean() const;
+  f64 p50() const { return p50_.estimate(); }
+  f64 p95() const { return p95_.estimate(); }
+  f64 p99() const { return p99_.estimate(); }
+
+ private:
+  u64 count_ = 0;
+  f64 min_ = 0.0;
+  f64 max_ = 0.0;
+  f64 sum_ = 0.0;
+  QuantileEstimator p50_;
+  QuantileEstimator p95_;
+  QuantileEstimator p99_;
+};
+
+}  // namespace ceresz::obs::analysis

@@ -1,0 +1,224 @@
+#include "obs/analysis/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace ceresz::obs::analysis {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    CERESZ_CHECK(pos_ == s_.size(), "json: trailing bytes after value");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\t' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    CERESZ_CHECK(pos_ < s_.size(), "json: unexpected end of input");
+    const char c = s_[pos_];
+    JsonValue v;
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.str = parse_string();
+      return v;
+    }
+    if (consume_literal("null")) return v;
+    if (consume_literal("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    consume('{');
+    if (consume('}')) return v;
+    do {
+      skip_ws();
+      CERESZ_CHECK(pos_ < s_.size() && s_[pos_] == '"',
+                   "json: object key must be a string");
+      std::string key = parse_string();
+      CERESZ_CHECK(consume(':'), "json: expected ':' after object key");
+      v.object.emplace(std::move(key), parse_value());
+    } while (consume(','));
+    CERESZ_CHECK(consume('}'), "json: expected '}'");
+    return v;
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    consume('[');
+    if (consume(']')) return v;
+    do {
+      v.array.push_back(parse_value());
+    } while (consume(','));
+    CERESZ_CHECK(consume(']'), "json: expected ']'");
+    return v;
+  }
+
+  std::string parse_string() {
+    std::string out;
+    ++pos_;  // opening quote
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        CERESZ_CHECK(pos_ < s_.size(), "json: unterminated escape");
+        switch (s_[pos_]) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            // Our own writers only emit \u00XX for control bytes; decode
+            // the low byte and reject surrogates/astral escapes.
+            CERESZ_CHECK(pos_ + 4 < s_.size(), "json: truncated \\u escape");
+            unsigned code = 0;
+            for (int k = 1; k <= 4; ++k) {
+              const char h = s_[pos_ + k];
+              CERESZ_CHECK(std::isxdigit(static_cast<unsigned char>(h)),
+                           "json: bad \\u escape digit");
+              code = code * 16 +
+                     static_cast<unsigned>(
+                         h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+            }
+            CERESZ_CHECK(code < 0x80, "json: non-ASCII \\u escape");
+            out += static_cast<char>(code);
+            pos_ += 4;
+            break;
+          }
+          default:
+            CERESZ_FAIL("json: unsupported escape");
+        }
+        ++pos_;
+      } else {
+        out += s_[pos_++];
+      }
+    }
+    CERESZ_CHECK(pos_ < s_.size(), "json: unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonValue parse_number() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    CERESZ_CHECK(pos_ > start, "json: expected a value");
+    const std::string text(s_.substr(start, pos_ - start));
+    char* end = nullptr;
+    v.number = std::strtod(text.c_str(), &end);
+    CERESZ_CHECK(end && *end == '\0', "json: malformed number");
+    return v;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  static const JsonValue null_value;
+  const auto it = object.find(std::string(key));
+  return it == object.end() ? null_value : it->second;
+}
+
+f64 JsonValue::number_or(std::string_view key, f64 fallback) const {
+  const JsonValue& v = at(key);
+  return v.kind == Kind::kNumber ? v.number : fallback;
+}
+
+std::string JsonValue::string_or(std::string_view key,
+                                 std::string fallback) const {
+  const JsonValue& v = at(key);
+  return v.kind == Kind::kString ? v.str : fallback;
+}
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::vector<JsonValue> parse_jsonl(std::string_view text) {
+  std::vector<JsonValue> out;
+  std::size_t line_no = 0;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(begin, end - begin);
+    ++line_no;
+    bool blank = true;
+    for (char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') {
+        blank = false;
+        break;
+      }
+    }
+    if (!blank) {
+      try {
+        out.push_back(parse_json(line));
+      } catch (const Error& e) {
+        CERESZ_FAIL("jsonl line " + std::to_string(line_no) + ": " +
+                    e.what());
+      }
+    }
+    if (end == text.size()) break;
+    begin = end + 1;
+  }
+  return out;
+}
+
+}  // namespace ceresz::obs::analysis

@@ -1,0 +1,51 @@
+// Minimal JSON reader for the analysis layer: just enough to parse back
+// what this codebase itself writes — Chrome trace-event files
+// (obs::Tracer), metrics exports (obs::to_json), engine stats JSON, and
+// the bench history JSONL records. Numbers become f64, objects become
+// name-sorted maps, parse errors throw ceresz::Error (no partial
+// results). Not a general-purpose parser: \uXXXX escapes outside the
+// control range and non-UTF-8 cleverness are out of scope.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ceresz::obs::analysis {
+
+struct JsonValue {
+  enum class Kind : u8 { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  f64 number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// Member lookup; returns a shared null value when absent.
+  const JsonValue& at(std::string_view key) const;
+
+  /// `at(key).number` when the member is a number, `fallback` otherwise.
+  f64 number_or(std::string_view key, f64 fallback) const;
+
+  /// `at(key).str` when the member is a string, `fallback` otherwise.
+  std::string string_or(std::string_view key, std::string fallback) const;
+};
+
+/// Parse one complete JSON document. Throws ceresz::Error on malformed
+/// input (including trailing non-whitespace bytes).
+JsonValue parse_json(std::string_view text);
+
+/// Parse newline-delimited JSON: one document per non-empty line.
+/// Throws on the first malformed line (the error names the line number).
+std::vector<JsonValue> parse_jsonl(std::string_view text);
+
+}  // namespace ceresz::obs::analysis

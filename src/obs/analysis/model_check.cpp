@@ -1,0 +1,110 @@
+#include "obs/analysis/model_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ceresz::obs::analysis {
+
+namespace {
+
+f64 cycles(u64 ns) {
+  return static_cast<f64>(ns) / static_cast<f64>(kTraceNsPerCycle);
+}
+
+TermCheck make_term(std::string name, std::string formula, f64 predicted,
+                    f64 measured) {
+  TermCheck t;
+  t.name = std::move(name);
+  t.formula = std::move(formula);
+  t.predicted = predicted;
+  t.measured = measured;
+  t.residual = predicted != 0.0 ? (measured - predicted) / predicted : 0.0;
+  return t;
+}
+
+}  // namespace
+
+f64 ModelValidation::max_abs_residual() const {
+  f64 worst = 0.0;
+  for (const TermCheck& t : terms) {
+    worst = std::max(worst, std::abs(t.residual));
+  }
+  return worst;
+}
+
+ModelValidation validate_model(const FabricOccupancy& occ,
+                               const MetricsSnapshot& metrics) {
+  ModelValidation v;
+  const f64 predicted_round = metrics.gauge_value(kGaugePredictedRoundCycles);
+  if (predicted_round <= 0.0) {
+    v.unavailable_reason =
+        "metrics carry no ceresz_mapper_predicted_* gauges (mapper ran "
+        "without a metrics registry)";
+    return v;
+  }
+
+  // The measurement points: the pipe-0 head (Formula 2's busiest relay)
+  // and the stage PE with the highest per-block compute (Formula 3's
+  // bottleneck group). Both need mapper-enriched thread names.
+  const PeOccupancy* head = nullptr;
+  const PeOccupancy* bottleneck = nullptr;
+  for (const PeOccupancy& pe : occ.pes) {
+    if (pe.pe.pipe == 0 && pe.pe.stage_pos == 0 && !head) head = &pe;
+    if (pe.compute_tasks > 0) {
+      const f64 per_block =
+          cycles(pe.compute_ns) / static_cast<f64>(pe.compute_tasks);
+      const f64 best =
+          bottleneck ? cycles(bottleneck->compute_ns) /
+                           static_cast<f64>(bottleneck->compute_tasks)
+                     : -1.0;
+      if (per_block > best) bottleneck = &pe;
+    }
+  }
+  if (!head || head->recv_ops == 0) {
+    v.unavailable_reason =
+        "trace has no enriched pipe-0 head PE (thread names lack "
+        "pipe=/stage= tokens, or the fabric recorded no spans)";
+    return v;
+  }
+
+  v.available = true;
+  v.rounds_measured = head->recv_ops;
+  const f64 rounds = static_cast<f64>(v.rounds_measured);
+
+  // Formula 2: software relay at the head. The head's relay-dispatch
+  // tasks + streaming forwards serve the P-1 eastern pipelines; its own
+  // ingest (recv op) is the recv_own term. Both scale per round.
+  v.terms.push_back(make_term(
+      "relay_per_round", "Formula 2",
+      metrics.gauge_value(kGaugePredictedRelayPerRound) +
+          metrics.gauge_value(kGaugePredictedRecvPerRound),
+      (cycles(head->relay_ns) + cycles(head->recv_ns)) / rounds));
+
+  // Formula 3: per-block compute at the bottleneck stage group.
+  if (bottleneck) {
+    v.terms.push_back(make_term(
+        "compute_per_block", "Formula 3",
+        metrics.gauge_value(kGaugePredictedComputeTask),
+        cycles(bottleneck->compute_ns) /
+            static_cast<f64>(bottleneck->compute_tasks)));
+    const f64 pl = metrics.gauge_value(kGaugePipelineLength);
+    if (pl > 1.0 && bottleneck->send_ns > 0) {
+      // The intermediate forward: one send per block at each stage
+      // boundary. The send span excludes the single hop cycle C2
+      // counts, a sub-percent difference at real block extents.
+      v.terms.push_back(make_term(
+          "forward_per_block", "Formula 3",
+          metrics.gauge_value(kGaugePredictedC2),
+          cycles(bottleneck->send_ns) /
+              static_cast<f64>(bottleneck->compute_tasks)));
+    }
+  }
+
+  // Formula 4: whole-run makespan vs rounds * predicted round cycles.
+  v.terms.push_back(make_term("total_cycles", "Formula 4",
+                              rounds * predicted_round,
+                              cycles(occ.makespan_ns)));
+  return v;
+}
+
+}  // namespace ceresz::obs::analysis

@@ -1,0 +1,81 @@
+// Measured-vs-predicted validation of the paper's cost model
+// (Formulas 2-4): compare the mapper's analytic per-round terms against
+// what the fabric trace actually spent, term by term.
+//
+// The predictions travel inside the metrics snapshot: WaferMapper
+// exports its PerfModel terms as the `ceresz_mapper_predicted_*` gauges
+// below (the names are defined here so the mapper and the analysis
+// cannot drift apart). A (trace.json, metrics.json) pair is therefore
+// self-sufficient — ceresz_report needs no access to the mapper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/analysis/trace_analysis.h"
+#include "obs/metrics.h"
+
+namespace ceresz::obs::analysis {
+
+// Gauges the WaferMapper exports per run (mesh geometry + predicted
+// cost-model terms, all in cycles unless noted).
+inline constexpr const char* kGaugeMeshRows = "ceresz_mapper_mesh_rows";
+inline constexpr const char* kGaugeMeshCols = "ceresz_mapper_mesh_cols";
+inline constexpr const char* kGaugePipelineLength =
+    "ceresz_mapper_pipeline_length";
+inline constexpr const char* kGaugePipelinesPerRow =
+    "ceresz_mapper_pipelines_per_row";
+inline constexpr const char* kGaugePredictedC1 =
+    "ceresz_mapper_predicted_c1_cycles";
+inline constexpr const char* kGaugePredictedC2 =
+    "ceresz_mapper_predicted_c2_cycles";
+inline constexpr const char* kGaugePredictedRelayPerRound =
+    "ceresz_mapper_predicted_relay_cycles_per_round";
+inline constexpr const char* kGaugePredictedRecvPerRound =
+    "ceresz_mapper_predicted_recv_cycles_per_round";
+inline constexpr const char* kGaugePredictedComputeTask =
+    "ceresz_mapper_predicted_compute_task_cycles";
+inline constexpr const char* kGaugePredictedRoundCycles =
+    "ceresz_mapper_predicted_round_cycles";
+inline constexpr const char* kGaugePredictedTotalCycles =
+    "ceresz_mapper_predicted_total_cycles";
+inline constexpr const char* kGaugePredictedRounds =
+    "ceresz_mapper_predicted_rounds";
+
+/// One model term compared against its measurement. `residual` is the
+/// relative error (measured - predicted) / predicted.
+struct TermCheck {
+  std::string name;     ///< e.g. "relay_per_round"
+  std::string formula;  ///< which paper formula the term belongs to
+  f64 predicted = 0.0;  ///< cycles
+  f64 measured = 0.0;   ///< cycles
+  f64 residual = 0.0;
+};
+
+struct ModelValidation {
+  /// False when the snapshot carries no predictions (mapper ran without
+  /// metrics) or the trace has no enriched head PE to measure at;
+  /// `unavailable_reason` then says which.
+  bool available = false;
+  std::string unavailable_reason;
+
+  u64 rounds_measured = 0;  ///< head-0 ingest count (its recv ops)
+  std::vector<TermCheck> terms;
+
+  f64 max_abs_residual() const;
+};
+
+/// Compare the fabric trace against the predicted gauges in `metrics`.
+///
+/// Terms produced:
+///  - "relay_per_round"  (Formula 2): the pipe-0 head's relay + ingest
+///    cycles per round vs (P-1)*C1 + recv_own;
+///  - "compute_per_block" (Formula 3): the busiest stage PE's cycles per
+///    compute task vs task_overhead + bottleneck group cycles;
+///  - "forward_per_block" (Formula 3, only when PL > 1): its send
+///    cycles per block vs C2;
+///  - "total_cycles"     (Formula 4): trace makespan vs rounds * round.
+ModelValidation validate_model(const FabricOccupancy& occ,
+                               const MetricsSnapshot& metrics);
+
+}  // namespace ceresz::obs::analysis

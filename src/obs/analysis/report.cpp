@@ -1,0 +1,267 @@
+#include "obs/analysis/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+#include "obs/analysis/json.h"
+#include "obs/trace.h"
+
+namespace ceresz::obs::analysis {
+
+MetricsSnapshot snapshot_from_json(std::string_view json_text) {
+  const JsonValue root = parse_json(json_text);
+  CERESZ_CHECK(root.is_object(), "metrics: top level must be an object");
+
+  MetricsSnapshot snap;
+  for (const auto& [name, v] : root.at("counters").object) {
+    snap.counters.push_back({name, static_cast<u64>(v.number)});
+  }
+  for (const auto& [name, v] : root.at("gauges").object) {
+    if (v.kind != JsonValue::Kind::kNumber) continue;  // serialized NaN/Inf
+    snap.gauges.push_back({name, v.number});
+  }
+  for (const auto& [name, v] : root.at("histograms").object) {
+    MetricsSnapshot::HistogramSample h;
+    h.name = name;
+    h.sum = v.number_or("sum", 0.0);
+    for (const JsonValue& b : v.at("buckets").array) {
+      const JsonValue& le = b.at("le");
+      if (le.kind == JsonValue::Kind::kNumber) h.bounds.push_back(le.number);
+      const u64 n = static_cast<u64>(b.number_or("count", 0.0));
+      h.counts.push_back(n);
+      h.count += n;
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+Report build_report(const TraceData& trace, const MetricsSnapshot& metrics,
+                    i64 relay_task_color) {
+  Report report;
+  report.occupancy = fabric_occupancy(trace, relay_task_color);
+  report.bottlenecks = pipeline_bottlenecks(report.occupancy);
+  report.model = validate_model(report.occupancy, metrics);
+  report.trace_dropped = std::max(
+      trace.dropped_events, metrics.counter_value(kMetricTraceDropped));
+  for (const auto& h : metrics.histograms) {
+    Report::LatencyLine line;
+    line.name = h.name;
+    line.count = h.count;
+    line.mean = h.count ? h.sum / static_cast<f64>(h.count) : 0.0;
+    line.p50 = h.quantile(0.50);
+    line.p95 = h.quantile(0.95);
+    line.p99 = h.quantile(0.99);
+    report.latencies.push_back(std::move(line));
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Renderers.
+
+namespace {
+
+std::string fmt(const char* spec, f64 v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), spec, v);
+  return buf;
+}
+
+std::string fmt_frac(f64 v) { return fmt("%6.3f", v); }
+
+std::string pad(std::string s, std::size_t width) {
+  if (s.size() < width) s.resize(width, ' ');
+  return s;
+}
+
+std::string json_num(f64 v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string render_text(const Report& report) {
+  std::string out;
+  out += "CereSZ trace report\n";
+  out += "===================\n";
+  out += "fabric makespan: " +
+         std::to_string(report.occupancy.makespan_ns / kTraceNsPerCycle) +
+         " cycles over " + std::to_string(report.occupancy.pes.size()) +
+         " PEs";
+  if (report.model.available) {
+    out += ", " + std::to_string(report.model.rounds_measured) + " rounds";
+  }
+  out += "\n";
+  out += "trace events dropped: " + std::to_string(report.trace_dropped);
+  if (report.trace_dropped > 0) out += "  ** TRACE TRUNCATED **";
+  out += "\n\n";
+
+  out += "Fabric occupancy (fraction of makespan; Fig. 10)\n";
+  out += pad("PE", 12) + pad("pipe", 6) + pad("stage", 7) +
+         pad("compute", 9) + pad("relay", 9) + pad("recv", 9) +
+         pad("send", 9) + pad("busy", 9) + "role\n";
+  for (const PeOccupancy& pe : report.occupancy.pes) {
+    std::string role;
+    for (const StageShare& s : pe.pe.stages) {
+      if (!role.empty()) role += '+';
+      role += s.name;
+    }
+    out += pad("pe[" + std::to_string(pe.pe.row) + "," +
+                   std::to_string(pe.pe.col) + "]",
+               12) +
+           pad(pe.pe.pipe < 0 ? "-" : std::to_string(pe.pe.pipe), 6) +
+           pad(pe.pe.stage_pos < 0 ? "-" : std::to_string(pe.pe.stage_pos),
+               7) +
+           pad(fmt_frac(pe.compute_frac), 9) +
+           pad(fmt_frac(pe.relay_frac), 9) + pad(fmt_frac(pe.recv_frac), 9) +
+           pad(fmt_frac(pe.send_frac), 9) + pad(fmt_frac(pe.busy_frac), 9) +
+           role + "\n";
+  }
+
+  if (!report.bottlenecks.empty()) {
+    out += "\nPipeline bottlenecks (Algorithm 1 objective)\n";
+    out += pad("row", 5) + pad("pipe", 6) + pad("PE", 12) +
+           pad("substage", 16) + pad("modeled cyc", 13) +
+           pad("meas cyc/blk", 14) + pad("occupancy", 11) + "stage group\n";
+    for (const PipelineBottleneck& b : report.bottlenecks) {
+      out += pad(std::to_string(b.row), 5) + pad(std::to_string(b.pipe), 6) +
+             pad("pe[" + std::to_string(b.row) + "," +
+                     std::to_string(b.col) + "]",
+                 12) +
+             pad(b.bottleneck_substage, 16) +
+             pad(fmt("%.1f", b.substage_cycles), 13) +
+             pad(fmt("%.1f", b.cycles_per_block), 14) +
+             pad(fmt_frac(b.compute_frac), 11) + b.stage_group + "\n";
+    }
+  }
+
+  out += "\nCost model validation (Formulas 2-4)\n";
+  if (!report.model.available) {
+    out += "  unavailable: " + report.model.unavailable_reason + "\n";
+  } else {
+    out += pad("term", 20) + pad("formula", 11) + pad("predicted", 13) +
+           pad("measured", 13) + "residual\n";
+    for (const TermCheck& t : report.model.terms) {
+      out += pad(t.name, 20) + pad(t.formula, 11) +
+             pad(fmt("%.1f", t.predicted), 13) +
+             pad(fmt("%.1f", t.measured), 13) +
+             fmt("%+.1f%%", t.residual * 100.0) + "\n";
+    }
+  }
+
+  if (!report.latencies.empty()) {
+    out += "\nLatency digests (from metrics histograms)\n";
+    out += pad("histogram", 44) + pad("count", 8) + pad("mean", 12) +
+           pad("p50", 12) + pad("p95", 12) + "p99\n";
+    for (const Report::LatencyLine& l : report.latencies) {
+      out += pad(l.name, 44) + pad(std::to_string(l.count), 8) +
+             pad(fmt("%.3g", l.mean), 12) + pad(fmt("%.3g", l.p50), 12) +
+             pad(fmt("%.3g", l.p95), 12) + fmt("%.3g", l.p99) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string render_json(const Report& report) {
+  std::string out = "{\n";
+  out += "  \"makespan_cycles\": " +
+         std::to_string(report.occupancy.makespan_ns / kTraceNsPerCycle) +
+         ",\n";
+  out += "  \"trace_dropped\": " + std::to_string(report.trace_dropped) +
+         ",\n";
+
+  out += "  \"occupancy\": [";
+  bool first = true;
+  for (const PeOccupancy& pe : report.occupancy.pes) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    std::string role;
+    for (const StageShare& s : pe.pe.stages) {
+      if (!role.empty()) role += '+';
+      role += s.name;
+    }
+    out += "    {\"row\": " + std::to_string(pe.pe.row) +
+           ", \"col\": " + std::to_string(pe.pe.col) +
+           ", \"pipe\": " + std::to_string(pe.pe.pipe) +
+           ", \"stage\": " + std::to_string(pe.pe.stage_pos) +
+           ", \"compute\": " + json_num(pe.compute_frac) +
+           ", \"relay\": " + json_num(pe.relay_frac) +
+           ", \"recv\": " + json_num(pe.recv_frac) +
+           ", \"send\": " + json_num(pe.send_frac) +
+           ", \"busy\": " + json_num(pe.busy_frac) +
+           ", \"role\": " + json_str(role) + "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+
+  out += "  \"bottlenecks\": [";
+  first = true;
+  for (const PipelineBottleneck& b : report.bottlenecks) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"row\": " + std::to_string(b.row) +
+           ", \"pipe\": " + std::to_string(b.pipe) +
+           ", \"col\": " + std::to_string(b.col) +
+           ", \"stage_group\": " + json_str(b.stage_group) +
+           ", \"bottleneck_substage\": " + json_str(b.bottleneck_substage) +
+           ", \"substage_cycles\": " + json_num(b.substage_cycles) +
+           ", \"measured_cycles_per_block\": " +
+           json_num(b.cycles_per_block) +
+           ", \"compute_frac\": " + json_num(b.compute_frac) + "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+
+  out += "  \"model\": {\"available\": ";
+  out += report.model.available ? "true" : "false";
+  if (!report.model.available) {
+    out += ", \"reason\": " + json_str(report.model.unavailable_reason);
+  } else {
+    out += ", \"rounds\": " + std::to_string(report.model.rounds_measured);
+    out += ", \"terms\": [";
+    first = true;
+    for (const TermCheck& t : report.model.terms) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "      {\"name\": " + json_str(t.name) +
+             ", \"formula\": " + json_str(t.formula) +
+             ", \"predicted\": " + json_num(t.predicted) +
+             ", \"measured\": " + json_num(t.measured) +
+             ", \"residual\": " + json_num(t.residual) + "}";
+    }
+    out += first ? "]" : "\n    ]";
+  }
+  out += "},\n";
+
+  out += "  \"latencies\": [";
+  first = true;
+  for (const Report::LatencyLine& l : report.latencies) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": " + json_str(l.name) +
+           ", \"count\": " + std::to_string(l.count) +
+           ", \"mean\": " + json_num(l.mean) +
+           ", \"p50\": " + json_num(l.p50) +
+           ", \"p95\": " + json_num(l.p95) +
+           ", \"p99\": " + json_num(l.p99) + "}";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ceresz::obs::analysis

@@ -1,0 +1,57 @@
+// The ceresz_report payload: one structure combining the Fig. 10-style
+// occupancy table, per-pipeline bottleneck attribution, cost-model
+// residuals, and latency percentiles, with text and JSON renderers.
+//
+// Inputs are the two artifacts every instrumented run already writes —
+// a Chrome trace (--trace-out) and a metrics export (--metrics-out, the
+// JSON flavor) — so the report can be produced offline, in CI, or from
+// a live Tracer/MetricsRegistry pair in-process.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/analysis/model_check.h"
+#include "obs/analysis/trace_analysis.h"
+#include "obs/metrics.h"
+
+namespace ceresz::obs::analysis {
+
+/// Parse a metrics JSON export (obs::to_json output) back into a
+/// snapshot. Null gauges (serialized non-finite values) are skipped.
+/// Throws ceresz::Error on malformed input.
+MetricsSnapshot snapshot_from_json(std::string_view json_text);
+
+struct Report {
+  FabricOccupancy occupancy;
+  std::vector<PipelineBottleneck> bottlenecks;
+  ModelValidation model;
+
+  /// One line per metrics histogram: streaming percentiles estimated
+  /// from the bucket counts (HistogramSample::quantile).
+  struct LatencyLine {
+    std::string name;
+    u64 count = 0;
+    f64 mean = 0.0;
+    f64 p50 = 0.0;
+    f64 p95 = 0.0;
+    f64 p99 = 0.0;
+  };
+  std::vector<LatencyLine> latencies;
+
+  /// Trace truncation: max of the trace file's metadata and the
+  /// ceresz_obs_trace_dropped_total counter.
+  u64 trace_dropped = 0;
+};
+
+Report build_report(const TraceData& trace, const MetricsSnapshot& metrics,
+                    i64 relay_task_color = kDefaultRelayTaskColor);
+
+/// Human-readable report (the Fig. 10 occupancy table + bottleneck and
+/// residual summaries).
+std::string render_text(const Report& report);
+
+/// Machine-readable report (stable key names, one JSON object).
+std::string render_json(const Report& report);
+
+}  // namespace ceresz::obs::analysis

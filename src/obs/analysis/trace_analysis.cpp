@@ -1,0 +1,392 @@
+#include "obs/analysis/trace_analysis.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.h"
+#include "obs/analysis/json.h"
+
+namespace ceresz::obs::analysis {
+
+namespace {
+
+/// Chrome trace timestamps are microseconds (possibly fractional);
+/// convert back to integer nanoseconds.
+u64 us_to_ns(f64 us) {
+  return us <= 0.0 ? 0 : static_cast<u64>(std::llround(us * 1000.0));
+}
+
+Span span_from_event(const JsonValue& e) {
+  Span s;
+  s.name = e.string_or("name", "");
+  s.cat = e.string_or("cat", "");
+  const std::string ph = e.string_or("ph", "X");
+  s.phase = ph.empty() ? 'X' : ph[0];
+  s.pid = static_cast<u32>(e.number_or("pid", kHostPid));
+  s.tid = static_cast<u32>(e.number_or("tid", 0));
+  s.ts_ns = us_to_ns(e.number_or("ts", 0.0));
+  s.dur_ns = us_to_ns(e.number_or("dur", 0.0));
+  const JsonValue& args = e.at("args");
+  if (args.is_object()) {
+    for (const auto& [k, v] : args.object) {
+      if (v.kind == JsonValue::Kind::kNumber) {
+        s.args[k] = static_cast<i64>(std::llround(v.number));
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+const std::string* TraceData::thread_name(u32 pid, u32 tid) const {
+  const auto it = thread_names.find({pid, tid});
+  return it == thread_names.end() ? nullptr : &it->second;
+}
+
+TraceData load_chrome_trace(std::string_view json_text) {
+  const JsonValue root = parse_json(json_text);
+  CERESZ_CHECK(root.is_object(), "trace: top level must be an object");
+  const JsonValue& events = root.at("traceEvents");
+  CERESZ_CHECK(events.is_array(), "trace: missing traceEvents array");
+
+  TraceData trace;
+  trace.dropped_events =
+      static_cast<u64>(root.at("metadata").number_or("dropped_events", 0.0));
+  for (const JsonValue& e : events.array) {
+    CERESZ_CHECK(e.is_object(), "trace: event must be an object");
+    const std::string ph = e.string_or("ph", "");
+    if (ph == "M") {
+      const std::string what = e.string_or("name", "");
+      const std::string name = e.at("args").string_or("name", "");
+      const u32 pid = static_cast<u32>(e.number_or("pid", 0));
+      const u32 tid = static_cast<u32>(e.number_or("tid", 0));
+      if (what == "process_name") {
+        trace.process_names[pid] = name;
+      } else if (what == "thread_name") {
+        trace.thread_names[{pid, tid}] = name;
+      }
+      continue;
+    }
+    Span s = span_from_event(e);
+    if (s.phase == 'X') {
+      trace.spans.push_back(std::move(s));
+    } else {
+      trace.instants.push_back(std::move(s));
+    }
+  }
+  std::stable_sort(trace.spans.begin(), trace.spans.end(),
+                   [](const Span& a, const Span& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return trace;
+}
+
+TraceData from_tracer(const Tracer& tracer) {
+  // Round-trip through the exporter: the JSON carries the viewer
+  // metadata (process/thread names) that snapshot_events() does not,
+  // and keeps file-loaded and live traces on one code path.
+  return load_chrome_trace(tracer.chrome_trace_json());
+}
+
+// ---------------------------------------------------------------------------
+// Span trees.
+
+std::vector<SpanNode> build_span_tree(std::vector<const Span*> spans) {
+  // Sort by start time, longest-first on ties, so a parent always
+  // precedes the spans it encloses.
+  std::sort(spans.begin(), spans.end(), [](const Span* a, const Span* b) {
+    if (a->ts_ns != b->ts_ns) return a->ts_ns < b->ts_ns;
+    return a->dur_ns > b->dur_ns;
+  });
+
+  std::vector<SpanNode> roots;
+  std::vector<SpanNode*> stack;  // innermost open span last
+  for (const Span* s : spans) {
+    while (!stack.empty() && s->ts_ns >= stack.back()->span->end_ns()) {
+      stack.pop_back();
+    }
+    SpanNode node;
+    node.span = s;
+    node.self_ns = s->dur_ns;
+    std::vector<SpanNode>& siblings =
+        stack.empty() ? roots : stack.back()->children;
+    if (!stack.empty() && s->end_ns() <= stack.back()->span->end_ns()) {
+      stack.back()->self_ns -=
+          std::min<u64>(stack.back()->self_ns, s->dur_ns);
+    }
+    siblings.push_back(std::move(node));
+    stack.push_back(&siblings.back());
+  }
+  return roots;
+}
+
+std::vector<SpanNode> thread_span_tree(const TraceData& trace, u32 pid,
+                                       u32 tid) {
+  std::vector<const Span*> mine;
+  for (const Span& s : trace.spans) {
+    if (s.pid == pid && s.tid == tid) mine.push_back(&s);
+  }
+  return build_span_tree(std::move(mine));
+}
+
+// ---------------------------------------------------------------------------
+// Thread-name parsing.
+
+namespace {
+
+/// Parse "<label>:<cycles>" items joined by '+'.
+std::vector<StageShare> parse_stage_list(std::string_view text) {
+  std::vector<StageShare> out;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = text.find('+', begin);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view item = text.substr(begin, end - begin);
+    const std::size_t colon = item.rfind(':');
+    if (colon != std::string_view::npos && colon > 0) {
+      StageShare share;
+      share.name = std::string(item.substr(0, colon));
+      share.cycles = std::atof(std::string(item.substr(colon + 1)).c_str());
+      out.push_back(std::move(share));
+    }
+    begin = end + 1;
+  }
+  return out;
+}
+
+/// Value of a "key=value" token in a space-separated name, or nullopt.
+std::optional<std::string_view> token_value(std::string_view name,
+                                            std::string_view key) {
+  std::size_t pos = 0;
+  while (pos < name.size()) {
+    std::size_t end = name.find(' ', pos);
+    if (end == std::string_view::npos) end = name.size();
+    const std::string_view tok = name.substr(pos, end - pos);
+    if (tok.size() > key.size() + 1 &&
+        tok.substr(0, key.size()) == key && tok[key.size()] == '=') {
+      return tok.substr(key.size() + 1);
+    }
+    pos = end + 1;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<PeIdentity> parse_pe_thread_name(const std::string& name) {
+  // "pe[<row>,<col>]" prefix, optionally followed by enrichment tokens.
+  if (name.rfind("pe[", 0) != 0) return std::nullopt;
+  const std::size_t comma = name.find(',', 3);
+  const std::size_t close = name.find(']', 3);
+  if (comma == std::string::npos || close == std::string::npos ||
+      comma > close) {
+    return std::nullopt;
+  }
+  PeIdentity pe;
+  pe.row = static_cast<u32>(std::atoi(name.c_str() + 3));
+  pe.col = static_cast<u32>(std::atoi(name.c_str() + comma + 1));
+  const std::string_view rest = std::string_view(name).substr(close + 1);
+  if (const auto v = token_value(rest, "pipe")) {
+    pe.pipe = std::atoi(std::string(*v).c_str());
+  }
+  if (const auto v = token_value(rest, "stage")) {
+    pe.stage_pos = std::atoi(std::string(*v).c_str());
+  }
+  if (const auto v = token_value(rest, "stages")) {
+    pe.stages = parse_stage_list(*v);
+  }
+  return pe;
+}
+
+// ---------------------------------------------------------------------------
+// Occupancy.
+
+namespace {
+
+enum Category : int { kCompute = 0, kRelay, kRecv, kSend, kNumCategories };
+
+/// Total length of `intervals` not covered by `higher` (both get merged
+/// in place). Used to turn overlapping span sets into a partition.
+u64 exclusive_length(std::vector<std::pair<u64, u64>>& intervals,
+                     const std::vector<std::pair<u64, u64>>& higher) {
+  std::sort(intervals.begin(), intervals.end());
+  // Merge the candidate intervals.
+  std::vector<std::pair<u64, u64>> merged;
+  for (const auto& iv : intervals) {
+    if (!merged.empty() && iv.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, iv.second);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  // Subtract the (already merged, sorted) higher-priority cover.
+  u64 total = 0;
+  std::size_t h = 0;
+  for (auto [lo, hi] : merged) {
+    u64 cur = lo;
+    while (cur < hi) {
+      while (h < higher.size() && higher[h].second <= cur) ++h;
+      if (h == higher.size() || higher[h].first >= hi) {
+        total += hi - cur;
+        break;
+      }
+      if (higher[h].first > cur) total += higher[h].first - cur;
+      cur = std::max(cur, higher[h].second);
+    }
+  }
+  intervals = std::move(merged);
+  return total;
+}
+
+/// Merge `add` into the sorted, disjoint cover `cover`.
+void merge_cover(std::vector<std::pair<u64, u64>>& cover,
+                 const std::vector<std::pair<u64, u64>>& add) {
+  cover.insert(cover.end(), add.begin(), add.end());
+  std::sort(cover.begin(), cover.end());
+  std::vector<std::pair<u64, u64>> merged;
+  for (const auto& iv : cover) {
+    if (!merged.empty() && iv.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, iv.second);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  cover = std::move(merged);
+}
+
+}  // namespace
+
+const PeOccupancy* FabricOccupancy::find(u32 row, u32 col) const {
+  for (const PeOccupancy& pe : pes) {
+    if (pe.pe.row == row && pe.pe.col == col) return &pe;
+  }
+  return nullptr;
+}
+
+FabricOccupancy fabric_occupancy(const TraceData& trace,
+                                 i64 relay_task_color) {
+  struct Accum {
+    PeIdentity pe;
+    std::array<std::vector<std::pair<u64, u64>>, kNumCategories> intervals;
+    std::array<u64, kNumCategories> raw_ns{};
+    u64 compute_tasks = 0;
+    u64 recv_ops = 0;
+    u64 relay_ops = 0;
+  };
+  std::map<u32, Accum> by_tid;
+  u64 makespan_ns = 0;
+
+  for (const Span& s : trace.spans) {
+    if (s.pid != kFabricPid) continue;
+    makespan_ns = std::max(makespan_ns, s.end_ns());
+    auto it = by_tid.find(s.tid);
+    if (it == by_tid.end()) {
+      Accum a;
+      const std::string* name = trace.thread_name(kFabricPid, s.tid);
+      if (name) {
+        if (auto pe = parse_pe_thread_name(*name)) a.pe = *pe;
+      }
+      a.pe.tid = s.tid;
+      it = by_tid.emplace(s.tid, std::move(a)).first;
+    }
+    Accum& a = it->second;
+    int cat;
+    if (s.name == "task") {
+      cat = s.arg_or("color", -1) == relay_task_color ? kRelay : kCompute;
+      if (cat == kCompute) ++a.compute_tasks;
+    } else if (s.name == "relay") {
+      cat = kRelay;
+      ++a.relay_ops;
+    } else if (s.name == "recv") {
+      cat = kRecv;
+      ++a.recv_ops;
+    } else if (s.name == "send") {
+      cat = kSend;
+    } else {
+      continue;
+    }
+    a.intervals[cat].emplace_back(s.ts_ns, s.end_ns());
+    a.raw_ns[cat] += s.dur_ns;
+  }
+
+  FabricOccupancy occ;
+  occ.makespan_ns = makespan_ns;
+  for (auto& [tid, a] : by_tid) {
+    PeOccupancy pe;
+    pe.pe = a.pe;
+    pe.compute_ns = a.raw_ns[kCompute];
+    pe.relay_ns = a.raw_ns[kRelay];
+    pe.recv_ns = a.raw_ns[kRecv];
+    pe.send_ns = a.raw_ns[kSend];
+    pe.compute_tasks = a.compute_tasks;
+    pe.recv_ops = a.recv_ops;
+    pe.relay_ops = a.relay_ops;
+    if (makespan_ns > 0) {
+      std::vector<std::pair<u64, u64>> cover;
+      f64* fracs[kNumCategories] = {&pe.compute_frac, &pe.relay_frac,
+                                    &pe.recv_frac, &pe.send_frac};
+      for (int cat = 0; cat < kNumCategories; ++cat) {
+        const u64 ns = exclusive_length(a.intervals[cat], cover);
+        *fracs[cat] = static_cast<f64>(ns) / static_cast<f64>(makespan_ns);
+        merge_cover(cover, a.intervals[cat]);
+      }
+      pe.busy_frac =
+          pe.compute_frac + pe.relay_frac + pe.recv_frac + pe.send_frac;
+    }
+    occ.pes.push_back(std::move(pe));
+  }
+  std::sort(occ.pes.begin(), occ.pes.end(),
+            [](const PeOccupancy& a, const PeOccupancy& b) {
+              if (a.pe.row != b.pe.row) return a.pe.row < b.pe.row;
+              return a.pe.col < b.pe.col;
+            });
+  return occ;
+}
+
+// ---------------------------------------------------------------------------
+// Bottlenecks.
+
+std::vector<PipelineBottleneck> pipeline_bottlenecks(
+    const FabricOccupancy& occ) {
+  std::map<std::pair<u32, u32>, const PeOccupancy*> best;  // (row, pipe)
+  for (const PeOccupancy& pe : occ.pes) {
+    if (pe.pe.pipe < 0 || pe.compute_tasks == 0) continue;
+    const auto key = std::make_pair(pe.pe.row, static_cast<u32>(pe.pe.pipe));
+    const auto it = best.find(key);
+    if (it == best.end() || pe.compute_ns > it->second->compute_ns) {
+      best[key] = &pe;
+    }
+  }
+
+  std::vector<PipelineBottleneck> out;
+  out.reserve(best.size());
+  for (const auto& [key, pe] : best) {
+    PipelineBottleneck b;
+    b.row = key.first;
+    b.pipe = key.second;
+    b.col = pe->pe.col;
+    b.stage_pos = pe->pe.stage_pos < 0 ? 0
+                                       : static_cast<u32>(pe->pe.stage_pos);
+    b.compute_frac = pe->compute_frac;
+    b.cycles_per_block =
+        pe->compute_tasks
+            ? static_cast<f64>(pe->compute_ns) / kTraceNsPerCycle /
+                  static_cast<f64>(pe->compute_tasks)
+            : 0.0;
+    for (const StageShare& s : pe->pe.stages) {
+      if (!b.stage_group.empty()) b.stage_group += '+';
+      b.stage_group += s.name;
+      if (s.cycles > b.substage_cycles) {
+        b.substage_cycles = s.cycles;
+        b.bottleneck_substage = s.name;
+      }
+    }
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace ceresz::obs::analysis

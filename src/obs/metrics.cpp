@@ -1,10 +1,12 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <functional>
+#include <limits>
 #include <thread>
 
 #include "common/error.h"
@@ -76,6 +78,29 @@ std::vector<u64> Histogram::bucket_counts() const {
 // ---------------------------------------------------------------------------
 // MetricsRegistry
 // ---------------------------------------------------------------------------
+
+f64 MetricsSnapshot::HistogramSample::quantile(f64 p) const {
+  if (count == 0) return std::numeric_limits<f64>::quiet_NaN();
+  p = std::clamp(p, 0.0, 1.0);
+  const f64 target = p * static_cast<f64>(count);
+  u64 cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const u64 before = cumulative;
+    cumulative += counts[i];
+    if (counts[i] == 0 || static_cast<f64>(cumulative) < target) continue;
+    if (i >= bounds.size()) {
+      // +Inf overflow bucket: no finite upper edge to interpolate to.
+      return bounds.empty() ? std::numeric_limits<f64>::quiet_NaN()
+                            : bounds.back();
+    }
+    const f64 lower = i == 0 ? 0.0 : bounds[i - 1];
+    const f64 within =
+        (target - static_cast<f64>(before)) / static_cast<f64>(counts[i]);
+    return lower + within * (bounds[i] - lower);
+  }
+  return bounds.empty() ? std::numeric_limits<f64>::quiet_NaN()
+                        : bounds.back();
+}
 
 u64 MetricsSnapshot::counter_value(std::string_view name) const {
   for (const auto& c : counters) {
@@ -274,6 +299,18 @@ std::string to_prometheus(const MetricsSnapshot& snap) {
     out += h.name + "_count " + std::to_string(h.count) + "\n";
   }
   return out;
+}
+
+bool is_prometheus_path(std::string_view path) {
+  constexpr std::string_view ext = ".prom";
+  if (path.size() < ext.size()) return false;
+  const std::string_view tail = path.substr(path.size() - ext.size());
+  for (std::size_t i = 0; i < ext.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(tail[i])) != ext[i]) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace ceresz::obs

@@ -149,6 +149,14 @@ struct MetricsSnapshot {
     std::vector<u64> counts;  ///< per bucket, +Inf overflow last
     f64 sum = 0.0;
     u64 count = 0;            ///< sum of `counts`
+
+    /// Quantile estimate (p in [0, 1]) by linear interpolation within
+    /// the inclusive-le buckets: the p*count-th observation is located
+    /// in its bucket and placed proportionally between the bucket's
+    /// lower and upper bound (first bucket's lower bound is 0). A
+    /// quantile landing in the +Inf overflow bucket reports the last
+    /// finite bound. NaN when the histogram is empty.
+    f64 quantile(f64 p) const;
   };
 
   std::vector<CounterSample> counters;
@@ -198,5 +206,10 @@ class MetricsRegistry {
 /// Exporters (both render the same snapshot; see docs/observability.md).
 std::string to_json(const MetricsSnapshot& snap);
 std::string to_prometheus(const MetricsSnapshot& snap);
+
+/// True when `path` names a Prometheus text export: a case-insensitive
+/// ".prom" extension (".prom", ".PROM", ".Prom", ...). Everything else
+/// gets JSON. Used by the CLIs' --metrics-out handling.
+bool is_prometheus_path(std::string_view path);
 
 }  // namespace ceresz::obs

@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace ceresz::obs {
 
@@ -221,6 +222,16 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
   }
   os << "\n],\"displayTimeUnit\":\"ms\",\"metadata\":{"
      << "\"dropped_events\":" << events_dropped() << "}}\n";
+}
+
+void declare_trace_metrics(MetricsRegistry& reg) {
+  reg.counter(kMetricTraceDropped);
+}
+
+void export_trace_metrics(const Tracer& tracer, MetricsRegistry& reg) {
+  const u64 dropped = tracer.events_dropped();
+  if (dropped > 0) reg.counter(kMetricTraceDropped).add(dropped);
+  else reg.counter(kMetricTraceDropped);  // declare at zero
 }
 
 }  // namespace ceresz::obs

@@ -37,10 +37,17 @@
 
 namespace ceresz::obs {
 
+class MetricsRegistry;
+
 /// Trace process ids: host wall-clock events vs the simulator's virtual
 /// cycle timeline.
 inline constexpr u32 kHostPid = 1;
 inline constexpr u32 kFabricPid = 2;
+
+/// Ring-overflow events (oldest-dropped) across all recording threads,
+/// exported so a truncated trace is detectable from metrics alone.
+inline constexpr const char* kMetricTraceDropped =
+    "ceresz_obs_trace_dropped_total";
 
 /// One trace event. Names/categories must be string literals (or
 /// otherwise outlive the tracer); per-event numbers go in the args.
@@ -152,6 +159,14 @@ class Tracer {
   std::map<std::pair<u32, u32>, std::string> thread_names_;
   std::atomic<u32> next_tid_{1};
 };
+
+/// Pre-create the tracer metric families in `reg` at zero.
+void declare_trace_metrics(MetricsRegistry& reg);
+
+/// Export the tracer's cumulative drop count into `reg` as
+/// `ceresz_obs_trace_dropped_total`. Call once per flush (the counter
+/// is monotonic; re-exporting the same tracer would double-count).
+void export_trace_metrics(const Tracer& tracer, MetricsRegistry& reg);
 
 /// RAII scoped span: records one complete ('X') event covering its own
 /// lifetime. Null-tracer-safe (does nothing, reads no clock).

@@ -631,6 +631,95 @@ TEST(Exporters, DeclaredFamiliesCoverEngineFabricAndMapper) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Histogram snapshot quantiles: linear interpolation within the
+// inclusive-le bucket that crosses p * count.
+
+TEST(Histogram, QuantileInterpolatesWithinBuckets) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("q_seconds", {1.0, 2.0, 4.0});
+  h.observe(0.5);    // bucket 0 (le 1.0)
+  h.observe(1.0);    // bucket 0 (inclusive edge)
+  h.observe(1.5);    // bucket 1 (le 2.0)
+  h.observe(2.0);    // bucket 1
+  h.observe(100.0);  // +Inf overflow
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const auto& hs = snap.histograms[0];
+  ASSERT_EQ(hs.count, 5u);
+
+  // target = p * count = 2.5 falls 0.25 into bucket 1's two samples.
+  EXPECT_DOUBLE_EQ(hs.quantile(0.5), 1.25);
+  // target = 1.0 is halfway through bucket 0 (lower bound 0).
+  EXPECT_DOUBLE_EQ(hs.quantile(0.2), 0.5);
+  // target exactly exhausts a bucket -> its upper edge.
+  EXPECT_DOUBLE_EQ(hs.quantile(0.4), 1.0);
+  EXPECT_DOUBLE_EQ(hs.quantile(0.8), 2.0);
+  // Out-of-range p clamps.
+  EXPECT_DOUBLE_EQ(hs.quantile(-1.0), hs.quantile(0.0));
+}
+
+TEST(Histogram, QuantileOverflowBucketClampsToLastFiniteBound) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("q_over", {1.0, 2.0, 4.0});
+  h.observe(0.5);
+  h.observe(100.0);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const auto& hs = snap.histograms[0];
+  // The +Inf bucket has no finite upper edge; the estimate saturates at
+  // the last finite bound rather than inventing a value.
+  EXPECT_DOUBLE_EQ(hs.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(hs.quantile(0.99), 4.0);
+}
+
+TEST(Histogram, QuantileOfEmptyHistogramIsNaN) {
+  obs::MetricsRegistry reg;
+  reg.histogram("q_empty", {1.0, 2.0});
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_TRUE(std::isnan(snap.histograms[0].quantile(0.5)));
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus path detection (the --metrics-out format switch).
+
+TEST(Exporters, PrometheusPathDetectionIsCaseInsensitive) {
+  EXPECT_TRUE(obs::is_prometheus_path("metrics.prom"));
+  EXPECT_TRUE(obs::is_prometheus_path("metrics.PROM"));
+  EXPECT_TRUE(obs::is_prometheus_path("out/run1.Prom"));
+  EXPECT_TRUE(obs::is_prometheus_path(".prom"));
+  EXPECT_FALSE(obs::is_prometheus_path("metrics.json"));
+  EXPECT_FALSE(obs::is_prometheus_path("prom"));
+  EXPECT_FALSE(obs::is_prometheus_path("metrics.promx"));
+  EXPECT_FALSE(obs::is_prometheus_path(""));
+}
+
+// ---------------------------------------------------------------------------
+// Trace-drop export: ring overflow surfaces as a metrics counter, so a
+// scraped run advertises its own trace truncation.
+
+TEST(TraceMetrics, RingOverflowExportedAsDroppedCounter) {
+  obs::MetricsRegistry reg;
+  obs::declare_trace_metrics(reg);
+  // Pre-declared at zero, and advertised even before any export.
+  EXPECT_EQ(reg.snapshot().counter_value(obs::kMetricTraceDropped), 0u);
+  EXPECT_NE(obs::to_prometheus(reg.snapshot())
+                .find(std::string("# TYPE ") + obs::kMetricTraceDropped +
+                      " counter"),
+            std::string::npos);
+
+  obs::Tracer tracer(/*ring_capacity=*/8);
+  for (int i = 0; i < 100; ++i) tracer.instant("tick", "test");
+  obs::export_trace_metrics(tracer, reg);
+  EXPECT_EQ(reg.snapshot().counter_value(obs::kMetricTraceDropped), 92u);
+
+  // A clean tracer contributes nothing (export adds, so callers export
+  // once per tracer at flush time).
+  obs::Tracer clean;
+  clean.instant("t", "test");
+  obs::export_trace_metrics(clean, reg);
+  EXPECT_EQ(reg.snapshot().counter_value(obs::kMetricTraceDropped), 92u);
+}
+
 TEST(EngineStats, FromSnapshotReadsRegistryValues) {
   obs::MetricsRegistry reg;
   engine::declare_engine_metrics(reg);

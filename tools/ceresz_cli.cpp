@@ -84,6 +84,7 @@ struct Observability {
       engine::declare_engine_metrics(registry);
       wse::declare_fabric_metrics(registry);
       mapping::declare_mapper_metrics(registry);
+      obs::declare_trace_metrics(registry);
     }
   }
 
@@ -100,11 +101,11 @@ struct Observability {
       CERESZ_CHECK(os.good(), "failed writing trace output file");
     }
     if (export_metrics) {
+      if (tracer) obs::export_trace_metrics(*tracer, registry);
       const auto snap = registry.snapshot();
-      const bool prom = args.metrics_out.size() >= 5 &&
-                        args.metrics_out.ends_with(".prom");
-      const std::string text =
-          prom ? obs::to_prometheus(snap) : obs::to_json(snap);
+      const std::string text = obs::is_prometheus_path(args.metrics_out)
+                                   ? obs::to_prometheus(snap)
+                                   : obs::to_json(snap);
       std::ofstream os(args.metrics_out, std::ios::binary);
       CERESZ_CHECK(os.good(), "cannot open metrics output file");
       os << text;

@@ -1,0 +1,104 @@
+// ceresz_report: turn an instrumented run's artifacts into the paper's
+// performance views — the Fig. 10 occupancy table, per-pipeline
+// bottleneck attribution, Formula 2-4 residuals, and latency digests.
+//
+//   ceresz_report --trace trace.json [--metrics metrics.json]
+//                 [--format text|json] [--out report.txt]
+//
+// `--trace` is a Chrome trace file written by any --trace-out flag;
+// `--metrics` is the JSON metrics export (required for the cost-model
+// section — without it the report marks the model "unavailable").
+// Exit codes: 0 success, 1 bad input file, 2 usage error.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "obs/analysis/report.h"
+
+namespace {
+
+using namespace ceresz;
+using namespace ceresz::obs::analysis;
+
+struct Args {
+  std::string trace_path;
+  std::string metrics_path;
+  std::string format = "text";
+  std::string out_path;  ///< empty = stdout
+};
+
+void usage(std::ostream& os) {
+  os << "usage: ceresz_report --trace trace.json [--metrics metrics.json]\n"
+        "                     [--format text|json] [--out FILE]\n";
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](std::string& dst) {
+      if (i + 1 >= argc) return false;
+      dst = argv[++i];
+      return true;
+    };
+    if (a == "--trace") {
+      if (!value(args.trace_path)) return false;
+    } else if (a == "--metrics") {
+      if (!value(args.metrics_path)) return false;
+    } else if (a == "--format") {
+      if (!value(args.format)) return false;
+      if (args.format != "text" && args.format != "json") return false;
+    } else if (a == "--out") {
+      if (!value(args.out_path)) return false;
+    } else if (a == "--help" || a == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else {
+      return false;
+    }
+  }
+  return !args.trace_path.empty();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CERESZ_CHECK(in.good(), "cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  CERESZ_CHECK(!in.bad(), "error reading " + path);
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) {
+    usage(std::cerr);
+    return 2;
+  }
+  try {
+    const TraceData trace = load_chrome_trace(read_file(args.trace_path));
+    obs::MetricsSnapshot metrics;
+    if (!args.metrics_path.empty()) {
+      metrics = snapshot_from_json(read_file(args.metrics_path));
+    }
+    const Report report = build_report(trace, metrics);
+    const std::string rendered =
+        args.format == "json" ? render_json(report) : render_text(report);
+    if (args.out_path.empty()) {
+      std::cout << rendered;
+    } else {
+      std::ofstream out(args.out_path, std::ios::binary);
+      CERESZ_CHECK(out.good(), "cannot open " + args.out_path);
+      out << rendered;
+      CERESZ_CHECK(out.good(), "error writing " + args.out_path);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "ceresz_report: " << e.what() << "\n";
+    return 1;
+  }
+}
