@@ -1,0 +1,292 @@
+// Multi-client load generator for the ceresz_server compression
+// service: N client threads drive concurrent COMPRESS + DECOMPRESS
+// streams over loopback TCP and report per-opcode p50/p95/p99 latency
+// (obs::analysis::LatencyDigest), throughput, and correctness.
+//
+//   bench_service_load [--port P [--host H]] [--clients N] [--requests M]
+//                      [--elems E] [--rel B] [--workers W] [--history F]
+//
+// With --port the bench drives an already-running ceresz_server (how
+// the CI smoke step uses it, retrying the connect while the daemon
+// starts); without it, a ServiceServer is hosted in-process on an
+// ephemeral port with --workers connection workers.
+//
+// Correctness is asserted on every request, not sampled: the container
+// returned by the service must be byte-identical to a local
+// ParallelEngine::compress of the same data (the CLI path), and the
+// service's decompression must be byte-identical to decompressing that
+// container locally. Any mismatch or unexpected error frame fails the
+// run (exit 1).
+//
+// With --history F, latency and throughput records are appended in the
+// bench-history JSONL format, so ceresz_perfgate regression-gates
+// service latency against bench/history/baseline.jsonl. Wall-clock
+// percentiles get a generous noise band (shared CI runners); the
+// compression ratio is deterministic and gets a tight one.
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/analysis/digest.h"
+
+using namespace ceresz;
+
+namespace {
+
+struct Args {
+  std::string host = "127.0.0.1";
+  u16 port = 0;  ///< 0 = self-host an in-process server
+  u32 clients = 4;
+  u32 requests = 16;  ///< compress+decompress pairs per client
+  u64 elems = u64{256} * 1024;
+  f64 rel = 1e-3;
+  u32 workers = 2;  ///< self-hosted server's connection workers
+  std::string history_path;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_service_load [--port P [--host H]] "
+               "[--clients N] [--requests M]\n"
+               "                          [--elems E] [--rel B] "
+               "[--workers W] [--history F]\n");
+  return 2;
+}
+
+/// Latency digests shared by the client threads.
+struct SharedDigests {
+  std::mutex mu;
+  obs::analysis::LatencyDigest compress;
+  obs::analysis::LatencyDigest decompress;
+};
+
+/// Smooth sine wave plus mild noise — the same synthetic "scientific"
+/// field shape the test suite uses, seeded per client.
+std::vector<f32> smooth_signal(u64 n, u64 seed) {
+  Rng rng(seed);
+  std::vector<f32> v(n);
+  for (u64 i = 0; i < n; ++i) {
+    const f64 x = static_cast<f64>(i) / 64.0;
+    v[i] = static_cast<f32>(std::sin(x) + 0.4 * std::cos(2.7 * x) +
+                            0.01 * rng.next_gaussian());
+  }
+  return v;
+}
+
+/// Connect with retries: the CI smoke step races the daemon's startup.
+net::CereszClient connect_with_retry(const std::string& host, u16 port) {
+  net::CereszClient client;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      client.connect(host, port);
+      return client;
+    } catch (const Error&) {
+      if (attempt >= 50) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* s = nullptr;
+    if (a == "--host" && (s = value())) {
+      args.host = s;
+    } else if (a == "--port" && (s = value())) {
+      args.port = static_cast<u16>(std::atoi(s));
+    } else if (a == "--clients" && (s = value())) {
+      args.clients = static_cast<u32>(std::atoi(s));
+    } else if (a == "--requests" && (s = value())) {
+      args.requests = static_cast<u32>(std::atoi(s));
+    } else if (a == "--elems" && (s = value())) {
+      args.elems = static_cast<u64>(std::atoll(s));
+    } else if (a == "--rel" && (s = value())) {
+      args.rel = std::atof(s);
+    } else if (a == "--workers" && (s = value())) {
+      args.workers = static_cast<u32>(std::atoi(s));
+    } else if (a == "--history" && (s = value())) {
+      args.history_path = s;
+    } else {
+      return usage();
+    }
+  }
+  if (args.clients == 0 || args.requests == 0 || args.elems == 0 ||
+      args.rel <= 0.0) {
+    return usage();
+  }
+
+  // Self-host unless pointed at a live daemon. The self-hosted server
+  // uses default EngineOptions — the same configuration the daemon
+  // defaults to, so the byte-identity reference below matches both.
+  std::unique_ptr<net::ServiceServer> self_hosted;
+  u16 port = args.port;
+  if (port == 0) {
+    net::ServerOptions sopt;
+    sopt.workers = args.workers;
+    self_hosted = std::make_unique<net::ServiceServer>(std::move(sopt));
+    self_hosted->start();
+    port = self_hosted->port();
+    std::printf("# self-hosted ceresz_server on 127.0.0.1:%u (workers=%u)\n",
+                static_cast<unsigned>(port), args.workers);
+  } else {
+    std::printf("# driving ceresz_server at %s:%u\n", args.host.c_str(),
+                static_cast<unsigned>(port));
+  }
+
+  const core::ErrorBound bound = core::ErrorBound::relative(args.rel);
+  SharedDigests digests;
+  std::atomic<u64> failures{0};
+  std::atomic<u64> busy_retries{0};
+  std::atomic<u64> service_compressed_bytes{0};
+
+  // BUSY is backpressure, not an error: the server sheds load it will
+  // not queue, and a well-behaved client backs off and retries. The
+  // measured latency is the successful attempt only; the retry count is
+  // reported so saturation is visible.
+  auto with_backoff = [&busy_retries](auto&& op) {
+    for (;;) {
+      try {
+        return op();
+      } catch (const net::ServiceError& e) {
+        if (e.status() != net::Status::kBusy) throw;
+        busy_retries.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+  };
+
+  const f64 wall = bench::time_seconds([&] {
+    std::vector<std::thread> threads;
+    threads.reserve(args.clients);
+    for (u32 c = 0; c < args.clients; ++c) {
+      threads.emplace_back([&, c] {
+        try {
+          net::CereszClient client = connect_with_retry(args.host, port);
+
+          // Per-client field, deterministic per client index; the local
+          // engine result is THE reference: the CLI path's bytes.
+          const auto data = smooth_signal(args.elems, /*seed=*/1000 + c);
+          const engine::ParallelEngine local_engine{engine::EngineOptions{}};
+          const auto local = local_engine.compress(data, bound);
+          const auto local_back = local_engine.decompress(local.stream);
+
+          for (u32 r = 0; r < args.requests; ++r) {
+            f64 compress_s = 0.0;
+            const std::vector<u8> stream = with_backoff([&] {
+              const u64 t0 = now_ns();
+              auto out = client.compress(data, bound);
+              compress_s = static_cast<f64>(now_ns() - t0) * 1e-9;
+              return out;
+            });
+
+            f64 decompress_s = 0.0;
+            const std::vector<f32> values = with_backoff([&] {
+              const u64 t0 = now_ns();
+              auto out = client.decompress(stream);
+              decompress_s = static_cast<f64>(now_ns() - t0) * 1e-9;
+              return out;
+            });
+
+            bool ok = stream.size() == local.stream.size() &&
+                      std::memcmp(stream.data(), local.stream.data(),
+                                  stream.size()) == 0;
+            ok = ok && values.size() == local_back.values.size() &&
+                 std::memcmp(values.data(), local_back.values.data(),
+                             values.size() * sizeof(f32)) == 0;
+            if (!ok) {
+              failures.fetch_add(1);
+              std::fprintf(stderr,
+                           "client %u request %u: service output differs "
+                           "from the local engine path\n",
+                           c, r);
+            }
+            service_compressed_bytes.store(stream.size());
+
+            std::lock_guard lock(digests.mu);
+            digests.compress.observe(compress_s);
+            digests.decompress.observe(decompress_s);
+          }
+        } catch (const std::exception& e) {
+          failures.fetch_add(1);
+          std::fprintf(stderr, "client %u: %s\n", c, e.what());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  });
+
+  const u64 total_requests = u64{args.clients} * args.requests * 2;
+  const f64 rps = wall > 0.0 ? static_cast<f64>(total_requests) / wall : 0.0;
+  const f64 uncompressed_mb =
+      static_cast<f64>(args.elems) * sizeof(f32) / 1e6;
+  const f64 ratio =
+      service_compressed_bytes.load() > 0
+          ? static_cast<f64>(args.elems * sizeof(f32)) /
+                static_cast<f64>(service_compressed_bytes.load())
+          : 0.0;
+
+  std::printf("# clients=%u requests/client=%u elems=%llu (%.1f MB) "
+              "rel=%g\n",
+              args.clients, args.requests,
+              static_cast<unsigned long long>(args.elems), uncompressed_mb,
+              args.rel);
+  const auto row = [](const char* op,
+                      const obs::analysis::LatencyDigest& d) {
+    std::printf("%-10s  n=%-5llu  p50=%8.3f ms  p95=%8.3f ms  "
+                "p99=%8.3f ms  mean=%8.3f ms  max=%8.3f ms\n",
+                op, static_cast<unsigned long long>(d.count()),
+                d.p50() * 1e3, d.p95() * 1e3, d.p99() * 1e3, d.mean() * 1e3,
+                d.max() * 1e3);
+  };
+  row("compress", digests.compress);
+  row("decompress", digests.decompress);
+  std::printf("total       %llu requests in %.3f s  (%.1f req/s)  "
+              "ratio=%.3f  busy-retries=%llu  failures=%llu\n",
+              static_cast<unsigned long long>(total_requests), wall, rps,
+              ratio, static_cast<unsigned long long>(busy_retries.load()),
+              static_cast<unsigned long long>(failures.load()));
+
+  {
+    // Wall-clock service latency on a shared runner is noisy; the gate
+    // bands are set so only a multi-x regression (a wedged queue, a
+    // lost worker) trips it. The ratio is fully deterministic.
+    bench::HistoryWriter history(args.history_path);
+    const f64 kLatencyNoise = 1.0;
+    history.add("service_load", "compress_p50_ms",
+                digests.compress.p50() * 1e3, "ms", "lower", kLatencyNoise);
+    history.add("service_load", "compress_p95_ms",
+                digests.compress.p95() * 1e3, "ms", "lower", kLatencyNoise);
+    history.add("service_load", "compress_p99_ms",
+                digests.compress.p99() * 1e3, "ms", "lower", kLatencyNoise);
+    history.add("service_load", "decompress_p50_ms",
+                digests.decompress.p50() * 1e3, "ms", "lower",
+                kLatencyNoise);
+    history.add("service_load", "decompress_p95_ms",
+                digests.decompress.p95() * 1e3, "ms", "lower",
+                kLatencyNoise);
+    history.add("service_load", "decompress_p99_ms",
+                digests.decompress.p99() * 1e3, "ms", "lower",
+                kLatencyNoise);
+    history.add("service_load", "requests_per_sec", rps, "req/s", "higher",
+                kLatencyNoise);
+    history.add("service_load", "compression_ratio", ratio, "x", "higher",
+                0.02);
+  }
+
+  if (self_hosted) self_hosted->stop();
+  return failures.load() == 0 ? 0 : 1;
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Build with a sanitizer and run the concurrency-sensitive tests: the
-# engine, the checksum kernels, the fault-injection chaos suite, and the
-# observability registry/tracer suite.
+# engine, the checksum kernels, the fault-injection chaos suite, the
+# observability registry/tracer suite, and the network service suite
+# (reader/worker threads, BufferPool, shutdown paths).
 #
 #   scripts/run_sanitizer_tests.sh thread  [build-dir]   # ThreadSanitizer
 #   scripts/run_sanitizer_tests.sh address [build-dir]   # AddressSanitizer
@@ -38,7 +39,8 @@ cmake -B "$BUILD_DIR" -S . \
   "${EXTRA_FLAGS[@]}"
 
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target test_engine test_checksum test_fault_injection test_obs
+  --target test_engine test_checksum test_fault_injection test_obs \
+  test_service
 
 cd "$BUILD_DIR"
 if [ "$MODE" = "thread" ]; then
@@ -46,5 +48,6 @@ if [ "$MODE" = "thread" ]; then
 else
   export ASAN_OPTIONS="halt_on_error=1 detect_stack_use_after_return=1"
 fi
-ctest --output-on-failure -R '^test_(engine|checksum|fault_injection|obs)$'
+ctest --output-on-failure \
+  -R '^test_(engine|checksum|fault_injection|obs|service)$'
 echo "${MODE} sanitizer tests passed."

@@ -1,0 +1,122 @@
+// Pooled request/response buffers for the compression service, after
+// memec's chunk/packet pools: a service handling a steady request
+// stream should recycle its large I/O buffers instead of hitting the
+// allocator once per frame.
+//
+// BufferPool keeps up to `max_pooled` retired std::vector<u8> buffers
+// (capacity intact, size reset to 0) on a mutex-guarded free list.
+// acquire() hands out a pooled buffer when one is available (a HIT —
+// its grown capacity is reused) or a fresh one otherwise (a MISS); the
+// RAII PooledBuffer returns the vector on destruction, so buffers flow
+// back no matter which thread finishes the request. Optional hit/miss
+// counters feed the ceresz_server_pool_* metrics.
+#pragma once
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/metrics.h"
+
+namespace ceresz::net {
+
+class BufferPool;
+
+/// Move-only handle to a pooled byte buffer. Dereferences to the
+/// underlying std::vector<u8>; releases it back to its pool (if any)
+/// when destroyed. A default-constructed PooledBuffer owns a plain
+/// unpooled vector, so code paths without a pool work unchanged.
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  PooledBuffer(BufferPool* pool, std::vector<u8> bytes)
+      : pool_(pool), bytes_(std::move(bytes)) {}
+
+  PooledBuffer(PooledBuffer&& other) noexcept
+      : pool_(other.pool_), bytes_(std::move(other.bytes_)) {
+    other.pool_ = nullptr;
+  }
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      pool_ = other.pool_;
+      bytes_ = std::move(other.bytes_);
+      other.pool_ = nullptr;
+    }
+    return *this;
+  }
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+
+  ~PooledBuffer() { release(); }
+
+  std::vector<u8>& operator*() { return bytes_; }
+  std::vector<u8>* operator->() { return &bytes_; }
+  const std::vector<u8>& operator*() const { return bytes_; }
+  const std::vector<u8>* operator->() const { return &bytes_; }
+
+  void release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  std::vector<u8> bytes_;
+};
+
+class BufferPool {
+ public:
+  /// `max_pooled` caps the free list; beyond it, retired buffers are
+  /// simply freed (bounding idle memory). `hits`/`misses` are optional
+  /// borrowed counters (must outlive the pool).
+  explicit BufferPool(std::size_t max_pooled, obs::Counter* hits = nullptr,
+                      obs::Counter* misses = nullptr)
+      : max_pooled_(max_pooled), hits_(hits), misses_(misses) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  PooledBuffer acquire() {
+    {
+      std::lock_guard lock(mu_);
+      if (!free_.empty()) {
+        std::vector<u8> buf = std::move(free_.back());
+        free_.pop_back();
+        if (hits_) hits_->add(1);
+        return PooledBuffer(this, std::move(buf));
+      }
+    }
+    if (misses_) misses_->add(1);
+    return PooledBuffer(this, {});
+  }
+
+  /// Buffers currently idle on the free list.
+  std::size_t pooled() const {
+    std::lock_guard lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  friend class PooledBuffer;
+
+  void put_back(std::vector<u8> bytes) {
+    bytes.clear();  // keeps capacity — that is the point of the pool
+    std::lock_guard lock(mu_);
+    if (free_.size() < max_pooled_) free_.push_back(std::move(bytes));
+  }
+
+  const std::size_t max_pooled_;
+  obs::Counter* const hits_;
+  obs::Counter* const misses_;
+  mutable std::mutex mu_;
+  std::vector<std::vector<u8>> free_;
+};
+
+inline void PooledBuffer::release() {
+  if (pool_ != nullptr) {
+    pool_->put_back(std::move(bytes_));
+    pool_ = nullptr;
+  }
+  bytes_ = std::vector<u8>();
+}
+
+}  // namespace ceresz::net

@@ -1,0 +1,80 @@
+#include "net/client.h"
+
+#include <array>
+
+#include "common/timer.h"
+
+namespace ceresz::net {
+
+void CereszClient::connect(const std::string& host, u16 port) {
+  sock_ = connect_to(host, port);
+}
+
+std::vector<u8> CereszClient::roundtrip(Opcode op,
+                                        std::span<const u8> payload) {
+  CERESZ_CHECK(sock_.valid(), "CereszClient: not connected");
+  const u64 id = next_request_id_++;
+  frame_.clear();
+  append_frame(frame_, op, Status::kOk, id, payload);
+  sock_.write_all(frame_);
+
+  std::array<u8, kFrameHeaderBytes> hdr_bytes;
+  sock_.read_exact(hdr_bytes);
+  // The client accepts responses up to the protocol-wide bound — the
+  // server's configured limit may be tighter, but a response cannot
+  // exceed what the server was willing to build.
+  const FrameHeader header = parse_frame_header(hdr_bytes, kDefaultMaxPayload);
+  std::vector<u8> response(static_cast<std::size_t>(header.payload_bytes));
+  sock_.read_exact(response);
+
+  if (header.status != Status::kOk) {
+    // Error frames carry a UTF-8 message; the connection stays usable.
+    throw ServiceError(header.status,
+                       std::string(response.begin(), response.end()));
+  }
+  CERESZ_CHECK(header.request_id == id,
+               "CereszClient: response id does not match the request");
+  CERESZ_CHECK(header.opcode == op,
+               "CereszClient: response opcode does not match the request");
+  return response;
+}
+
+f64 CereszClient::ping() {
+  const u64 start = now_ns();
+  (void)roundtrip(Opcode::kPing, {});
+  return static_cast<f64>(now_ns() - start) * 1e-9;
+}
+
+std::vector<u8> CereszClient::compress(std::span<const f32> data,
+                                       core::ErrorBound bound,
+                                       u32 deadline_ms) {
+  CompressRequest req;
+  req.bound = bound;
+  req.deadline_ms = deadline_ms;
+  req.data = data;
+  std::vector<u8> payload;
+  payload.reserve(24 + data.size() * sizeof(f32));
+  append_compress_request(payload, req);
+  return roundtrip(Opcode::kCompress, payload);
+}
+
+std::vector<f32> CereszClient::decompress(std::span<const u8> stream,
+                                          u32 deadline_ms) {
+  DecompressRequest req;
+  req.deadline_ms = deadline_ms;
+  req.stream = stream;
+  std::vector<u8> payload;
+  payload.reserve(16 + stream.size());
+  append_decompress_request(payload, req);
+  const std::vector<u8> response = roundtrip(Opcode::kDecompress, payload);
+  std::vector<f32> values;
+  decode_decompress_response(response, values);
+  return values;
+}
+
+std::string CereszClient::stats_json() {
+  const std::vector<u8> response = roundtrip(Opcode::kStats, {});
+  return std::string(response.begin(), response.end());
+}
+
+}  // namespace ceresz::net

@@ -1,0 +1,77 @@
+// CereszClient: blocking request/response client for the ceresz_server
+// CSNP protocol (net/protocol.h). One client drives one connection;
+// it is NOT thread-safe — give each client thread its own instance
+// (connections are cheap; the load generator opens one per worker).
+//
+// Error surface: transport failures (connect refused, peer vanished,
+// garbled response) throw plain ceresz::Error; an error FRAME from the
+// server throws ServiceError carrying the protocol Status, so callers
+// can tell BUSY (back off and retry) from DEADLINE_EXPIRED (give up or
+// re-budget) from CORRUPT_STREAM (the data is bad) without string
+// matching.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "core/config.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace ceresz::net {
+
+/// An error frame returned by the server, as an exception.
+class ServiceError : public Error {
+ public:
+  ServiceError(Status status, const std::string& message)
+      : Error(std::string(status_name(status)) + ": " + message),
+        status_(status) {}
+
+  Status status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+class CereszClient {
+ public:
+  CereszClient() = default;
+
+  /// Connect to a ceresz_server. Throws ceresz::Error on failure.
+  void connect(const std::string& host, u16 port);
+
+  bool connected() const { return sock_.valid(); }
+
+  void close() { sock_.close(); }
+
+  /// Round-trip a PING; returns the wall-clock round-trip in seconds.
+  f64 ping();
+
+  /// Compress `data` under `bound` on the server; returns the chunked
+  /// "CSZC" container, byte-identical to a local
+  /// ParallelEngine::compress with the server's engine configuration.
+  /// `deadline_ms` = 0 uses the server's default deadline (if any).
+  std::vector<u8> compress(std::span<const f32> data,
+                           core::ErrorBound bound, u32 deadline_ms = 0);
+
+  /// Decompress a chunked container on the server.
+  std::vector<f32> decompress(std::span<const u8> stream,
+                              u32 deadline_ms = 0);
+
+  /// The server's metrics snapshot as JSON (ceresz_server_* and
+  /// ceresz_engine_* families).
+  std::string stats_json();
+
+ private:
+  /// Send one frame, receive its response, unwrap error frames into
+  /// ServiceError. Returns the response payload.
+  std::vector<u8> roundtrip(Opcode op, std::span<const u8> payload);
+
+  Socket sock_;
+  std::vector<u8> frame_;  ///< reused send buffer
+  u64 next_request_id_ = 1;
+};
+
+}  // namespace ceresz::net

@@ -1,0 +1,158 @@
+// Wire protocol of the CereSZ compression service ("CSNP": CereSZ
+// Network Protocol). Length-prefixed binary frames, little-endian
+// throughout (matching the .f32/SDRBench and chunk-container
+// conventions of the rest of the codebase).
+//
+// Frame layout (24-byte header, then `payload_bytes` of payload):
+//
+//   0  u32 magic "CSNP"
+//   4  u8  version (= 1)
+//   5  u8  opcode            (Opcode)
+//   6  u16 status            (Status; 0 in requests, result code in
+//                             responses — nonzero = error frame whose
+//                             payload is a UTF-8 message)
+//   8  u64 request_id        (echoed verbatim in the response)
+//   16 u64 payload_bytes
+//
+// Opcodes and payloads (request -> response):
+//   PING        empty -> empty. Liveness + RTT probe.
+//   COMPRESS    CompressRequest -> the chunked "CSZC" container bytes,
+//               byte-identical to what ParallelEngine::compress /
+//               `ceresz compress --threads N` writes for the same input.
+//   DECOMPRESS  DecompressRequest -> u64 element_count + f32 values.
+//   STATS       empty -> the server MetricsRegistry snapshot as JSON
+//               (obs::to_json; ceresz_server_* + ceresz_engine_*).
+//
+// Hostile-input hardening mirrors io/chunk_container.h: every length
+// field is checked against the enclosing buffer before use, payload
+// sizes are bounded by an explicit anti-bomb limit (kDefaultMaxPayload,
+// tightenable per server), and element counts are cross-checked against
+// the actual payload size so truncated or padded frames are rejected —
+// parse functions throw ceresz::Error and never read out of bounds
+// (fuzzed by tests/test_robustness.cpp and tests/test_service.cpp).
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "core/config.h"
+
+namespace ceresz::net {
+
+inline constexpr u8 kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 24;
+
+/// Anti-bomb bound on payload_bytes: a frame can carry at most 1 GiB.
+/// Servers may tighten this (ServerOptions::max_frame_payload); parsers
+/// reject bigger declared payloads before allocating anything.
+inline constexpr u64 kDefaultMaxPayload = u64{1} << 30;
+
+enum class Opcode : u8 {
+  kPing = 1,
+  kCompress = 2,
+  kDecompress = 3,
+  kStats = 4,
+};
+
+/// Response result codes. The service maps ceresz::Error conditions onto
+/// this enum the same way the CLI maps them onto exit codes (README
+/// exit-code table): malformed/bad requests are the caller's fault,
+/// kCorruptStream marks undecodable compressed data, kBusy/kDeadline
+/// are the service's load-shedding verdicts, kInternal everything else.
+enum class Status : u16 {
+  kOk = 0,
+  kMalformed = 1,        ///< unparseable frame or payload
+  kUnsupported = 2,      ///< unknown version or opcode
+  kBusy = 3,             ///< in-flight limit reached; retry later
+  kDeadlineExpired = 4,  ///< request deadline passed before completion
+  kBadRequest = 5,       ///< parseable but invalid (bad bound, empty data)
+  kCorruptStream = 6,    ///< DECOMPRESS payload failed validation/CRC
+  kInternal = 7,         ///< engine failure not attributable to the input
+};
+
+const char* opcode_name(Opcode op);
+const char* status_name(Status st);
+
+struct FrameHeader {
+  u8 version = kProtocolVersion;
+  Opcode opcode = Opcode::kPing;
+  Status status = Status::kOk;
+  u64 request_id = 0;
+  u64 payload_bytes = 0;
+};
+
+/// Append the 24 header bytes to `out`.
+void append_frame_header(std::vector<u8>& out, const FrameHeader& header);
+
+/// Parse and validate a frame header: magic, version, known opcode, and
+/// payload_bytes <= max_payload. Throws ceresz::Error on any violation.
+FrameHeader parse_frame_header(std::span<const u8> bytes, u64 max_payload);
+
+// --- COMPRESS ---------------------------------------------------------------
+//
+// payload: u32 bound_mode (0 = absolute, 1 = value-range relative)
+//          u32 deadline_ms (0 = use the server default)
+//          f64 bound_value (bit pattern)
+//          u64 element_count
+//          f32 data[element_count]
+
+struct CompressRequest {
+  core::ErrorBound bound;
+  u32 deadline_ms = 0;
+  std::span<const f32> data;  ///< decoded: a view into the payload buffer
+};
+
+void append_compress_request(std::vector<u8>& out, const CompressRequest& req);
+
+/// Decode; the returned view aliases `payload`, which must stay alive
+/// and unmoved while the request is in use. Throws ceresz::Error when
+/// the payload is truncated, oversized, carries a non-positive or
+/// non-finite bound, or its element count disagrees with its size.
+CompressRequest decode_compress_request(std::span<const u8> payload);
+
+// --- DECOMPRESS -------------------------------------------------------------
+//
+// payload: u32 flags (reserved, 0)
+//          u32 deadline_ms (0 = use the server default)
+//          u64 stream_bytes (must equal the remaining payload exactly)
+//          u8  stream[stream_bytes]   (a chunked "CSZC" container)
+
+struct DecompressRequest {
+  u32 deadline_ms = 0;
+  std::span<const u8> stream;  ///< decoded: a view into the payload buffer
+};
+
+void append_decompress_request(std::vector<u8>& out,
+                               const DecompressRequest& req);
+
+/// Decode; same aliasing contract and hostile-input behavior as
+/// decode_compress_request.
+DecompressRequest decode_decompress_request(std::span<const u8> payload);
+
+// --- DECOMPRESS response ----------------------------------------------------
+//
+// payload: u64 element_count
+//          f32 values[element_count]
+
+void append_decompress_response(std::vector<u8>& out,
+                                std::span<const f32> values);
+
+/// Decode into `values` (resized to the declared element count). Throws
+/// ceresz::Error on size mismatch.
+void decode_decompress_response(std::span<const u8> payload,
+                                std::vector<f32>& values);
+
+// --- whole frames -----------------------------------------------------------
+
+/// Append a complete frame (header + payload) to `out`.
+void append_frame(std::vector<u8>& out, Opcode op, Status status,
+                  u64 request_id, std::span<const u8> payload);
+
+/// Append a complete error frame whose payload is `message`.
+void append_error_frame(std::vector<u8>& out, Opcode op, Status status,
+                        u64 request_id, std::string_view message);
+
+}  // namespace ceresz::net

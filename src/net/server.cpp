@@ -1,0 +1,489 @@
+#include "net/server.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/timer.h"
+#include "engine/bounded_queue.h"
+#include "net/buffer_pool.h"
+#include "net/socket.h"
+
+namespace ceresz::net {
+
+namespace {
+
+/// Handles into the server registry; looked up once at construction so
+/// the serving hot path never takes the registry's creation mutex.
+struct ServerMetrics {
+  obs::Counter& connections;
+  obs::Gauge& active_connections;
+  obs::Counter& requests;
+  obs::Counter& ping_requests;
+  obs::Counter& stats_requests;
+  obs::Counter& compress_requests;
+  obs::Counter& decompress_requests;
+  obs::Counter& busy_rejected;
+  obs::Counter& deadline_expired;
+  obs::Counter& malformed;
+  obs::Counter& error_responses;
+  obs::Counter& request_bytes;
+  obs::Counter& response_bytes;
+  obs::Gauge& inflight;
+  obs::Gauge& inflight_high_water;
+  obs::Histogram& compress_seconds;
+  obs::Histogram& decompress_seconds;
+  obs::Counter& pool_hits;
+  obs::Counter& pool_misses;
+
+  explicit ServerMetrics(obs::MetricsRegistry& reg)
+      : connections(reg.counter(kMetricConnections)),
+        active_connections(reg.gauge(kMetricActiveConnections)),
+        requests(reg.counter(kMetricRequests)),
+        ping_requests(reg.counter(kMetricPingRequests)),
+        stats_requests(reg.counter(kMetricStatsRequests)),
+        compress_requests(reg.counter(kMetricCompressRequests)),
+        decompress_requests(reg.counter(kMetricDecompressRequests)),
+        busy_rejected(reg.counter(kMetricBusyRejected)),
+        deadline_expired(reg.counter(kMetricDeadlineExpired)),
+        malformed(reg.counter(kMetricMalformed)),
+        error_responses(reg.counter(kMetricErrorResponses)),
+        request_bytes(reg.counter(kMetricRequestBytes)),
+        response_bytes(reg.counter(kMetricResponseBytes)),
+        inflight(reg.gauge(kMetricInflight)),
+        inflight_high_water(reg.gauge(kMetricInflightHighWater)),
+        compress_seconds(reg.histogram(
+            kMetricCompressSeconds,
+            obs::MetricsRegistry::default_seconds_buckets())),
+        decompress_seconds(reg.histogram(
+            kMetricDecompressSeconds,
+            obs::MetricsRegistry::default_seconds_buckets())),
+        pool_hits(reg.counter(kMetricPoolHits)),
+        pool_misses(reg.counter(kMetricPoolMisses)) {}
+};
+
+/// One client connection. The reader thread owns the receive side; the
+/// write mutex serializes responses from workers with BUSY/error frames
+/// from the reader. `open` goes false on the first transport failure so
+/// later sends become no-ops instead of repeated errors.
+struct Connection {
+  Socket sock;
+  std::mutex write_mu;
+  std::atomic<bool> open{true};
+};
+
+}  // namespace
+
+void declare_server_metrics(obs::MetricsRegistry& reg) {
+  ServerMetrics declared(reg);
+  (void)declared;
+}
+
+struct ServiceServer::Impl {
+  /// A COMPRESS/DECOMPRESS frame admitted past the in-flight limit,
+  /// waiting for (or being executed by) a worker.
+  struct PendingRequest {
+    std::shared_ptr<Connection> conn;
+    FrameHeader header;
+    PooledBuffer payload;
+    u64 arrival_ns = 0;
+  };
+
+  struct ReaderSlot {
+    std::thread thread;
+    std::shared_ptr<Connection> conn;
+  };
+
+  Impl(ServiceServer& server, u64 max_inflight)
+      : server_(server),
+        options_(server.options_),
+        m_(server.registry_),
+        max_inflight_(max_inflight),
+        pool_(options_.pool_buffers, &m_.pool_hits, &m_.pool_misses),
+        queue_(static_cast<std::size_t>(max_inflight)) {}
+
+  ServiceServer& server_;
+  const ServerOptions& options_;
+  ServerMetrics m_;
+  const u64 max_inflight_;
+  BufferPool pool_;
+  engine::BoundedQueue<PendingRequest> queue_;  // after pool_: drains first
+
+  std::unique_ptr<TcpListener> listener_;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex conn_mu_;
+  std::vector<ReaderSlot> readers_;
+
+  std::atomic<u64> inflight_{0};
+  std::atomic<u64> inflight_high_{0};
+  std::atomic<bool> stopping_{false};
+
+  // --- response plumbing ----------------------------------------------------
+
+  void send(Connection& conn, std::span<const u8> frame) {
+    std::lock_guard lock(conn.write_mu);
+    if (!conn.open.load(std::memory_order_acquire)) return;
+    try {
+      conn.sock.write_all(frame);
+      m_.response_bytes.add(frame.size());
+    } catch (const Error&) {
+      // The peer is gone; the reader will notice on its next read.
+      conn.open.store(false, std::memory_order_release);
+      conn.sock.shutdown_both();
+    }
+  }
+
+  void send_error(Connection& conn, Opcode op, Status status, u64 request_id,
+                  std::string_view message) {
+    m_.error_responses.add(1);
+    PooledBuffer out = pool_.acquire();
+    append_error_frame(*out, op, status, request_id, message);
+    send(conn, *out);
+  }
+
+  // --- admission ------------------------------------------------------------
+
+  void note_inflight(u64 now_inflight) {
+    m_.inflight.set(static_cast<f64>(now_inflight));
+    u64 high = inflight_high_.load(std::memory_order_relaxed);
+    while (now_inflight > high &&
+           !inflight_high_.compare_exchange_weak(high, now_inflight,
+                                                 std::memory_order_relaxed)) {
+    }
+    m_.inflight_high_water.set(
+        static_cast<f64>(inflight_high_.load(std::memory_order_relaxed)));
+  }
+
+  // --- reader ---------------------------------------------------------------
+
+  void reader_loop(std::shared_ptr<Connection> conn) {
+    std::array<u8, kFrameHeaderBytes> hdr_bytes;
+    for (;;) {
+      try {
+        if (!conn->sock.read_exact_or_eof(hdr_bytes)) break;
+      } catch (const Error&) {
+        break;  // reset / shutdown-in-progress
+      }
+
+      FrameHeader header;
+      try {
+        header = parse_frame_header(hdr_bytes, options_.max_frame_payload);
+      } catch (const Error& e) {
+        // Framing is lost — there is no way to find the next frame
+        // boundary in a byte stream with a corrupt header. Report and
+        // hang up (the anti-bomb payload bound is enforced here too,
+        // before any allocation).
+        m_.malformed.add(1);
+        send_error(*conn, Opcode::kPing, Status::kMalformed, 0, e.what());
+        break;
+      }
+
+      PooledBuffer payload = pool_.acquire();
+      payload->resize(static_cast<std::size_t>(header.payload_bytes));
+      try {
+        conn->sock.read_exact(*payload);
+      } catch (const Error&) {
+        break;  // truncated frame: peer died mid-send
+      }
+      m_.requests.add(1);
+      m_.request_bytes.add(kFrameHeaderBytes + header.payload_bytes);
+
+      switch (header.opcode) {
+        case Opcode::kPing: {
+          m_.ping_requests.add(1);
+          PooledBuffer out = pool_.acquire();
+          append_frame(*out, Opcode::kPing, Status::kOk, header.request_id,
+                       {});
+          send(*conn, *out);
+          break;
+        }
+        case Opcode::kStats: {
+          m_.stats_requests.add(1);
+          const std::string json =
+              obs::to_json(server_.registry_.snapshot());
+          PooledBuffer out = pool_.acquire();
+          append_frame(*out, Opcode::kStats, Status::kOk, header.request_id,
+                       std::span<const u8>(
+                           reinterpret_cast<const u8*>(json.data()),
+                           json.size()));
+          send(*conn, *out);
+          break;
+        }
+        case Opcode::kCompress:
+        case Opcode::kDecompress: {
+          // Bounded in-flight admission (queued + executing). Beyond
+          // the limit, shed load NOW: an explicit BUSY beats an
+          // unbounded queue melting down under a traffic spike.
+          const u64 now_inflight =
+              inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+          if (now_inflight > max_inflight_) {
+            inflight_.fetch_sub(1, std::memory_order_acq_rel);
+            m_.busy_rejected.add(1);
+            send_error(*conn, header.opcode, Status::kBusy,
+                       header.request_id,
+                       "server is at its in-flight request limit");
+            break;
+          }
+          note_inflight(now_inflight);
+          PendingRequest req;
+          req.conn = conn;
+          req.header = header;
+          req.payload = std::move(payload);
+          req.arrival_ns = now_ns();
+          // Capacity == max_inflight and admission counts executing
+          // requests too, so the queue always has room; push can only
+          // be refused once stop() closed the queue.
+          if (!queue_.try_push(std::move(req))) {
+            inflight_.fetch_sub(1, std::memory_order_acq_rel);
+            return;  // shutting down
+          }
+          break;
+        }
+      }
+    }
+    conn->open.store(false, std::memory_order_release);
+    conn->sock.shutdown_both();
+    m_.active_connections.add(-1.0);
+  }
+
+  // --- workers --------------------------------------------------------------
+
+  void worker_loop() {
+    while (auto req = queue_.pop()) {
+      handle(*req);
+      const u64 now_inflight =
+          inflight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+      m_.inflight.set(static_cast<f64>(now_inflight));
+    }
+  }
+
+  /// Deadline for a request: its own deadline_ms, else the server
+  /// default; 0 = none. The clock starts at frame arrival, so time
+  /// spent waiting in the queue counts against the budget.
+  u64 deadline_ns_for(u32 request_deadline_ms, u64 arrival_ns) const {
+    const u32 ms = request_deadline_ms != 0 ? request_deadline_ms
+                                            : options_.default_deadline_ms;
+    return ms == 0 ? 0 : arrival_ns + static_cast<u64>(ms) * 1'000'000;
+  }
+
+  /// Engine options for one request: metrics flow into the server
+  /// registry, and with a deadline the per-attempt watchdog is clamped
+  /// to the remaining budget so a wedged chunk is cancelled through its
+  /// CancelToken instead of wedging the connection.
+  engine::EngineOptions engine_options(u64 deadline_ns) const {
+    engine::EngineOptions eopt = options_.engine;
+    eopt.metrics = &server_.registry_;
+    if (deadline_ns != 0) {
+      const u64 now = now_ns();
+      const u64 remaining_ms =
+          deadline_ns > now ? std::max<u64>(1, (deadline_ns - now) / 1'000'000)
+                            : 1;
+      if (eopt.retry.deadline_ms == 0 ||
+          eopt.retry.deadline_ms > remaining_ms) {
+        eopt.retry.deadline_ms = remaining_ms;
+      }
+    }
+    return eopt;
+  }
+
+  void handle(PendingRequest& req) {
+    const Opcode op = req.header.opcode;
+    const u64 id = req.header.request_id;
+    Connection& conn = *req.conn;
+    obs::Histogram& latency = op == Opcode::kCompress
+                                  ? m_.compress_seconds
+                                  : m_.decompress_seconds;
+    (op == Opcode::kCompress ? m_.compress_requests : m_.decompress_requests)
+        .add(1);
+
+    const auto finish = [&] {
+      latency.observe(static_cast<f64>(now_ns() - req.arrival_ns) * 1e-9);
+    };
+
+    u64 deadline_ns = 0;
+    try {
+      if (op == Opcode::kCompress) {
+        const CompressRequest creq = decode_compress_request(*req.payload);
+        deadline_ns = deadline_ns_for(creq.deadline_ms, req.arrival_ns);
+        if (deadline_ns != 0 && now_ns() >= deadline_ns) {
+          m_.deadline_expired.add(1);
+          send_error(conn, op, Status::kDeadlineExpired, id,
+                     "request deadline expired before execution started");
+          finish();
+          return;
+        }
+        const engine::ParallelEngine eng(engine_options(deadline_ns));
+        const engine::EngineResult result = eng.compress(creq.data,
+                                                         creq.bound);
+        if (deadline_ns != 0 && now_ns() >= deadline_ns) {
+          m_.deadline_expired.add(1);
+          send_error(conn, op, Status::kDeadlineExpired, id,
+                     "request deadline expired during compression");
+          finish();
+          return;
+        }
+        PooledBuffer out = pool_.acquire();
+        append_frame(*out, op, Status::kOk, id, result.stream);
+        send(conn, *out);
+      } else {
+        const DecompressRequest dreq =
+            decode_decompress_request(*req.payload);
+        deadline_ns = deadline_ns_for(dreq.deadline_ms, req.arrival_ns);
+        if (deadline_ns != 0 && now_ns() >= deadline_ns) {
+          m_.deadline_expired.add(1);
+          send_error(conn, op, Status::kDeadlineExpired, id,
+                     "request deadline expired before execution started");
+          finish();
+          return;
+        }
+        const engine::ParallelEngine eng(engine_options(deadline_ns));
+        const engine::DecompressResult result = eng.decompress(dreq.stream);
+        if (deadline_ns != 0 && now_ns() >= deadline_ns) {
+          m_.deadline_expired.add(1);
+          send_error(conn, op, Status::kDeadlineExpired, id,
+                     "request deadline expired during decompression");
+          finish();
+          return;
+        }
+        PooledBuffer out = pool_.acquire();
+        std::vector<u8> body;
+        append_decompress_response(body, result.values);
+        append_frame(*out, op, Status::kOk, id, body);
+        send(conn, *out);
+      }
+    } catch (const Error& e) {
+      // Map the failure the way the CLI maps exit codes: a passed
+      // deadline wins (the engine's timeouts are a symptom of it), an
+      // undecodable payload is the client's frame, a bad DECOMPRESS
+      // stream is corrupt data, anything else is on the server.
+      Status status;
+      if (deadline_ns != 0 && now_ns() >= deadline_ns) {
+        m_.deadline_expired.add(1);
+        status = Status::kDeadlineExpired;
+      } else if (std::string_view(e.what()).find("net:") !=
+                 std::string_view::npos) {
+        m_.malformed.add(1);
+        status = Status::kMalformed;
+      } else if (op == Opcode::kDecompress) {
+        status = Status::kCorruptStream;
+      } else {
+        status = Status::kInternal;
+      }
+      send_error(conn, op, status, id, e.what());
+    } catch (const std::exception& e) {
+      send_error(conn, op, Status::kInternal, id, e.what());
+    }
+    finish();
+  }
+
+  // --- lifecycle ------------------------------------------------------------
+
+  void accept_loop() {
+    for (;;) {
+      Socket sock = listener_->accept_connection();
+      if (!sock.valid() || stopping_.load(std::memory_order_acquire)) break;
+      sock.set_nodelay();
+      auto conn = std::make_shared<Connection>();
+      conn->sock = std::move(sock);
+      m_.connections.add(1);
+      m_.active_connections.add(1.0);
+      std::lock_guard lock(conn_mu_);
+      reap_finished_locked();
+      ReaderSlot slot;
+      slot.conn = conn;
+      slot.thread = std::thread([this, conn] { reader_loop(conn); });
+      readers_.push_back(std::move(slot));
+    }
+  }
+
+  /// Join reader threads whose connection has closed, so a long-running
+  /// server does not accumulate one dead thread per past connection.
+  /// Called with conn_mu_ held.
+  void reap_finished_locked() {
+    auto it = readers_.begin();
+    while (it != readers_.end()) {
+      if (!it->conn->open.load(std::memory_order_acquire)) {
+        it->thread.join();
+        it = readers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void start() {
+    listener_ = std::make_unique<TcpListener>(options_.port);
+    for (u32 w = 0; w < std::max(1u, options_.workers); ++w) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
+
+  void stop() {
+    stopping_.store(true, std::memory_order_release);
+    if (listener_) listener_->shutdown();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    {
+      std::lock_guard lock(conn_mu_);
+      for (ReaderSlot& slot : readers_) {
+        slot.conn->open.store(false, std::memory_order_release);
+        slot.conn->sock.shutdown_both();
+      }
+      for (ReaderSlot& slot : readers_) {
+        if (slot.thread.joinable()) slot.thread.join();
+      }
+      readers_.clear();
+    }
+    queue_.close();  // workers drain what is queued, then exit
+    for (std::thread& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+    workers_.clear();
+    if (listener_) listener_->close();
+  }
+};
+
+ServiceServer::ServiceServer(ServerOptions options)
+    : options_(std::move(options)) {
+  CERESZ_CHECK(options_.workers > 0, "ServiceServer: need at least 1 worker");
+  CERESZ_CHECK(options_.max_frame_payload > 0 &&
+                   options_.max_frame_payload <= kDefaultMaxPayload,
+               "ServiceServer: max_frame_payload must be in (0, 1 GiB]");
+  declare_server_metrics(registry_);
+  engine::declare_engine_metrics(registry_);
+}
+
+ServiceServer::~ServiceServer() { stop(); }
+
+u64 ServiceServer::resolved_max_inflight() const {
+  return options_.max_inflight != 0 ? options_.max_inflight
+                                    : u64{2} * options_.workers;
+}
+
+void ServiceServer::start() {
+  CERESZ_CHECK(!running_.load(std::memory_order_acquire),
+               "ServiceServer: already running");
+  impl_ = std::make_unique<Impl>(*this, resolved_max_inflight());
+  impl_->start();
+  running_.store(true, std::memory_order_release);
+}
+
+void ServiceServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  impl_->stop();
+  impl_.reset();
+}
+
+u16 ServiceServer::port() const {
+  CERESZ_CHECK(impl_ != nullptr && impl_->listener_ != nullptr,
+               "ServiceServer: not started");
+  return impl_->listener_->port();
+}
+
+}  // namespace ceresz::net

@@ -1,0 +1,164 @@
+// ServiceServer: the long-running network front end of ParallelEngine.
+//
+// Architecture (docs/service.md has the full picture):
+//
+//   accept loop ──▶ one reader thread per connection
+//                     │  parses CSNP frames (net/protocol.h), answers
+//                     │  PING/STATS inline, and admits COMPRESS /
+//                     │  DECOMPRESS work under a bounded in-flight
+//                     │  limit — beyond it the request is rejected
+//                     │  immediately with a BUSY error frame instead of
+//                     │  queueing without bound (load shedding, not
+//                     │  collapse).
+//                     ▼
+//            BoundedQueue<PendingRequest>   (capacity = max in-flight)
+//                     ▼
+//          N connection-worker threads ──▶ engine::ParallelEngine
+//
+// Request/response payload buffers come from a memec-style BufferPool,
+// so steady-state traffic recycles its large buffers instead of
+// allocating per frame.
+//
+// Deadlines: a request may carry deadline_ms (or inherit the server
+// default). The clock starts at frame arrival; a request whose deadline
+// passed while queued is answered DEADLINE_EXPIRED without touching the
+// engine, and one that makes it to a worker runs with the engine's
+// per-attempt watchdog clamped to the remaining budget — the watchdog
+// cancels a slow or wedged chunk through its CancelToken, so one bad
+// chunk can never wedge the connection (see engine/chunk_runner.h).
+//
+// Observability: every counter/gauge/histogram below lands in the
+// server's MetricsRegistry (exported by the STATS opcode and the
+// daemon's --metrics-out flag), alongside the ceresz_engine_* families
+// the per-request engines accumulate into the same registry.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+#include "engine/parallel_engine.h"
+#include "net/protocol.h"
+#include "obs/metrics.h"
+
+namespace ceresz::net {
+
+// Canonical server metric names (Prometheus families; see
+// docs/service.md for semantics).
+inline constexpr const char* kMetricConnections =
+    "ceresz_server_connections_total";
+inline constexpr const char* kMetricActiveConnections =
+    "ceresz_server_active_connections";
+inline constexpr const char* kMetricRequests =
+    "ceresz_server_requests_total";
+inline constexpr const char* kMetricPingRequests =
+    "ceresz_server_ping_total";
+inline constexpr const char* kMetricStatsRequests =
+    "ceresz_server_stats_total";
+inline constexpr const char* kMetricCompressRequests =
+    "ceresz_server_compress_total";
+inline constexpr const char* kMetricDecompressRequests =
+    "ceresz_server_decompress_total";
+inline constexpr const char* kMetricBusyRejected =
+    "ceresz_server_busy_rejected_total";
+inline constexpr const char* kMetricDeadlineExpired =
+    "ceresz_server_deadline_expired_total";
+inline constexpr const char* kMetricMalformed =
+    "ceresz_server_malformed_total";
+inline constexpr const char* kMetricErrorResponses =
+    "ceresz_server_error_responses_total";
+inline constexpr const char* kMetricRequestBytes =
+    "ceresz_server_request_bytes_total";
+inline constexpr const char* kMetricResponseBytes =
+    "ceresz_server_response_bytes_total";
+inline constexpr const char* kMetricInflight = "ceresz_server_inflight";
+inline constexpr const char* kMetricInflightHighWater =
+    "ceresz_server_inflight_high_water";
+inline constexpr const char* kMetricCompressSeconds =
+    "ceresz_server_compress_seconds";
+inline constexpr const char* kMetricDecompressSeconds =
+    "ceresz_server_decompress_seconds";
+inline constexpr const char* kMetricPoolHits =
+    "ceresz_server_pool_hits_total";
+inline constexpr const char* kMetricPoolMisses =
+    "ceresz_server_pool_misses_total";
+
+struct ServerOptions {
+  /// Port to bind on 127.0.0.1; 0 binds an ephemeral port (read it back
+  /// with ServiceServer::port() — how tests avoid collisions).
+  u16 port = 0;
+
+  /// Connection-worker threads executing COMPRESS/DECOMPRESS requests.
+  /// Each runs the engine with EngineOptions::threads workers of its
+  /// own, so total parallelism is workers x engine threads.
+  u32 workers = 2;
+
+  /// Bound on requests admitted but not yet answered (queued +
+  /// executing). Beyond it new work is rejected with a BUSY error frame.
+  /// 0 picks 2 * workers.
+  u64 max_inflight = 0;
+
+  /// Deadline applied to requests that do not carry their own
+  /// deadline_ms. 0 = no default deadline.
+  u32 default_deadline_ms = 0;
+
+  /// Anti-bomb bound on a frame's declared payload size; frames
+  /// declaring more are rejected as malformed before any allocation.
+  u64 max_frame_payload = kDefaultMaxPayload;
+
+  /// Retired I/O buffers kept for reuse (BufferPool free-list cap).
+  std::size_t pool_buffers = 32;
+
+  /// Engine configuration used for every request. `metrics` is
+  /// overridden to point at the server's registry; `tracer` is passed
+  /// through (null by default). `faults` is kept — chaos tests inject
+  /// engine faults to exercise the service's deadline/error paths.
+  engine::EngineOptions engine;
+};
+
+class ServiceServer {
+ public:
+  explicit ServiceServer(ServerOptions options);
+
+  /// Stops the server if it is still running.
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// Bind, listen, and launch the accept loop and worker threads.
+  /// Throws ceresz::Error when the port cannot be bound.
+  void start();
+
+  /// Graceful shutdown: stop accepting, wake and join every reader,
+  /// drain the request queue, join the workers. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (valid after start(); resolves ephemeral binds).
+  u16 port() const;
+
+  u64 resolved_max_inflight() const;
+
+  /// The server's registry: ceresz_server_* plus the ceresz_engine_*
+  /// families accumulated by per-request engine runs. Safe to snapshot
+  /// concurrently with serving.
+  obs::MetricsRegistry& metrics() { return registry_; }
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Impl;
+  ServerOptions options_;
+  obs::MetricsRegistry registry_;
+  std::atomic<bool> running_{false};
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Pre-create every ceresz_server_* metric family at zero (mirrors
+/// engine::declare_engine_metrics) so exports advertise the full family
+/// set before the first request.
+void declare_server_metrics(obs::MetricsRegistry& reg);
+
+}  // namespace ceresz::net

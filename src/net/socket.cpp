@@ -1,0 +1,180 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+
+namespace ceresz::net {
+
+namespace {
+
+std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::set_nodelay() noexcept {
+  if (fd_ < 0) return;
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void Socket::write_all(std::span<const u8> bytes) const {
+  CERESZ_CHECK(fd_ >= 0, "Socket::write_all: socket is closed");
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    // MSG_NOSIGNAL: a vanished peer must surface as EPIPE, not SIGPIPE.
+    const ssize_t n = ::send(fd_, bytes.data() + done, bytes.size() - done,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(errno_message("Socket::write_all"));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void Socket::read_exact(std::span<u8> out) const {
+  if (!read_exact_or_eof(out)) {
+    throw Error("Socket::read_exact: connection closed by peer");
+  }
+}
+
+bool Socket::read_exact_or_eof(std::span<u8> out) const {
+  CERESZ_CHECK(fd_ >= 0, "Socket::read_exact: socket is closed");
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n = ::recv(fd_, out.data() + done, out.size() - done, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(errno_message("Socket::read_exact"));
+    }
+    if (n == 0) {
+      if (done == 0) return false;  // clean EOF between frames
+      throw Error("Socket::read_exact: connection truncated mid-frame");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+TcpListener::TcpListener(u16 port, int backlog) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw Error(errno_message("TcpListener: socket"));
+
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string msg = errno_message("TcpListener: bind");
+    close();
+    throw Error(msg);
+  }
+  if (::listen(fd_, backlog) != 0) {
+    const std::string msg = errno_message("TcpListener: listen");
+    close();
+    throw Error(msg);
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const std::string msg = errno_message("TcpListener: getsockname");
+    close();
+    throw Error(msg);
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+Socket TcpListener::accept_connection() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    // shutdown() (EINVAL on Linux) or close() ends the accept loop; any
+    // other error also reads as "listener is done" rather than crashing
+    // the server, matching how long-running daemons treat accept errors.
+    return Socket();
+  }
+}
+
+void TcpListener::shutdown() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpListener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket connect_to(const std::string& host, u16 port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+  if (rc != 0) {
+    throw Error("connect_to: cannot resolve " + host + ": " +
+                gai_strerror(rc));
+  }
+
+  int last_errno = 0;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      ::freeaddrinfo(res);
+      Socket sock(fd);
+      sock.set_nodelay();
+      return sock;
+    }
+    last_errno = errno;
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  throw Error("connect_to: cannot connect to " + host + ":" + service + ": " +
+              std::strerror(last_errno));
+}
+
+}  // namespace ceresz::net

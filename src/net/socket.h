@@ -1,0 +1,103 @@
+// Thin RAII layer over POSIX TCP sockets for the compression service.
+//
+// Three pieces: Socket (an owned connected fd with read_exact/write_all
+// helpers that retry short transfers and EINTR), TcpListener (bind +
+// listen + accept, with shutdown() to wake a thread blocked in accept),
+// and connect_to() for clients. Everything throws ceresz::Error on OS
+// failures; nothing here knows about frames — that is net/protocol.h.
+//
+// Scope: loopback/LAN transport for the service layer. TLS, IPv6, and
+// non-blocking I/O are out of scope for the repro; the framing above
+// this layer is transport-agnostic, so swapping in a richer transport
+// later touches only this file.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/types.h"
+
+namespace ceresz::net {
+
+/// An owned socket file descriptor. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  void close() noexcept;
+
+  /// Half-close both directions without releasing the fd: wakes any
+  /// thread blocked in read()/write() on this socket (they see EOF /
+  /// EPIPE). Safe to call from another thread; close() is not, because
+  /// the fd number could be reused mid-read.
+  void shutdown_both() noexcept;
+
+  /// Disable Nagle's algorithm — request/response frames should not wait
+  /// for a coalescing timer. Best-effort (ignored on failure).
+  void set_nodelay() noexcept;
+
+  /// Write all of `bytes`, retrying short writes and EINTR. Throws
+  /// ceresz::Error when the peer is gone or the fd is invalid.
+  void write_all(std::span<const u8> bytes) const;
+
+  /// Read exactly out.size() bytes. Throws ceresz::Error on EOF or error.
+  void read_exact(std::span<u8> out) const;
+
+  /// Like read_exact, but a clean EOF *before the first byte* returns
+  /// false instead of throwing (how a peer politely ends a connection
+  /// between frames). EOF mid-buffer still throws: a truncated frame.
+  bool read_exact_or_eof(std::span<u8> out) const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket bound to 127.0.0.1 (the service is fronted by a
+/// local proxy in any real deployment; binding loopback keeps the repro
+/// from opening a public port). Port 0 binds an ephemeral port — read
+/// the real one back with port().
+class TcpListener {
+ public:
+  /// Binds and listens immediately; throws ceresz::Error on failure.
+  explicit TcpListener(u16 port, int backlog = 64);
+  ~TcpListener() { close(); }
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// The bound port (resolved for ephemeral binds).
+  u16 port() const { return port_; }
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Block until a client connects. Returns an invalid Socket (instead
+  /// of throwing) once shutdown() has been called — the accept loop's
+  /// clean exit signal.
+  Socket accept_connection();
+
+  /// Wake a thread blocked in accept_connection(); it returns an
+  /// invalid Socket. Callable from any thread.
+  void shutdown() noexcept;
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  u16 port_ = 0;
+};
+
+/// Connect to `host:port` (numeric IPv4 or a resolvable name). Throws
+/// ceresz::Error when the connection cannot be established.
+Socket connect_to(const std::string& host, u16 port);
+
+}  // namespace ceresz::net

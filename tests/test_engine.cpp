@@ -340,6 +340,55 @@ TEST(ParallelEngine, StatsSurfaceIsPopulated) {
   EXPECT_GT(back.stats.wall_seconds, 0.0);
 }
 
+TEST(ParallelEngine, MetricsAccumulateAcrossRepeatedRuns) {
+  // A long-running caller (the compression service, a batch loop) reuses
+  // one engine for many compress()/decompress() calls against one
+  // registry: every run must ADD to the counters, never reset them, and
+  // totals must be exactly per-run value x runs.
+  const auto data = test::smooth_signal(8192);
+  obs::MetricsRegistry reg;
+  EngineOptions opt = small_chunks(2, 1024);  // 8 chunks per compress
+  opt.metrics = &reg;
+  const ParallelEngine eng(opt);
+
+  std::vector<u8> stream;
+  for (int run = 1; run <= 3; ++run) {
+    const auto result = eng.compress(data, core::ErrorBound::absolute(1e-3));
+    stream = result.stream;
+    EXPECT_EQ(reg.counter(kMetricChunks).value(),
+              static_cast<u64>(run) * 8u)
+        << "run " << run;
+    EXPECT_EQ(reg.counter(kMetricUncompressedBytes).value(),
+              static_cast<u64>(run) * data.size() * sizeof(f32));
+    EXPECT_EQ(reg.counter(kMetricCompressedBytes).value(),
+              static_cast<u64>(run) * stream.size());
+  }
+  for (int run = 1; run <= 2; ++run) {
+    (void)eng.decompress(stream);
+    // Decompress runs count their chunks into the same family.
+    EXPECT_EQ(reg.counter(kMetricChunks).value(),
+              (3u + static_cast<u64>(run)) * 8u)
+        << "decompress run " << run;
+  }
+
+  // Concurrent reuse of ONE engine against one registry: totals still
+  // come out exact (counters are sharded, merges are atomic).
+  obs::MetricsRegistry shared;
+  EngineOptions copt = small_chunks(2, 1024);
+  copt.metrics = &shared;
+  const ParallelEngine shared_eng(copt);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 3; ++i) {
+        (void)shared_eng.compress(data, core::ErrorBound::absolute(1e-3));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(shared.counter(kMetricChunks).value(), 4u * 3u * 8u);
+}
+
 // --- thread pool / bounded queue -------------------------------------------
 
 TEST(BoundedQueue, BlocksProducersAtCapacityAndTracksHighWater) {

@@ -9,6 +9,7 @@
 #include "core/tiled_codec.h"
 #include "engine/parallel_engine.h"
 #include "io/chunk_container.h"
+#include "net/protocol.h"
 #include "test_util.h"
 
 namespace ceresz {
@@ -164,6 +165,48 @@ TEST_P(StreamFuzz, ChunkedTruncationsAreRejectedStructurally) {
     // prefix breaks either the table or a chunk's recorded extent.
     EXPECT_THROW(strict.decompress(truncated), Error) << "cut " << cut;
     EXPECT_THROW(lenient.decompress(truncated), Error) << "cut " << cut;
+  }
+}
+
+// ---- CSNP service-frame fuzz ----
+// The network protocol parsers face bytes straight off a socket, so they
+// get the same treatment as the stream decoders: flips, truncations, and
+// junk must throw ceresz::Error — never crash or read out of bounds.
+
+TEST_P(StreamFuzz, ServiceFramesNeverCrashTheProtocolParsers) {
+  const auto data = test::smooth_signal(512, GetParam());
+  net::CompressRequest creq;
+  creq.bound = core::ErrorBound::relative(1e-3);
+  creq.data = data;
+  std::vector<u8> payload;
+  net::append_compress_request(payload, creq);
+  std::vector<u8> frame;
+  net::append_frame(frame, net::Opcode::kCompress, net::Status::kOk,
+                    /*request_id=*/7, payload);
+
+  Rng rng(GetParam() * 193 + 21);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto fuzzed = frame;
+    const int flips = 1 + static_cast<int>(rng.next_below(8));
+    for (int f = 0; f < flips; ++f) {
+      fuzzed[rng.next_below(fuzzed.size())] ^=
+          static_cast<u8>(1u << rng.next_below(8));
+    }
+    if (rng.next_below(3) == 0) fuzzed.resize(rng.next_below(fuzzed.size()));
+    expect_no_crash([&] {
+      const net::FrameHeader h = net::parse_frame_header(
+          std::span<const u8>(fuzzed).subspan(
+              0, std::min(fuzzed.size(), net::kFrameHeaderBytes)),
+          net::kDefaultMaxPayload);
+      // Only decode as much payload as actually exists — exactly what a
+      // reader does after read_exact() succeeds; the decoder must then
+      // reconcile the declared counts with the real size on its own.
+      const std::size_t have =
+          std::min<std::size_t>(fuzzed.size() - net::kFrameHeaderBytes,
+                                static_cast<std::size_t>(h.payload_bytes));
+      (void)net::decode_compress_request(
+          std::span<const u8>(fuzzed).subspan(net::kFrameHeaderBytes, have));
+    });
   }
 }
 

@@ -1,0 +1,159 @@
+// ceresz_server — the CereSZ networked compression daemon.
+//
+//   ceresz_server [--port P] [--workers N] [--max-inflight M]
+//                 [--deadline-ms D] [--threads T] [--chunk-elems E]
+//                 [--max-frame-mb MB] [--metrics-out FILE]
+//
+// Binds 127.0.0.1:P (default 4860; 0 = ephemeral, printed on startup),
+// accepts CSNP frames (docs/service.md), and serves COMPRESS /
+// DECOMPRESS / STATS / PING with engine::ParallelEngine behind a
+// bounded in-flight limit. SIGINT/SIGTERM shut down gracefully; with
+// --metrics-out the final registry snapshot is written on exit
+// (Prometheus text when FILE ends in .prom, JSON otherwise) — the same
+// registry the STATS opcode serves live.
+//
+// Exit codes (matching the README table's convention): 0 clean
+// shutdown, 1 runtime error (cannot bind, I/O failure), 2 usage error.
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "net/server.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace ceresz;
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: ceresz_server [options]\n"
+      "  --port P          TCP port on 127.0.0.1 (default 4860; 0 picks an\n"
+      "                    ephemeral port, printed on startup)\n"
+      "  --workers N       connection-worker threads (default 2)\n"
+      "  --max-inflight M  admitted-but-unanswered request bound; beyond\n"
+      "                    it requests get a BUSY error frame\n"
+      "                    (default 2 x workers)\n"
+      "  --deadline-ms D   default per-request deadline for requests that\n"
+      "                    do not carry one (default 0 = none)\n"
+      "  --threads T       engine worker threads per request (default:\n"
+      "                    hardware concurrency)\n"
+      "  --chunk-elems E   engine chunk size in elements (multiple of 32)\n"
+      "  --max-frame-mb MB reject frames declaring a larger payload\n"
+      "                    (default 1024)\n"
+      "  --metrics-out F   write the final metrics snapshot on shutdown\n"
+      "                    (.prom = Prometheus text, else JSON)\n"
+      "exit codes: 0 clean shutdown, 1 runtime error, 2 usage error\n");
+  return 2;
+}
+
+bool parse_u64(const char* s, u64& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  out = static_cast<u64>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::ServerOptions opt;
+  opt.port = 4860;
+  std::string metrics_out;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    u64 v = 0;
+    if (a == "--port") {
+      const char* s = value();
+      if (!s || !parse_u64(s, v) || v > 0xffff) return usage();
+      opt.port = static_cast<u16>(v);
+    } else if (a == "--workers") {
+      const char* s = value();
+      if (!s || !parse_u64(s, v) || v == 0 || v > 1024) return usage();
+      opt.workers = static_cast<u32>(v);
+    } else if (a == "--max-inflight") {
+      const char* s = value();
+      if (!s || !parse_u64(s, v) || v == 0) return usage();
+      opt.max_inflight = v;
+    } else if (a == "--deadline-ms") {
+      const char* s = value();
+      if (!s || !parse_u64(s, v) || v > 0xffffffffull) return usage();
+      opt.default_deadline_ms = static_cast<u32>(v);
+    } else if (a == "--threads") {
+      const char* s = value();
+      if (!s || !parse_u64(s, v) || v > 1024) return usage();
+      opt.engine.threads = static_cast<u32>(v);
+    } else if (a == "--chunk-elems") {
+      const char* s = value();
+      if (!s || !parse_u64(s, v) || v == 0) return usage();
+      opt.engine.chunk_elems = v;
+    } else if (a == "--max-frame-mb") {
+      const char* s = value();
+      if (!s || !parse_u64(s, v) || v == 0 || v > 1024) return usage();
+      opt.max_frame_payload = v << 20;
+    } else if (a == "--metrics-out") {
+      const char* s = value();
+      if (!s) return usage();
+      metrics_out = s;
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "ceresz_server: unknown flag %s\n", a.c_str());
+      return usage();
+    }
+  }
+
+  try {
+    net::ServiceServer server(std::move(opt));
+    server.start();
+    std::printf("ceresz_server listening on 127.0.0.1:%u "
+                "(workers=%u, max-inflight=%llu, deadline-ms=%u)\n",
+                static_cast<unsigned>(server.port()),
+                static_cast<unsigned>(server.options().workers),
+                static_cast<unsigned long long>(
+                    server.resolved_max_inflight()),
+                static_cast<unsigned>(server.options().default_deadline_ms));
+    std::fflush(stdout);
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    while (!g_stop.load()) pause();  // returns on any delivered signal
+
+    std::printf("ceresz_server: shutting down\n");
+    std::fflush(stdout);
+    server.stop();
+
+    if (!metrics_out.empty()) {
+      const obs::MetricsSnapshot snap = server.metrics().snapshot();
+      std::ofstream out(metrics_out, std::ios::binary);
+      if (!out.good()) {
+        std::fprintf(stderr, "ceresz_server: cannot write %s\n",
+                     metrics_out.c_str());
+        return 1;
+      }
+      out << (obs::is_prometheus_path(metrics_out) ? obs::to_prometheus(snap)
+                                                   : obs::to_json(snap));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ceresz_server: %s\n", e.what());
+    return 1;
+  }
+}
