@@ -5,11 +5,22 @@
 //
 //   bench_service_load [--port P [--host H]] [--clients N] [--requests M]
 //                      [--elems E] [--rel B] [--workers W] [--history F]
+//                      [--connect-timeout-ms T] [--chaos] [--chaos-seed S]
 //
 // With --port the bench drives an already-running ceresz_server (how
 // the CI smoke step uses it, retrying the connect while the daemon
 // starts); without it, a ServiceServer is hosted in-process on an
 // ephemeral port with --workers connection workers.
+//
+// --chaos routes every client through an in-process net::ChaosProxy
+// running a seeded NetFaultPlan (resets, delays, dribbled writes,
+// mid-frame truncations, bit corruption) and switches the clients to a
+// resilient RetryPolicy. The report then adds goodput (successful
+// uncompressed MB/s through the storm), the success rate, and the
+// retry/reconnect totals; corruption the CRC catches surfaces as typed
+// errors, which are EXPECTED here — only silent corruption (a
+// successful response whose bytes differ from the local engine path)
+// or an untyped failure fails the run.
 //
 // Correctness is asserted on every request, not sampled: the container
 // returned by the service must be byte-identical to a local
@@ -32,6 +43,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "net/chaos.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "obs/analysis/digest.h"
@@ -48,6 +60,9 @@ struct Args {
   u64 elems = u64{256} * 1024;
   f64 rel = 1e-3;
   u32 workers = 2;  ///< self-hosted server's connection workers
+  u32 connect_timeout_ms = 0;
+  bool chaos = false;
+  u64 chaos_seed = 42;
   std::string history_path;
 };
 
@@ -56,7 +71,9 @@ int usage() {
                "usage: bench_service_load [--port P [--host H]] "
                "[--clients N] [--requests M]\n"
                "                          [--elems E] [--rel B] "
-               "[--workers W] [--history F]\n");
+               "[--workers W] [--history F]\n"
+               "                          [--connect-timeout-ms T] "
+               "[--chaos] [--chaos-seed S]\n");
   return 2;
 }
 
@@ -80,19 +97,38 @@ std::vector<f32> smooth_signal(u64 n, u64 seed) {
   return v;
 }
 
-/// Connect with retries: the CI smoke step races the daemon's startup.
-net::CereszClient connect_with_retry(const std::string& host, u16 port) {
-  net::CereszClient client;
+/// Connect with retries: the CI smoke step races the daemon's startup
+/// (and under chaos the proxy may RST the first connections).
+void connect_with_retry(net::CereszClient& client, const std::string& host,
+                        u16 port) {
   for (int attempt = 0;; ++attempt) {
     try {
       client.connect(host, port);
-      return client;
+      return;
     } catch (const Error&) {
       if (attempt >= 50) throw;
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
   }
 }
+
+/// What the retry machinery across every client did — summed when each
+/// client thread finishes.
+struct RetryTotals {
+  std::atomic<u64> attempts{0};
+  std::atomic<u64> retries{0};
+  std::atomic<u64> reconnects{0};
+  std::atomic<u64> timeouts{0};
+  std::atomic<u64> busy{0};
+
+  void absorb(const net::ClientStats& s) {
+    attempts.fetch_add(s.attempts);
+    retries.fetch_add(s.retries);
+    reconnects.fetch_add(s.reconnects);
+    timeouts.fetch_add(s.timeouts);
+    busy.fetch_add(s.busy);
+  }
+};
 
 }  // namespace
 
@@ -118,6 +154,12 @@ int main(int argc, char** argv) {
       args.rel = std::atof(s);
     } else if (a == "--workers" && (s = value())) {
       args.workers = static_cast<u32>(std::atoi(s));
+    } else if (a == "--connect-timeout-ms" && (s = value())) {
+      args.connect_timeout_ms = static_cast<u32>(std::atoi(s));
+    } else if (a == "--chaos") {
+      args.chaos = true;
+    } else if (a == "--chaos-seed" && (s = value())) {
+      args.chaos_seed = static_cast<u64>(std::atoll(s));
     } else if (a == "--history" && (s = value())) {
       args.history_path = s;
     } else {
@@ -147,11 +189,53 @@ int main(int argc, char** argv) {
                 static_cast<unsigned>(port));
   }
 
+  // Chaos: interpose the fault-injecting proxy and aim clients at it.
+  std::unique_ptr<net::ChaosProxy> proxy;
+  std::string target_host = args.host;
+  u16 target_port = port;
+  if (args.chaos) {
+    net::NetChaosSpec spec;
+    spec.reset_frac = 0.12;
+    spec.blackhole_frac = 0.03;
+    spec.delay_frac = 0.15;
+    spec.short_write_frac = 0.08;
+    spec.truncate_frac = 0.12;
+    spec.corrupt_frac = 0.05;
+    spec.slice_bytes = 4096;  // dribble, but not so fine that MBs crawl
+    proxy = std::make_unique<net::ChaosProxy>(
+        target_host, target_port,
+        net::NetFaultPlan::random(args.chaos_seed, spec));
+    proxy->start();
+    target_host = "127.0.0.1";
+    target_port = proxy->port();
+    std::printf("# chaos proxy on 127.0.0.1:%u (seed=%llu)\n",
+                static_cast<unsigned>(target_port),
+                static_cast<unsigned long long>(args.chaos_seed));
+  }
+
+  // Fail-fast clients against a healthy network; hardened ones through
+  // the storm (bounded attempts, capped jittered backoff, per-attempt
+  // and connect timeouts so black holes cost seconds, not forever).
+  net::RetryPolicy policy;
+  policy.connect_timeout_ms = args.connect_timeout_ms;
+  if (args.chaos) {
+    policy.max_attempts = 10;
+    policy.backoff_us = 1'000;
+    policy.backoff_cap_us = 20'000;
+    policy.retry_budget = u64{1} << 40;  // the bench bounds work, not budget
+    policy.attempt_timeout_ms = 3'000;
+    if (policy.connect_timeout_ms == 0) policy.connect_timeout_ms = 2'000;
+  }
+
   const core::ErrorBound bound = core::ErrorBound::relative(args.rel);
   SharedDigests digests;
   std::atomic<u64> failures{0};
   std::atomic<u64> busy_retries{0};
+  std::atomic<u64> typed_errors{0};
+  std::atomic<u64> attempted_pairs{0};
+  std::atomic<u64> success_pairs{0};
   std::atomic<u64> service_compressed_bytes{0};
+  RetryTotals totals;
 
   // BUSY is backpressure, not an error: the server sheds load it will
   // not queue, and a well-behaved client backs off and retries. The
@@ -174,8 +258,11 @@ int main(int argc, char** argv) {
     threads.reserve(args.clients);
     for (u32 c = 0; c < args.clients; ++c) {
       threads.emplace_back([&, c] {
+        net::RetryPolicy client_policy = policy;
+        client_policy.jitter_seed = args.chaos_seed * 7919 + c;
+        net::CereszClient client(client_policy);
         try {
-          net::CereszClient client = connect_with_retry(args.host, port);
+          connect_with_retry(client, target_host, target_port);
 
           // Per-client field, deterministic per client index; the local
           // engine result is THE reference: the CLI path's bytes.
@@ -185,21 +272,38 @@ int main(int argc, char** argv) {
           const auto local_back = local_engine.decompress(local.stream);
 
           for (u32 r = 0; r < args.requests; ++r) {
+            attempted_pairs.fetch_add(1);
+            std::vector<u8> stream;
+            std::vector<f32> values;
             f64 compress_s = 0.0;
-            const std::vector<u8> stream = with_backoff([&] {
-              const u64 t0 = now_ns();
-              auto out = client.compress(data, bound);
-              compress_s = static_cast<f64>(now_ns() - t0) * 1e-9;
-              return out;
-            });
-
             f64 decompress_s = 0.0;
-            const std::vector<f32> values = with_backoff([&] {
-              const u64 t0 = now_ns();
-              auto out = client.decompress(stream);
-              decompress_s = static_cast<f64>(now_ns() - t0) * 1e-9;
-              return out;
-            });
+            try {
+              stream = with_backoff([&] {
+                const u64 t0 = now_ns();
+                auto out = client.compress(data, bound);
+                compress_s = static_cast<f64>(now_ns() - t0) * 1e-9;
+                return out;
+              });
+
+              values = with_backoff([&] {
+                const u64 t0 = now_ns();
+                auto out = client.decompress(stream);
+                decompress_s = static_cast<f64>(now_ns() - t0) * 1e-9;
+                return out;
+              });
+            } catch (const Error& e) {
+              // Under chaos a request may still die after every retry —
+              // as a TYPED outcome (CRC-caught corruption, an error
+              // frame, a transport failure the budget gave up on). That
+              // is the contract holding, not a bench failure. Without
+              // --chaos it is a real failure.
+              if (!args.chaos) throw;
+              typed_errors.fetch_add(1);
+              if (!client.connected()) {
+                connect_with_retry(client, target_host, target_port);
+              }
+              continue;
+            }
 
             bool ok = stream.size() == local.stream.size() &&
                       std::memcmp(stream.data(), local.stream.data(),
@@ -208,11 +312,14 @@ int main(int argc, char** argv) {
                  std::memcmp(values.data(), local_back.values.data(),
                              values.size() * sizeof(f32)) == 0;
             if (!ok) {
+              // Silent corruption: the one outcome nothing may excuse.
               failures.fetch_add(1);
               std::fprintf(stderr,
                            "client %u request %u: service output differs "
                            "from the local engine path\n",
                            c, r);
+            } else {
+              success_pairs.fetch_add(1);
             }
             service_compressed_bytes.store(stream.size());
 
@@ -224,6 +331,7 @@ int main(int argc, char** argv) {
           failures.fetch_add(1);
           std::fprintf(stderr, "client %u: %s\n", c, e.what());
         }
+        totals.absorb(client.stats());
       });
     }
     for (auto& t : threads) t.join();
@@ -260,7 +368,60 @@ int main(int argc, char** argv) {
               ratio, static_cast<unsigned long long>(busy_retries.load()),
               static_cast<unsigned long long>(failures.load()));
 
-  {
+  // Chaos scorecard: goodput counts only byte-identical round trips,
+  // so every injected fault shows up either here (as lost goodput /
+  // typed errors) or in the retry totals — never as silence.
+  const u64 pairs_attempted = attempted_pairs.load();
+  const u64 pairs_ok = success_pairs.load();
+  const f64 success_rate =
+      pairs_attempted > 0
+          ? static_cast<f64>(pairs_ok) / static_cast<f64>(pairs_attempted)
+          : 0.0;
+  const f64 goodput_mb_s =
+      wall > 0.0 ? static_cast<f64>(pairs_ok) * uncompressed_mb / wall : 0.0;
+  const f64 retries_per_request =
+      pairs_attempted > 0
+          ? static_cast<f64>(totals.retries.load()) /
+                static_cast<f64>(pairs_attempted * 2)
+          : 0.0;
+  if (args.chaos) {
+    const auto& ps = proxy->stats();
+    std::printf("chaos       conns=%llu resets=%llu blackholes=%llu "
+                "delays=%llu dribble-slices=%llu truncations=%llu "
+                "corruptions=%llu\n",
+                static_cast<unsigned long long>(ps.connections.load()),
+                static_cast<unsigned long long>(ps.resets.load()),
+                static_cast<unsigned long long>(ps.blackholes.load()),
+                static_cast<unsigned long long>(ps.delays.load()),
+                static_cast<unsigned long long>(ps.short_write_slices.load()),
+                static_cast<unsigned long long>(ps.truncations.load()),
+                static_cast<unsigned long long>(ps.corruptions.load()));
+    std::printf("resilience  goodput=%.1f MB/s  success=%.1f%% "
+                "(%llu/%llu pairs)  retries=%llu  reconnects=%llu  "
+                "timeouts=%llu  typed-errors=%llu\n",
+                goodput_mb_s, success_rate * 100.0,
+                static_cast<unsigned long long>(pairs_ok),
+                static_cast<unsigned long long>(pairs_attempted),
+                static_cast<unsigned long long>(totals.retries.load()),
+                static_cast<unsigned long long>(totals.reconnects.load()),
+                static_cast<unsigned long long>(totals.timeouts.load()),
+                static_cast<unsigned long long>(typed_errors.load()));
+  }
+
+  if (args.chaos) {
+    // Chaos records land in their own bench ("service_chaos") with very
+    // wide noise bands: fault schedules differ per seed and runner, so
+    // for now the gate only warns on drift here — the hard failure
+    // condition stays silent corruption, enforced by exit code.
+    bench::HistoryWriter history(args.history_path);
+    const f64 kChaosNoise = 5.0;
+    history.add("service_chaos", "goodput_mb_s", goodput_mb_s, "MB/s",
+                "higher", kChaosNoise);
+    history.add("service_chaos", "success_rate", success_rate, "frac",
+                "higher", kChaosNoise);
+    history.add("service_chaos", "retries_per_request", retries_per_request,
+                "x", "lower", kChaosNoise);
+  } else {
     // Wall-clock service latency on a shared runner is noisy; the gate
     // bands are set so only a multi-x regression (a wedged queue, a
     // lost worker) trips it. The ratio is fully deterministic.
@@ -287,6 +448,7 @@ int main(int argc, char** argv) {
                 0.02);
   }
 
+  if (proxy) proxy->stop();
   if (self_hosted) self_hosted->stop();
   return failures.load() == 0 ? 0 : 1;
 }

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Build with a sanitizer and run the concurrency-sensitive tests: the
 # engine, the checksum kernels, the fault-injection chaos suite, the
-# observability registry/tracer suite, and the network service suite
-# (reader/worker threads, BufferPool, shutdown paths).
+# observability registry/tracer suite, the network service suite
+# (reader/worker threads, BufferPool, shutdown paths), and the network
+# chaos suite (ChaosProxy relay threads, client retry loop, drain).
 #
 #   scripts/run_sanitizer_tests.sh thread  [build-dir]   # ThreadSanitizer
 #   scripts/run_sanitizer_tests.sh address [build-dir]   # AddressSanitizer
@@ -40,7 +41,7 @@ cmake -B "$BUILD_DIR" -S . \
 
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target test_engine test_checksum test_fault_injection test_obs \
-  test_service
+  test_service test_chaos
 
 cd "$BUILD_DIR"
 if [ "$MODE" = "thread" ]; then
@@ -49,5 +50,5 @@ else
   export ASAN_OPTIONS="halt_on_error=1 detect_stack_use_after_return=1"
 fi
 ctest --output-on-failure \
-  -R '^test_(engine|checksum|fault_injection|obs|service)$'
+  -R '^test_(engine|checksum|fault_injection|obs|service|chaos)$'
 echo "${MODE} sanitizer tests passed."

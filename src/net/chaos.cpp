@@ -1,0 +1,336 @@
+#include "net/chaos.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ceresz::net {
+
+namespace {
+
+/// The relay buffer. Small enough that byte-positioned faults (truncate,
+/// corrupt) land inside a chunk with fine granularity, big enough that
+/// multi-MB payloads do not crawl.
+constexpr std::size_t kRelayChunk = 16 * 1024;
+
+}  // namespace
+
+// --- NetFaultPlan -----------------------------------------------------------
+
+NetFaultPlan NetFaultPlan::random(u64 seed, const NetChaosSpec& spec) {
+  NetFaultPlan plan(seed);
+  plan.has_spec_ = true;
+  plan.spec_ = spec;
+  return plan;
+}
+
+void NetFaultPlan::reset_on_accept(u64 conn) {
+  explicit_[conn] = ConnFault{.kind = ChaosFaultKind::kResetOnAccept};
+}
+
+void NetFaultPlan::blackhole(u64 conn) {
+  explicit_[conn] = ConnFault{.kind = ChaosFaultKind::kBlackhole};
+}
+
+void NetFaultPlan::delay(u64 conn, u32 ms) {
+  explicit_[conn] = ConnFault{.kind = ChaosFaultKind::kDelay, .delay_ms = ms};
+}
+
+void NetFaultPlan::short_write(u64 conn, ChaosDir dir, u32 slice_bytes,
+                               u32 slice_delay_ms) {
+  CERESZ_CHECK(slice_bytes > 0,
+               "NetFaultPlan::short_write: slice_bytes must be positive");
+  explicit_[conn] = ConnFault{.kind = ChaosFaultKind::kShortWrite,
+                              .dir = dir,
+                              .delay_ms = slice_delay_ms,
+                              .slice_bytes = slice_bytes};
+}
+
+void NetFaultPlan::truncate(u64 conn, ChaosDir dir, u64 after_bytes) {
+  explicit_[conn] = ConnFault{.kind = ChaosFaultKind::kTruncate,
+                              .dir = dir,
+                              .trigger_offset = after_bytes};
+}
+
+void NetFaultPlan::corrupt_byte(u64 conn, ChaosDir dir, u64 byte_offset,
+                                u8 bit) {
+  CERESZ_CHECK(bit < 8, "NetFaultPlan::corrupt_byte: bit must be 0..7");
+  explicit_[conn] = ConnFault{.kind = ChaosFaultKind::kCorrupt,
+                              .dir = dir,
+                              .trigger_offset = byte_offset,
+                              .bit = bit};
+}
+
+ConnFault NetFaultPlan::fault_for(u64 conn) const {
+  if (const auto it = explicit_.find(conn); it != explicit_.end()) {
+    return it->second;
+  }
+  if (!has_spec_) return ConnFault{};
+
+  // A per-connection stream seeded from (plan seed, connection index):
+  // the fault for index i never depends on how many other indices were
+  // queried, so concurrent accepts see the same schedule as a fresh
+  // replay of the plan.
+  Rng rng(seed_ ^ SplitMix64(conn * 0x9e3779b97f4a7c15ULL + 1).next());
+  const f64 roll = rng.next_double();
+  const NetChaosSpec& s = spec_;
+  f64 edge = s.reset_frac;
+  if (roll < edge) return ConnFault{.kind = ChaosFaultKind::kResetOnAccept};
+  edge += s.blackhole_frac;
+  if (roll < edge) return ConnFault{.kind = ChaosFaultKind::kBlackhole};
+  edge += s.delay_frac;
+  if (roll < edge) {
+    const u32 span = s.max_delay_ms > s.min_delay_ms
+                         ? s.max_delay_ms - s.min_delay_ms
+                         : 0;
+    const u32 ms =
+        s.min_delay_ms +
+        (span == 0 ? 0 : static_cast<u32>(rng.next_below(span + 1)));
+    return ConnFault{.kind = ChaosFaultKind::kDelay, .delay_ms = ms};
+  }
+  const auto dir_for = [&rng] {
+    return rng.next_u64() % 2 == 0 ? ChaosDir::kClientToServer
+                                   : ChaosDir::kServerToClient;
+  };
+  edge += s.short_write_frac;
+  if (roll < edge) {
+    return ConnFault{.kind = ChaosFaultKind::kShortWrite,
+                     .dir = dir_for(),
+                     .delay_ms = s.slice_delay_ms,
+                     .slice_bytes = s.slice_bytes == 0 ? 1 : s.slice_bytes};
+  }
+  edge += s.truncate_frac;
+  if (roll < edge) {
+    const u64 window = s.truncate_window < 2 ? 2 : s.truncate_window;
+    return ConnFault{.kind = ChaosFaultKind::kTruncate,
+                     .dir = dir_for(),
+                     .trigger_offset = 1 + rng.next_below(window - 1)};
+  }
+  edge += s.corrupt_frac;
+  if (roll < edge) {
+    const u64 window = s.corrupt_window < 2 ? 2 : s.corrupt_window;
+    const ChaosDir dir = dir_for();
+    const u64 offset = 1 + rng.next_below(window - 1);
+    return ConnFault{.kind = ChaosFaultKind::kCorrupt,
+                     .dir = dir,
+                     .trigger_offset = offset,
+                     .bit = static_cast<u8>(rng.next_below(8))};
+  }
+  return ConnFault{};
+}
+
+// --- ChaosProxy -------------------------------------------------------------
+
+/// One proxied connection: the accepted client socket, the upstream
+/// server socket, the fault to apply, and the relay threads serving it.
+/// Held by shared_ptr so stop() can hang up sockets while relay threads
+/// are still running.
+struct ChaosProxy::Link {
+  Socket client;
+  Socket upstream;
+  ConnFault fault;
+  std::thread c2s;
+  std::thread s2c;
+  std::atomic<int> live_threads{0};
+};
+
+ChaosProxy::ChaosProxy(std::string upstream_host, u16 upstream_port,
+                       NetFaultPlan plan)
+    : upstream_host_(std::move(upstream_host)),
+      upstream_port_(upstream_port),
+      plan_(std::move(plan)) {}
+
+ChaosProxy::~ChaosProxy() { stop(); }
+
+void ChaosProxy::start() {
+  CERESZ_CHECK(!running_.load(), "ChaosProxy::start: already running");
+  listener_ = std::make_unique<TcpListener>(0);
+  stopping_.store(false);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+u16 ChaosProxy::port() const {
+  CERESZ_CHECK(listener_ != nullptr, "ChaosProxy::port: not started");
+  return listener_->port();
+}
+
+void ChaosProxy::stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  if (listener_) listener_->shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::shared_ptr<Link>> links;
+  {
+    std::lock_guard<std::mutex> lock(links_mu_);
+    links.swap(links_);
+  }
+  for (auto& link : links) {
+    link->client.shutdown_both();
+    link->upstream.shutdown_both();
+  }
+  for (auto& link : links) {
+    if (link->c2s.joinable()) link->c2s.join();
+    if (link->s2c.joinable()) link->s2c.join();
+  }
+  listener_.reset();
+}
+
+void ChaosProxy::reap_finished_locked() {
+  std::erase_if(links_, [](const std::shared_ptr<Link>& link) {
+    if (link->live_threads.load() != 0) return false;
+    if (link->c2s.joinable()) link->c2s.join();
+    if (link->s2c.joinable()) link->s2c.join();
+    return true;
+  });
+}
+
+void ChaosProxy::accept_loop() {
+  for (;;) {
+    Socket client = listener_->accept_connection();
+    if (!client.valid() || stopping_.load()) return;
+    const u64 index = next_conn_index_++;
+    const ConnFault fault = plan_.fault_for(index);
+    stats_.connections.fetch_add(1);
+
+    if (fault.kind == ChaosFaultKind::kResetOnAccept) {
+      stats_.resets.fetch_add(1);
+      client.reset_hard();
+      continue;
+    }
+
+    auto link = std::make_shared<Link>();
+    link->client = std::move(client);
+    link->fault = fault;
+
+    if (fault.kind == ChaosFaultKind::kBlackhole) {
+      stats_.blackholes.fetch_add(1);
+      link->live_threads.store(1);
+      link->c2s = std::thread([this, link] { blackhole_loop(link); });
+    } else {
+      try {
+        link->upstream = connect_to(upstream_host_, upstream_port_);
+      } catch (const Error&) {
+        stats_.upstream_failures.fetch_add(1);
+        link->client.reset_hard();
+        continue;
+      }
+      link->live_threads.store(2);
+      link->c2s = std::thread(
+          [this, link] { relay(link, ChaosDir::kClientToServer); });
+      link->s2c = std::thread(
+          [this, link] { relay(link, ChaosDir::kServerToClient); });
+    }
+
+    std::lock_guard<std::mutex> lock(links_mu_);
+    reap_finished_locked();
+    links_.push_back(std::move(link));
+  }
+}
+
+void ChaosProxy::blackhole_loop(std::shared_ptr<Link> link) {
+  // Swallow whatever arrives, answer nothing, until the client gives up
+  // or stop() hangs us up. The probe interval keeps stop() latency low.
+  std::vector<u8> sink(kRelayChunk);
+  try {
+    while (!stopping_.load()) {
+      if (!link->client.wait_readable(50)) continue;
+      if (link->client.read_some(sink) == 0) break;  // EOF
+    }
+  } catch (const Error&) {
+    // Hung-up socket: the client reset or stop() intervened.
+  }
+  link->live_threads.fetch_sub(1);
+}
+
+void ChaosProxy::relay(std::shared_ptr<Link> link, ChaosDir dir) {
+  Socket& src = dir == ChaosDir::kClientToServer ? link->client
+                                                 : link->upstream;
+  Socket& dst = dir == ChaosDir::kClientToServer ? link->upstream
+                                                 : link->client;
+  const ConnFault& fault = link->fault;
+  const bool armed = fault.dir == dir;
+  u64 forwarded = 0;
+  bool delayed = false;
+
+  std::vector<u8> buf(kRelayChunk);
+  try {
+    for (;;) {
+      std::size_t n = src.read_some(buf);
+      if (n == 0) {
+        // Clean EOF: propagate the half-close so in-flight responses in
+        // the other direction still drain.
+        dst.shutdown_write();
+        break;
+      }
+      std::span<u8> chunk(buf.data(), n);
+
+      if (fault.kind == ChaosFaultKind::kDelay && !delayed) {
+        // kDelay holds the first byte in *both* directions (dir unused):
+        // request latency and response latency, like a congested path.
+        delayed = true;
+        stats_.delays.fetch_add(1);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(fault.delay_ms));
+      }
+
+      if (armed && fault.kind == ChaosFaultKind::kCorrupt &&
+          fault.trigger_offset >= forwarded &&
+          fault.trigger_offset < forwarded + n) {
+        chunk[static_cast<std::size_t>(fault.trigger_offset - forwarded)] ^=
+            static_cast<u8>(1u << fault.bit);
+        stats_.corruptions.fetch_add(1);
+      }
+
+      if (armed && fault.kind == ChaosFaultKind::kTruncate) {
+        const u64 budget = fault.trigger_offset > forwarded
+                               ? fault.trigger_offset - forwarded
+                               : 0;
+        if (budget < n) {
+          if (budget > 0) {
+            dst.write_all(chunk.first(static_cast<std::size_t>(budget)));
+          }
+          stats_.truncations.fetch_add(1);
+          link->client.shutdown_both();
+          link->upstream.shutdown_both();
+          break;
+        }
+      }
+
+      if (armed && fault.kind == ChaosFaultKind::kShortWrite) {
+        // Dribble: forward in slices with a pause between each, the
+        // impolite-peer pattern the server's io_timeout must tolerate
+        // (bytes do keep flowing) and a stalled-peer timeout must not
+        // trip on.
+        std::size_t off = 0;
+        while (off < n) {
+          const std::size_t slice =
+              std::min<std::size_t>(fault.slice_bytes, n - off);
+          dst.write_all(chunk.subspan(off, slice));
+          stats_.short_write_slices.fetch_add(1);
+          off += slice;
+          if (off < n && fault.delay_ms > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(fault.delay_ms));
+          }
+        }
+      } else {
+        dst.write_all(chunk);
+      }
+      forwarded += n;
+      stats_.relayed_bytes.fetch_add(n);
+    }
+  } catch (const Error&) {
+    // Reset, EPIPE, or stop()'s shutdown: hang up both sides so the
+    // opposite relay thread unblocks too.
+    link->client.shutdown_both();
+    link->upstream.shutdown_both();
+  }
+  link->live_threads.fetch_sub(1);
+}
+
+}  // namespace ceresz::net

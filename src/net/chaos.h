@@ -1,0 +1,189 @@
+// Deterministic network fault injection for the compression service —
+// the wse::FaultPlan philosophy (docs/robustness.md) applied to TCP.
+//
+// NetFaultPlan is a fixed schedule of connection-level faults, keyed by
+// the order in which connections arrive at the proxy: connection i gets
+// exactly one ConnFault (possibly kNone). Plans are built explicitly
+// (reset_on_accept, truncate, corrupt_byte, ...) or drawn procedurally
+// from a seeded spec (NetFaultPlan::random), in which case the fault
+// for ANY connection index is a pure function of (seed, index) — the
+// same seed always yields the same storm, however many connections a
+// retrying client ends up opening. That determinism is what lets
+// test_chaos assert byte-identical recovered output and exact typed
+// errors.
+//
+// ChaosProxy is the in-process injector: a loopback TCP proxy that sits
+// between CereszClient and ServiceServer, relaying bytes both ways and
+// applying the plan's fault for each accepted connection:
+//
+//   kResetOnAccept  accept, then RST immediately (connection refused-ish)
+//   kBlackhole      accept, swallow everything, answer nothing
+//   kDelay          hold the first byte in each direction for delay_ms
+//   kShortWrite     dribble: forward in slice_bytes pieces with a pause
+//   kTruncate       forward trigger_offset bytes in one direction, then
+//                   hang up both sides (mid-frame truncation)
+//   kCorrupt        flip one bit of one byte at trigger_offset in one
+//                   direction (in-flight corruption the frame CRC must
+//                   catch)
+//
+// The proxy only *transports* faults; what they mean is the client's
+// RetryPolicy's and the server's timeout machinery's problem — exactly
+// the split between wse::FaultPlan and the Fabric.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "net/socket.h"
+
+namespace ceresz::net {
+
+/// Which relay direction a byte-positioned fault applies to.
+enum class ChaosDir : u8 {
+  kClientToServer = 0,  ///< request path
+  kServerToClient = 1,  ///< response path
+};
+
+enum class ChaosFaultKind : u8 {
+  kNone = 0,
+  kResetOnAccept,
+  kBlackhole,
+  kDelay,
+  kShortWrite,
+  kTruncate,
+  kCorrupt,
+};
+
+/// The one fault scheduled for a connection.
+struct ConnFault {
+  ChaosFaultKind kind = ChaosFaultKind::kNone;
+  ChaosDir dir = ChaosDir::kServerToClient;
+  u64 trigger_offset = 0;  ///< byte offset for kTruncate / kCorrupt
+  u32 delay_ms = 0;        ///< kDelay first-byte hold; kShortWrite per-slice
+  u32 slice_bytes = 0;     ///< kShortWrite forwarding granularity
+  u8 bit = 0;              ///< kCorrupt: which bit of the byte to flip
+};
+
+/// Knobs for NetFaultPlan::random — per-connection fault probabilities
+/// (evaluated in the order below; they should sum to <= 1) and the
+/// parameter ranges faults draw from.
+struct NetChaosSpec {
+  f64 reset_frac = 0.0;
+  f64 blackhole_frac = 0.0;
+  f64 delay_frac = 0.0;
+  f64 short_write_frac = 0.0;
+  f64 truncate_frac = 0.0;
+  f64 corrupt_frac = 0.0;
+  u32 min_delay_ms = 2;
+  u32 max_delay_ms = 20;
+  u32 slice_bytes = 64;
+  u32 slice_delay_ms = 1;
+  /// Truncation/corruption offsets are drawn uniformly in
+  /// [1, window) — early enough to hit headers and small frames.
+  u64 truncate_window = 2048;
+  u64 corrupt_window = 4096;
+};
+
+class NetFaultPlan {
+ public:
+  NetFaultPlan() = default;
+  explicit NetFaultPlan(u64 seed) : seed_(seed) {}
+
+  /// Procedural plan: connection i's fault is derived from Rng mixed
+  /// over (seed, i), so any index is defined and the schedule is fully
+  /// reproducible. Explicit entries set afterwards override.
+  static NetFaultPlan random(u64 seed, const NetChaosSpec& spec);
+
+  // ---- Plan construction (explicit schedules for targeted tests) ----
+  void reset_on_accept(u64 conn);
+  void blackhole(u64 conn);
+  void delay(u64 conn, u32 ms);
+  void short_write(u64 conn, ChaosDir dir, u32 slice_bytes,
+                   u32 slice_delay_ms);
+  void truncate(u64 conn, ChaosDir dir, u64 after_bytes);
+  void corrupt_byte(u64 conn, ChaosDir dir, u64 byte_offset, u8 bit);
+
+  /// The fault scheduled for the `conn`-th accepted connection.
+  ConnFault fault_for(u64 conn) const;
+
+  u64 seed() const { return seed_; }
+  bool empty() const { return explicit_.empty() && !has_spec_; }
+
+ private:
+  u64 seed_ = 0;
+  bool has_spec_ = false;
+  NetChaosSpec spec_;
+  std::map<u64, ConnFault> explicit_;
+};
+
+/// Counters the proxy bumps as it injects — chaos tests assert against
+/// them, and bench_service_load --chaos reports them. All atomics;
+/// readable while the proxy runs.
+struct ChaosProxyStats {
+  std::atomic<u64> connections{0};
+  std::atomic<u64> upstream_failures{0};
+  std::atomic<u64> resets{0};
+  std::atomic<u64> blackholes{0};
+  std::atomic<u64> delays{0};
+  std::atomic<u64> short_write_slices{0};
+  std::atomic<u64> truncations{0};
+  std::atomic<u64> corruptions{0};
+  std::atomic<u64> relayed_bytes{0};
+};
+
+class ChaosProxy {
+ public:
+  /// Proxy for `upstream_host:upstream_port`, applying `plan`. Listens
+  /// on an ephemeral loopback port (read it back with port()).
+  ChaosProxy(std::string upstream_host, u16 upstream_port,
+             NetFaultPlan plan);
+
+  /// Stops the proxy if it is still running.
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Bind, listen, launch the accept loop. Throws ceresz::Error when
+  /// the ephemeral port cannot be bound.
+  void start();
+
+  /// Hang up every proxied connection and join all relay threads.
+  /// Idempotent.
+  void stop();
+
+  /// The proxy's listening port (valid after start()).
+  u16 port() const;
+
+  const ChaosProxyStats& stats() const { return stats_; }
+
+ private:
+  struct Link;
+
+  void accept_loop();
+  void relay(std::shared_ptr<Link> link, ChaosDir dir);
+  void blackhole_loop(std::shared_ptr<Link> link);
+  void reap_finished_locked();
+
+  const std::string upstream_host_;
+  const u16 upstream_port_;
+  const NetFaultPlan plan_;
+  ChaosProxyStats stats_;
+
+  std::unique_ptr<TcpListener> listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  u64 next_conn_index_ = 0;  // accept thread only
+
+  std::mutex links_mu_;
+  std::vector<std::shared_ptr<Link>> links_;
+};
+
+}  // namespace ceresz::net

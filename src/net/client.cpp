@@ -1,19 +1,84 @@
 #include "net/client.h"
 
+#include <algorithm>
 #include <array>
+#include <chrono>
+#include <thread>
 
 #include "common/timer.h"
 
 namespace ceresz::net {
 
-void CereszClient::connect(const std::string& host, u16 port) {
-  sock_ = connect_to(host, port);
+namespace {
+
+void bump(obs::MetricsRegistry* reg, const char* name) {
+  if (reg != nullptr) reg->counter(name).add();
 }
 
-std::vector<u8> CereszClient::roundtrip(Opcode op,
-                                        std::span<const u8> payload) {
+}  // namespace
+
+void declare_client_metrics(obs::MetricsRegistry& reg) {
+  reg.counter(kClientMetricRequests);
+  reg.counter(kClientMetricAttempts);
+  reg.counter(kClientMetricRetries);
+  reg.counter(kClientMetricReconnects);
+  reg.counter(kClientMetricTimeouts);
+  reg.counter(kClientMetricBusy);
+  reg.counter(kClientMetricDraining);
+  reg.counter(kClientMetricCorruptResponses);
+  reg.counter(kClientMetricBudgetExhausted);
+}
+
+CereszClient::CereszClient(RetryPolicy policy, obs::MetricsRegistry* reg)
+    : policy_(policy), reg_(reg), jitter_(policy.jitter_seed) {
+  if (reg_ != nullptr) declare_client_metrics(*reg_);
+}
+
+void CereszClient::connect(const std::string& host, u16 port) {
+  host_ = host;
+  port_ = port;
+  // A fail-fast client (no retries) connects eagerly so the caller
+  // gets the error here. A retrying client defers establishment to the
+  // request loop: a connect-time fault (reset, unreachable peer) is
+  // then retried exactly like any other transport failure, instead of
+  // surfacing from connect() where no retry machinery exists.
+  if (policy_.max_attempts <= 1) establish_connection();
+}
+
+void CereszClient::establish_connection() {
+  CERESZ_CHECK(!host_.empty(),
+               "CereszClient: connect() must be called before requests");
+  // Count the reconnect before dialing: a re-establishment ATTEMPT is
+  // the observable event, whether or not the peer answers.
+  if (ever_connected_) {
+    ++stats_.reconnects;
+    bump(reg_, kClientMetricReconnects);
+  }
+  ever_connected_ = true;
+  sock_ = connect_to(host_, port_, policy_.connect_timeout_ms);
+  sock_.set_io_timeout(policy_.attempt_timeout_ms);
+}
+
+void CereszClient::backoff_sleep(u32 retry_index, u64 overall_deadline_ns) {
+  // Full jitter: uniform(0, min(cap, base << (k-1))). Shift clamped so
+  // huge attempt counts cannot overflow the exponent.
+  const u32 shift = std::min(retry_index - 1, u32{20});
+  u64 ceiling = policy_.backoff_us << shift;
+  ceiling = std::min(ceiling, policy_.backoff_cap_us);
+  u64 sleep_us = ceiling == 0 ? 0 : jitter_.next_below(ceiling + 1);
+  if (overall_deadline_ns != 0) {
+    const u64 now = now_ns();
+    if (now >= overall_deadline_ns) return;
+    sleep_us = std::min(sleep_us, (overall_deadline_ns - now) / 1'000);
+  }
+  if (sleep_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+  }
+}
+
+std::vector<u8> CereszClient::attempt_once(Opcode op, u64 id,
+                                           std::span<const u8> payload) {
   CERESZ_CHECK(sock_.valid(), "CereszClient: not connected");
-  const u64 id = next_request_id_++;
   frame_.clear();
   append_frame(frame_, op, Status::kOk, id, payload);
   sock_.write_all(frame_);
@@ -27,6 +92,15 @@ std::vector<u8> CereszClient::roundtrip(Opcode op,
   std::vector<u8> response(static_cast<std::size_t>(header.payload_bytes));
   sock_.read_exact(response);
 
+  if (!payload_crc_ok(header, response)) {
+    // The framing survived but the bytes did not: nothing else read
+    // from this connection deserves trust, so hang it up before the
+    // caller sees the typed verdict.
+    sock_.close();
+    throw CorruptResponse(
+        "CereszClient: response payload failed its CRC check "
+        "(in-flight corruption)");
+  }
   if (header.status != Status::kOk) {
     // Error frames carry a UTF-8 message; the connection stays usable.
     throw ServiceError(header.status,
@@ -39,9 +113,78 @@ std::vector<u8> CereszClient::roundtrip(Opcode op,
   return response;
 }
 
+std::vector<u8> CereszClient::roundtrip(Opcode op,
+                                        std::span<const u8> payload) {
+  // ONE id for the logical request, reused by every attempt: a retry
+  // of a request the server already executed is a visible duplicate
+  // (same id, bumped server counters), never an invisible one.
+  const u64 id = next_request_id_++;
+  ++stats_.requests;
+  bump(reg_, kClientMetricRequests);
+  const u64 overall_deadline =
+      policy_.overall_deadline_ms == 0
+          ? 0
+          : now_ns() + static_cast<u64>(policy_.overall_deadline_ms) *
+                           1'000'000;
+
+  std::exception_ptr last;
+  for (u32 attempt = 1;; ++attempt) {
+    try {
+      // Establishment is part of the attempt: a connect that fails is
+      // an attempt that failed, and is counted and retried as one.
+      ++stats_.attempts;
+      bump(reg_, kClientMetricAttempts);
+      if (!sock_.valid()) establish_connection();
+      return attempt_once(op, id, payload);
+    } catch (const CorruptResponse&) {
+      ++stats_.corrupt_responses;
+      bump(reg_, kClientMetricCorruptResponses);
+      throw;  // terminal: see the class comment
+    } catch (const ServiceError& e) {
+      if (e.status() == Status::kBusy) {
+        ++stats_.busy;
+        bump(reg_, kClientMetricBusy);
+        // The connection is fine; the server shed us. Retry on it.
+      } else if (e.status() == Status::kDraining) {
+        ++stats_.draining;
+        bump(reg_, kClientMetricDraining);
+        sock_.close();  // this server is going away; reconnect fresh
+      } else {
+        throw;  // terminal: the request itself is the problem
+      }
+      last = std::current_exception();
+    } catch (const NetTimeout&) {
+      ++stats_.timeouts;
+      bump(reg_, kClientMetricTimeouts);
+      sock_.close();
+      last = std::current_exception();
+    } catch (const Error&) {
+      // Transport failure: reset, EOF, truncated or garbled frame.
+      sock_.close();
+      last = std::current_exception();
+    }
+
+    if (attempt >= policy_.max_attempts) std::rethrow_exception(last);
+    if (stats_.retries >= policy_.retry_budget) {
+      ++stats_.budget_exhausted;
+      bump(reg_, kClientMetricBudgetExhausted);
+      std::rethrow_exception(last);
+    }
+    if (overall_deadline != 0 && now_ns() >= overall_deadline) {
+      std::rethrow_exception(last);
+    }
+    ++stats_.retries;
+    bump(reg_, kClientMetricRetries);
+    backoff_sleep(attempt, overall_deadline);
+  }
+}
+
 f64 CereszClient::ping() {
   const u64 start = now_ns();
-  (void)roundtrip(Opcode::kPing, {});
+  const std::vector<u8> payload = roundtrip(Opcode::kPing, {});
+  server_state_ = payload.empty()
+                      ? "SERVING"
+                      : std::string(payload.begin(), payload.end());
   return static_cast<f64>(now_ns() - start) * 1e-9;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstring>
 
+#include "common/checksum.h"
 #include "common/error.h"
 
 namespace ceresz::net {
@@ -90,6 +91,7 @@ const char* status_name(Status st) {
     case Status::kBadRequest: return "BAD_REQUEST";
     case Status::kCorruptStream: return "CORRUPT_STREAM";
     case Status::kInternal: return "INTERNAL";
+    case Status::kDraining: return "DRAINING";
   }
   return "UNKNOWN";
 }
@@ -101,6 +103,7 @@ void append_frame_header(std::vector<u8>& out, const FrameHeader& header) {
   append_u16(out, static_cast<u16>(header.status));
   append_u64(out, header.request_id);
   append_u64(out, header.payload_bytes);
+  append_u32(out, header.payload_crc);
 }
 
 FrameHeader parse_frame_header(std::span<const u8> bytes, u64 max_payload) {
@@ -119,13 +122,14 @@ FrameHeader parse_frame_header(std::span<const u8> bytes, u64 max_payload) {
                "net: unknown opcode");
   h.opcode = static_cast<Opcode>(op);
   const u16 st = read_u16(p + 6);
-  CERESZ_CHECK(st <= static_cast<u16>(Status::kInternal),
+  CERESZ_CHECK(st <= static_cast<u16>(Status::kDraining),
                "net: unknown status code");
   h.status = static_cast<Status>(st);
   h.request_id = read_u64(p + 8);
   h.payload_bytes = read_u64(p + 16);
   CERESZ_CHECK(h.payload_bytes <= max_payload,
                "net: declared payload exceeds the frame-size bound");
+  h.payload_crc = read_u32(p + 24);
   return h;
 }
 
@@ -239,9 +243,14 @@ void append_frame(std::vector<u8>& out, Opcode op, Status status,
   h.status = status;
   h.request_id = request_id;
   h.payload_bytes = payload.size();
+  h.payload_crc = payload.empty() ? 0 : crc32c(payload);
   out.reserve(out.size() + kFrameHeaderBytes + payload.size());
   append_frame_header(out, h);
   out.insert(out.end(), payload.begin(), payload.end());
+}
+
+bool payload_crc_ok(const FrameHeader& header, std::span<const u8> payload) {
+  return header.payload_crc == (payload.empty() ? 0 : crc32c(payload));
 }
 
 void append_error_frame(std::vector<u8>& out, Opcode op, Status status,

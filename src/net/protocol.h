@@ -3,16 +3,28 @@
 // throughout (matching the .f32/SDRBench and chunk-container
 // conventions of the rest of the codebase).
 //
-// Frame layout (24-byte header, then `payload_bytes` of payload):
+// Frame layout (28-byte header, then `payload_bytes` of payload):
 //
 //   0  u32 magic "CSNP"
-//   4  u8  version (= 1)
+//   4  u8  version (= 2)
 //   5  u8  opcode            (Opcode)
 //   6  u16 status            (Status; 0 in requests, result code in
 //                             responses — nonzero = error frame whose
 //                             payload is a UTF-8 message)
 //   8  u64 request_id        (echoed verbatim in the response)
 //   16 u64 payload_bytes
+//   24 u32 payload_crc       (CRC32C of the payload bytes; 0-byte
+//                             payloads carry 0)
+//
+// Version history: v1 had a 24-byte header with no payload CRC. v2 adds
+// end-to-end payload integrity — every request and response payload is
+// covered by CRC32C, so a bit flipped anywhere on the wire is *detected*
+// (server: MALFORMED error frame on a still-usable connection; client:
+// a typed CorruptResponse) instead of silently compressing or returning
+// wrong bytes. The compressed container's own per-chunk CRCs cover the
+// data at rest; the frame CRC covers it in flight, including the frames
+// (COMPRESS requests, DECOMPRESS responses) that carry raw f32 payloads
+// with no internal checksum.
 //
 // Opcodes and payloads (request -> response):
 //   PING        empty -> empty. Liveness + RTT probe.
@@ -42,8 +54,8 @@
 
 namespace ceresz::net {
 
-inline constexpr u8 kProtocolVersion = 1;
-inline constexpr std::size_t kFrameHeaderBytes = 24;
+inline constexpr u8 kProtocolVersion = 2;
+inline constexpr std::size_t kFrameHeaderBytes = 28;
 
 /// Anti-bomb bound on payload_bytes: a frame can carry at most 1 GiB.
 /// Servers may tighten this (ServerOptions::max_frame_payload); parsers
@@ -71,6 +83,7 @@ enum class Status : u16 {
   kBadRequest = 5,       ///< parseable but invalid (bad bound, empty data)
   kCorruptStream = 6,    ///< DECOMPRESS payload failed validation/CRC
   kInternal = 7,         ///< engine failure not attributable to the input
+  kDraining = 8,         ///< server is draining; no new work accepted
 };
 
 const char* opcode_name(Opcode op);
@@ -82,9 +95,10 @@ struct FrameHeader {
   Status status = Status::kOk;
   u64 request_id = 0;
   u64 payload_bytes = 0;
+  u32 payload_crc = 0;  ///< CRC32C of the payload (0 for empty payloads)
 };
 
-/// Append the 24 header bytes to `out`.
+/// Append the 28 header bytes to `out`.
 void append_frame_header(std::vector<u8>& out, const FrameHeader& header);
 
 /// Parse and validate a frame header: magic, version, known opcode, and
@@ -147,9 +161,15 @@ void decode_decompress_response(std::span<const u8> payload,
 
 // --- whole frames -----------------------------------------------------------
 
-/// Append a complete frame (header + payload) to `out`.
+/// Append a complete frame (header + payload) to `out`; the header's
+/// payload_crc is computed from `payload`, so frames built through this
+/// function always verify.
 void append_frame(std::vector<u8>& out, Opcode op, Status status,
                   u64 request_id, std::span<const u8> payload);
+
+/// Does `payload` match the CRC its header declared? Called by both
+/// peers after the payload read, before any decoding.
+bool payload_crc_ok(const FrameHeader& header, std::span<const u8> payload);
 
 /// Append a complete error frame whose payload is `message`.
 void append_error_frame(std::vector<u8>& out, Opcode op, Status status,

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -39,6 +41,11 @@ struct ServerMetrics {
   obs::Histogram& decompress_seconds;
   obs::Counter& pool_hits;
   obs::Counter& pool_misses;
+  obs::Counter& idle_reaped;
+  obs::Counter& io_timeouts;
+  obs::Counter& crc_rejected;
+  obs::Counter& drain_rejected;
+  obs::Gauge& draining;
 
   explicit ServerMetrics(obs::MetricsRegistry& reg)
       : connections(reg.counter(kMetricConnections)),
@@ -63,7 +70,12 @@ struct ServerMetrics {
             kMetricDecompressSeconds,
             obs::MetricsRegistry::default_seconds_buckets())),
         pool_hits(reg.counter(kMetricPoolHits)),
-        pool_misses(reg.counter(kMetricPoolMisses)) {}
+        pool_misses(reg.counter(kMetricPoolMisses)),
+        idle_reaped(reg.counter(kMetricIdleReaped)),
+        io_timeouts(reg.counter(kMetricIoTimeouts)),
+        crc_rejected(reg.counter(kMetricPayloadCrcRejected)),
+        drain_rejected(reg.counter(kMetricDrainRejected)),
+        draining(reg.gauge(kMetricDraining)) {}
 };
 
 /// One client connection. The reader thread owns the receive side; the
@@ -123,6 +135,7 @@ struct ServiceServer::Impl {
   std::atomic<u64> inflight_{0};
   std::atomic<u64> inflight_high_{0};
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
 
   // --- response plumbing ----------------------------------------------------
 
@@ -165,8 +178,21 @@ struct ServiceServer::Impl {
   void reader_loop(std::shared_ptr<Connection> conn) {
     std::array<u8, kFrameHeaderBytes> hdr_bytes;
     for (;;) {
+      // Between frames: wait for the next header byte without
+      // committing to a read. Idle time is budgeted separately
+      // (idle_timeout_ms; 0 = unbounded) from mid-frame stalls
+      // (io_timeout_ms), so a polite keep-alive connection is never
+      // reaped by the slow-loris defense — only by the idle reaper.
+      // stop()'s shutdown_both wakes this poll as readable-EOF.
+      if (!conn->sock.wait_readable(options_.idle_timeout_ms)) {
+        m_.idle_reaped.add(1);
+        break;
+      }
       try {
         if (!conn->sock.read_exact_or_eof(hdr_bytes)) break;
+      } catch (const NetTimeout&) {
+        m_.io_timeouts.add(1);  // slow-loris: header dribbled too slowly
+        break;
       } catch (const Error&) {
         break;  // reset / shutdown-in-progress
       }
@@ -188,18 +214,41 @@ struct ServiceServer::Impl {
       payload->resize(static_cast<std::size_t>(header.payload_bytes));
       try {
         conn->sock.read_exact(*payload);
+      } catch (const NetTimeout&) {
+        m_.io_timeouts.add(1);  // payload stalled mid-frame
+        break;
       } catch (const Error&) {
         break;  // truncated frame: peer died mid-send
       }
       m_.requests.add(1);
       m_.request_bytes.add(kFrameHeaderBytes + header.payload_bytes);
 
+      if (!payload_crc_ok(header, *payload)) {
+        // The frame arrived whole but its bytes do not match the CRC the
+        // sender computed: in-flight corruption. Framing is intact, so
+        // the connection survives — reject just this request, loudly.
+        m_.crc_rejected.add(1);
+        m_.malformed.add(1);
+        send_error(*conn, header.opcode, Status::kMalformed,
+                   header.request_id,
+                   "request payload failed its CRC check "
+                   "(in-flight corruption)");
+        continue;
+      }
+
       switch (header.opcode) {
         case Opcode::kPing: {
           m_.ping_requests.add(1);
+          // The PING payload doubles as a lifecycle probe: retrying
+          // clients and load balancers read DRAINING here and move on.
+          const std::string_view state =
+              draining_.load(std::memory_order_acquire) ? "DRAINING"
+                                                        : "SERVING";
           PooledBuffer out = pool_.acquire();
           append_frame(*out, Opcode::kPing, Status::kOk, header.request_id,
-                       {});
+                       std::span<const u8>(
+                           reinterpret_cast<const u8*>(state.data()),
+                           state.size()));
           send(*conn, *out);
           break;
         }
@@ -217,6 +266,19 @@ struct ServiceServer::Impl {
         }
         case Opcode::kCompress:
         case Opcode::kDecompress: {
+          if (draining_.load(std::memory_order_acquire)) {
+            // Drain mode: finish what was admitted, take nothing new.
+            // The reader hangs up after the rejection so lingering
+            // keep-alive connections cannot stall the exit.
+            m_.drain_rejected.add(1);
+            send_error(*conn, header.opcode, Status::kDraining,
+                       header.request_id,
+                       "server is draining; no new work accepted");
+            conn->open.store(false, std::memory_order_release);
+            conn->sock.shutdown_both();
+            m_.active_connections.add(-1.0);
+            return;
+          }
           // Bounded in-flight admission (queued + executing). Beyond
           // the limit, shed load NOW: an explicit BUSY beats an
           // unbounded queue melting down under a traffic spike.
@@ -389,6 +451,10 @@ struct ServiceServer::Impl {
       Socket sock = listener_->accept_connection();
       if (!sock.valid() || stopping_.load(std::memory_order_acquire)) break;
       sock.set_nodelay();
+      // Every read and write on this connection runs under the per-call
+      // deadline; a peer that stalls mid-frame (or never drains our
+      // response) is dropped without affecting its neighbors.
+      sock.set_io_timeout(options_.io_timeout_ms);
       auto conn = std::make_shared<Connection>();
       conn->sock = std::move(sock);
       m_.connections.add(1);
@@ -423,6 +489,26 @@ struct ServiceServer::Impl {
       workers_.emplace_back([this] { worker_loop(); });
     }
     accept_thread_ = std::thread([this] { accept_loop(); });
+  }
+
+  void drain() {
+    if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+    m_.draining.set(1.0);
+    // Stop accepting: the accept loop exits on the invalid socket; the
+    // listener itself is closed later by stop(). Existing readers keep
+    // running so in-flight work can answer and PING can say DRAINING.
+    if (listener_) listener_->shutdown();
+  }
+
+  bool wait_idle(u32 timeout_ms) {
+    const u64 deadline =
+        timeout_ms == 0 ? 0
+                        : now_ns() + static_cast<u64>(timeout_ms) * 1'000'000;
+    while (inflight_.load(std::memory_order_acquire) != 0) {
+      if (deadline != 0 && now_ns() >= deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return true;
   }
 
   void stop() {
@@ -478,6 +564,27 @@ void ServiceServer::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   impl_->stop();
   impl_.reset();
+}
+
+void ServiceServer::drain() {
+  if (running_.load(std::memory_order_acquire) && impl_ != nullptr) {
+    impl_->drain();
+  }
+}
+
+bool ServiceServer::draining() const {
+  return running_.load(std::memory_order_acquire) && impl_ != nullptr &&
+         impl_->draining_.load(std::memory_order_acquire);
+}
+
+u64 ServiceServer::inflight() const {
+  return impl_ != nullptr
+             ? impl_->inflight_.load(std::memory_order_acquire)
+             : 0;
+}
+
+bool ServiceServer::wait_idle(u32 timeout_ms) {
+  return impl_ == nullptr || impl_->wait_idle(timeout_ms);
 }
 
 u16 ServiceServer::port() const {

@@ -27,6 +27,17 @@
 // cancels a slow or wedged chunk through its CancelToken, so one bad
 // chunk can never wedge the connection (see engine/chunk_runner.h).
 //
+// Hostile-peer hardening: io_timeout_ms bounds every socket read and
+// write per call (a slow-loris peer dribbling header bytes, or one that
+// never drains its receive window, is timed out and dropped without
+// touching other connections); idle_timeout_ms reaps connections that
+// sit silent between frames; and every payload is checked against the
+// frame CRC (v2 header) before decoding — a corrupted request draws a
+// MALFORMED error frame on a still-usable connection, never a silent
+// compress of garbage. drain() is the graceful-exit half: new work is
+// refused with DRAINING frames while in-flight requests finish, which
+// is what ceresz_server does on SIGTERM.
+//
 // Observability: every counter/gauge/histogram below lands in the
 // server's MetricsRegistry (exported by the STATS opcode and the
 // daemon's --metrics-out flag), alongside the ceresz_engine_* families
@@ -82,6 +93,15 @@ inline constexpr const char* kMetricPoolHits =
     "ceresz_server_pool_hits_total";
 inline constexpr const char* kMetricPoolMisses =
     "ceresz_server_pool_misses_total";
+inline constexpr const char* kMetricIdleReaped =
+    "ceresz_server_idle_reaped_total";
+inline constexpr const char* kMetricIoTimeouts =
+    "ceresz_server_io_timeouts_total";
+inline constexpr const char* kMetricPayloadCrcRejected =
+    "ceresz_server_payload_crc_rejected_total";
+inline constexpr const char* kMetricDrainRejected =
+    "ceresz_server_drain_rejected_total";
+inline constexpr const char* kMetricDraining = "ceresz_server_draining";
 
 struct ServerOptions {
   /// Port to bind on 127.0.0.1; 0 binds an ephemeral port (read it back
@@ -109,6 +129,21 @@ struct ServerOptions {
   /// Retired I/O buffers kept for reuse (BufferPool free-list cap).
   std::size_t pool_buffers = 32;
 
+  /// Per-I/O-call deadline on every connection socket (reads AND
+  /// response writes), enforced with poll so one slow-loris peer —
+  /// dribbling a header byte at a time, or never draining its receive
+  /// window — times out and is dropped while every other connection
+  /// keeps serving. 0 = no bound (the library default; ceresz_server
+  /// defaults to 30 s).
+  u32 io_timeout_ms = 0;
+
+  /// How long a connection may sit idle BETWEEN frames before the
+  /// reaper hangs it up. Distinct from io_timeout_ms: idle-between-
+  /// frames is polite (a keep-alive client), so the default 0 allows it
+  /// forever; set a bound when fd exhaustion matters more than
+  /// keep-alive convenience.
+  u32 idle_timeout_ms = 0;
+
   /// Engine configuration used for every request. `metrics` is
   /// overridden to point at the server's registry; `tracer` is passed
   /// through (null by default). `faults` is kept — chaos tests inject
@@ -133,6 +168,23 @@ class ServiceServer {
   /// Graceful shutdown: stop accepting, wake and join every reader,
   /// drain the request queue, join the workers. Idempotent.
   void stop();
+
+  /// Enter drain mode: stop accepting new connections, reject new
+  /// COMPRESS/DECOMPRESS work with DRAINING error frames, keep
+  /// answering PING (payload "DRAINING") and STATS, and let in-flight
+  /// requests finish. Pair with wait_idle() then stop() — the daemon's
+  /// SIGTERM path. Idempotent; a no-op when not running.
+  void drain();
+
+  /// True once drain() has been called (and the server is running).
+  bool draining() const;
+
+  /// Requests admitted but not yet answered (queued + executing).
+  u64 inflight() const;
+
+  /// Block until inflight() reaches 0 or `timeout_ms` passes (0 = wait
+  /// forever). Returns true when idle was reached.
+  bool wait_idle(u32 timeout_ms);
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 

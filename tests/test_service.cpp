@@ -494,5 +494,70 @@ TEST(Service, StopUnblocksIdleConnectionsAndIsIdempotent) {
   server.reset();  // destructor after explicit stop is fine too
 }
 
+TEST(Service, StopWithRequestsInFlightDoesNotHang) {
+  // A request is mid-execution (stalled chunk) when stop() lands. The
+  // shutdown sequence lets workers drain what was queued, so stop()
+  // must return promptly — after the stall, never wedged.
+  ServerOptions opt = test_server(/*workers=*/1);
+  opt.engine.chunk_elems = 65536;  // one chunk
+  opt.engine.faults.stall_chunk(0, /*attempts=*/1);
+  opt.engine.faults.stall_ms = 300;
+  ServiceServer server(std::move(opt));
+  server.start();
+  const u16 port = server.port();
+
+  const auto data = test::smooth_signal(4096);
+  std::thread slow([&] {
+    try {
+      CereszClient a;
+      a.connect("127.0.0.1", port);
+      (void)a.compress(data, core::ErrorBound::absolute(1e-3));
+    } catch (const Error&) {
+      // stop() may hang up before the response; either way is fine —
+      // the point is that nothing hangs or crashes.
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const u64 t0 = now_ns();
+  server.stop();
+  EXPECT_LT(static_cast<f64>(now_ns() - t0) * 1e-9, 5.0)
+      << "stop() wedged behind an in-flight request";
+  slow.join();
+}
+
+TEST(Service, RestartOnTheSamePortWorks) {
+  // Stop must release the port completely: a new server (and a
+  // restarted one) binds the same port and serves.
+  const auto data = test::smooth_signal(2048);
+  const auto bound = core::ErrorBound::relative(1e-3);
+  u16 port = 0;
+  {
+    ServiceServer first(test_server());
+    first.start();
+    port = first.port();
+    CereszClient client;
+    client.connect("127.0.0.1", port);
+    EXPECT_FALSE(client.compress(data, bound).empty());
+    first.stop();
+  }
+
+  ServerOptions opt = test_server();
+  opt.port = port;  // the exact port the first server just released
+  ServiceServer second(std::move(opt));
+  second.start();
+  EXPECT_EQ(second.port(), port);
+  CereszClient client;
+  client.connect("127.0.0.1", port);
+  EXPECT_FALSE(client.compress(data, bound).empty());
+  second.stop();
+
+  // Same OBJECT restarted: start/stop/start on one ServiceServer.
+  second.start();
+  CereszClient again;
+  again.connect("127.0.0.1", second.port());
+  EXPECT_FALSE(again.compress(data, bound).empty());
+  second.stop();
+}
+
 }  // namespace
 }  // namespace ceresz::net

@@ -2,15 +2,21 @@
 //
 //   ceresz_server [--port P] [--workers N] [--max-inflight M]
 //                 [--deadline-ms D] [--threads T] [--chunk-elems E]
-//                 [--max-frame-mb MB] [--metrics-out FILE]
+//                 [--max-frame-mb MB] [--io-timeout-ms T]
+//                 [--idle-timeout-ms T] [--drain-ms T]
+//                 [--metrics-out FILE]
 //
 // Binds 127.0.0.1:P (default 4860; 0 = ephemeral, printed on startup),
 // accepts CSNP frames (docs/service.md), and serves COMPRESS /
 // DECOMPRESS / STATS / PING with engine::ParallelEngine behind a
-// bounded in-flight limit. SIGINT/SIGTERM shut down gracefully; with
-// --metrics-out the final registry snapshot is written on exit
-// (Prometheus text when FILE ends in .prom, JSON otherwise) — the same
-// registry the STATS opcode serves live.
+// bounded in-flight limit.
+//
+// Shutdown: SIGTERM drains — the server stops accepting, rejects new
+// work with DRAINING frames, finishes what is in flight (bounded by
+// --drain-ms), then exits; the orchestrator-friendly path. SIGINT stops
+// immediately. With --metrics-out the final registry snapshot is
+// written on exit (Prometheus text when FILE ends in .prom, JSON
+// otherwise) — the same registry the STATS opcode serves live.
 //
 // Exit codes (matching the README table's convention): 0 clean
 // shutdown, 1 runtime error (cannot bind, I/O failure), 2 usage error.
@@ -31,9 +37,9 @@ namespace {
 
 using namespace ceresz;
 
-std::atomic<bool> g_stop{false};
+std::atomic<int> g_signal{0};
 
-void handle_signal(int) { g_stop.store(true); }
+void handle_signal(int sig) { g_signal.store(sig); }
 
 int usage() {
   std::fprintf(
@@ -52,6 +58,13 @@ int usage() {
       "  --chunk-elems E   engine chunk size in elements (multiple of 32)\n"
       "  --max-frame-mb MB reject frames declaring a larger payload\n"
       "                    (default 1024)\n"
+      "  --io-timeout-ms T per-I/O-call deadline on every connection;\n"
+      "                    slow-loris peers are dropped (default 30000,\n"
+      "                    0 = unbounded)\n"
+      "  --idle-timeout-ms T  reap connections idle between frames for\n"
+      "                    longer than T (default 0 = keep-alive forever)\n"
+      "  --drain-ms T      on SIGTERM, wait up to T for in-flight work\n"
+      "                    before stopping (default 10000)\n"
       "  --metrics-out F   write the final metrics snapshot on shutdown\n"
       "                    (.prom = Prometheus text, else JSON)\n"
       "exit codes: 0 clean shutdown, 1 runtime error, 2 usage error\n");
@@ -71,6 +84,8 @@ bool parse_u64(const char* s, u64& out) {
 int main(int argc, char** argv) {
   net::ServerOptions opt;
   opt.port = 4860;
+  opt.io_timeout_ms = 30'000;  // daemons default to slow-loris defense
+  u32 drain_ms = 10'000;
   std::string metrics_out;
 
   for (int i = 1; i < argc; ++i) {
@@ -107,6 +122,18 @@ int main(int argc, char** argv) {
       const char* s = value();
       if (!s || !parse_u64(s, v) || v == 0 || v > 1024) return usage();
       opt.max_frame_payload = v << 20;
+    } else if (a == "--io-timeout-ms") {
+      const char* s = value();
+      if (!s || !parse_u64(s, v) || v > 0xffffffffull) return usage();
+      opt.io_timeout_ms = static_cast<u32>(v);
+    } else if (a == "--idle-timeout-ms") {
+      const char* s = value();
+      if (!s || !parse_u64(s, v) || v > 0xffffffffull) return usage();
+      opt.idle_timeout_ms = static_cast<u32>(v);
+    } else if (a == "--drain-ms") {
+      const char* s = value();
+      if (!s || !parse_u64(s, v) || v > 0xffffffffull) return usage();
+      drain_ms = static_cast<u32>(v);
     } else if (a == "--metrics-out") {
       const char* s = value();
       if (!s) return usage();
@@ -134,8 +161,22 @@ int main(int argc, char** argv) {
 
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
-    while (!g_stop.load()) pause();  // returns on any delivered signal
+    while (g_signal.load() == 0) pause();  // returns on a delivered signal
 
+    if (g_signal.load() == SIGTERM) {
+      // Graceful drain: refuse new work, finish what is in flight (up
+      // to --drain-ms), then stop. SIGINT skips straight to stop().
+      std::printf("ceresz_server: draining (up to %u ms)\n",
+                  static_cast<unsigned>(drain_ms));
+      std::fflush(stdout);
+      server.drain();
+      if (!server.wait_idle(drain_ms)) {
+        std::fprintf(stderr,
+                     "ceresz_server: drain timed out with %llu requests "
+                     "still in flight\n",
+                     static_cast<unsigned long long>(server.inflight()));
+      }
+    }
     std::printf("ceresz_server: shutting down\n");
     std::fflush(stdout);
     server.stop();
