@@ -120,6 +120,7 @@ struct RetryTotals {
   std::atomic<u64> reconnects{0};
   std::atomic<u64> timeouts{0};
   std::atomic<u64> busy{0};
+  std::atomic<u64> draining{0};
 
   void absorb(const net::ClientStats& s) {
     attempts.fetch_add(s.attempts);
@@ -127,6 +128,7 @@ struct RetryTotals {
     reconnects.fetch_add(s.reconnects);
     timeouts.fetch_add(s.timeouts);
     busy.fetch_add(s.busy);
+    draining.fetch_add(s.draining);
   }
 };
 
@@ -240,12 +242,19 @@ int main(int argc, char** argv) {
   // BUSY is backpressure, not an error: the server sheds load it will
   // not queue, and a well-behaved client backs off and retries. The
   // measured latency is the successful attempt only; the retry count is
-  // reported so saturation is visible.
-  auto with_backoff = [&busy_retries](auto&& op) {
+  // reported so saturation is visible. DRAINING is a different animal —
+  // the server is going away, so retrying against it would spin until
+  // shutdown; it is counted separately and rethrown as a typed outcome.
+  std::atomic<u64> draining_rejections{0};
+  auto with_backoff = [&busy_retries, &draining_rejections](auto&& op) {
     for (;;) {
       try {
         return op();
       } catch (const net::ServiceError& e) {
+        if (e.status() == net::Status::kDraining) {
+          draining_rejections.fetch_add(1);
+          throw;
+        }
         if (e.status() != net::Status::kBusy) throw;
         busy_retries.fetch_add(1);
         std::this_thread::sleep_for(std::chrono::milliseconds(2));
@@ -363,9 +372,11 @@ int main(int argc, char** argv) {
   row("compress", digests.compress);
   row("decompress", digests.decompress);
   std::printf("total       %llu requests in %.3f s  (%.1f req/s)  "
-              "ratio=%.3f  busy-retries=%llu  failures=%llu\n",
+              "ratio=%.3f  busy-retries=%llu  draining=%llu  "
+              "failures=%llu\n",
               static_cast<unsigned long long>(total_requests), wall, rps,
               ratio, static_cast<unsigned long long>(busy_retries.load()),
+              static_cast<unsigned long long>(draining_rejections.load()),
               static_cast<unsigned long long>(failures.load()));
 
   // Chaos scorecard: goodput counts only byte-identical round trips,
@@ -398,13 +409,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(ps.corruptions.load()));
     std::printf("resilience  goodput=%.1f MB/s  success=%.1f%% "
                 "(%llu/%llu pairs)  retries=%llu  reconnects=%llu  "
-                "timeouts=%llu  typed-errors=%llu\n",
+                "timeouts=%llu  busy=%llu  draining=%llu  "
+                "typed-errors=%llu\n",
                 goodput_mb_s, success_rate * 100.0,
                 static_cast<unsigned long long>(pairs_ok),
                 static_cast<unsigned long long>(pairs_attempted),
                 static_cast<unsigned long long>(totals.retries.load()),
                 static_cast<unsigned long long>(totals.reconnects.load()),
                 static_cast<unsigned long long>(totals.timeouts.load()),
+                static_cast<unsigned long long>(totals.busy.load()),
+                static_cast<unsigned long long>(totals.draining.load()),
                 static_cast<unsigned long long>(typed_errors.load()));
   }
 

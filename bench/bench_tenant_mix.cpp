@@ -1,0 +1,300 @@
+// Multi-tenant mix bench for the tenancy-enabled compression service:
+// N tenants — each a CSNP v3 client with its own tenant id, scheduling
+// priority, and error bound — share one ceresz_server wafer
+// coordinator, and the bench asserts the tentpole property end to end:
+// every tenant's bytes under space-sharing are identical to its solo
+// (local engine) run at the same bound, while per-tenant p50/p95/p99
+// latency is reported and regression-gated.
+//
+//   bench_tenant_mix [--port P [--host H]] [--tenants N] [--requests M]
+//                    [--elems E] [--workers W] [--history F]
+//                    [--connect-timeout-ms T]
+//
+// With --port the bench drives an already-running daemon started with
+// --tenants (the CI tenant-mix smoke step); without it, a ServiceServer
+// with tenancy enabled is hosted in-process on an ephemeral port.
+//
+// Tenants cycle priorities interactive → standard → batch and use
+// distinct relative bounds (1e-2 / id), so the mix genuinely exercises
+// per-tenant ε routing, not one configuration three times. A tenant the
+// coordinator sheds (BUSY) backs off and retries — shed counts land in
+// the report so admission pressure is visible.
+//
+// With --history F, records land under bench="tenant_mix" with a wide
+// warn-only noise band (5.0): shared-runner wall clock plus admission
+// ordering make latency here advisory — the hard failure condition is
+// byte divergence, enforced by exit code.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/analysis/digest.h"
+
+using namespace ceresz;
+
+namespace {
+
+struct Args {
+  std::string host = "127.0.0.1";
+  u16 port = 0;  ///< 0 = self-host a tenancy-enabled server
+  u32 tenants = 3;
+  u32 requests = 8;  ///< compress+decompress pairs per tenant
+  u64 elems = u64{64} * 1024;
+  u32 workers = 2;
+  u32 connect_timeout_ms = 0;
+  std::string history_path;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_tenant_mix [--port P [--host H]] [--tenants N]\n"
+               "                        [--requests M] [--elems E] "
+               "[--workers W]\n"
+               "                        [--history F] "
+               "[--connect-timeout-ms T]\n");
+  return 2;
+}
+
+std::vector<f32> smooth_signal(u64 n, u64 seed) {
+  Rng rng(seed);
+  std::vector<f32> v(n);
+  for (u64 i = 0; i < n; ++i) {
+    const f64 x = static_cast<f64>(i) / 64.0;
+    v[i] = static_cast<f32>(std::sin(x) + 0.4 * std::cos(2.7 * x) +
+                            0.01 * rng.next_gaussian());
+  }
+  return v;
+}
+
+void connect_with_retry(net::CereszClient& client, const std::string& host,
+                        u16 port) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      client.connect(host, port);
+      return;
+    } catch (const Error&) {
+      if (attempt >= 50) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+}
+
+u8 priority_for(u32 tenant_index) {
+  switch (tenant_index % 3) {
+    case 0: return net::kPriorityInteractive;
+    case 1: return net::kPriorityStandard;
+    default: return net::kPriorityBatch;
+  }
+}
+
+const char* priority_label(u8 p) {
+  return p == net::kPriorityInteractive ? "interactive"
+         : p == net::kPriorityBatch     ? "batch"
+                                        : "standard";
+}
+
+/// Everything one tenant measured, merged after its thread joins.
+struct TenantReport {
+  obs::analysis::LatencyDigest compress;
+  obs::analysis::LatencyDigest decompress;
+  u64 busy_retries = 0;
+  u64 pairs_ok = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* s = nullptr;
+    if (a == "--host" && (s = value())) {
+      args.host = s;
+    } else if (a == "--port" && (s = value())) {
+      args.port = static_cast<u16>(std::atoi(s));
+    } else if (a == "--tenants" && (s = value())) {
+      args.tenants = static_cast<u32>(std::atoi(s));
+    } else if (a == "--requests" && (s = value())) {
+      args.requests = static_cast<u32>(std::atoi(s));
+    } else if (a == "--elems" && (s = value())) {
+      args.elems = static_cast<u64>(std::atoll(s));
+    } else if (a == "--workers" && (s = value())) {
+      args.workers = static_cast<u32>(std::atoi(s));
+    } else if (a == "--connect-timeout-ms" && (s = value())) {
+      args.connect_timeout_ms = static_cast<u32>(std::atoi(s));
+    } else if (a == "--history" && (s = value())) {
+      args.history_path = s;
+    } else {
+      return usage();
+    }
+  }
+  if (args.tenants == 0 || args.requests == 0 || args.elems == 0) {
+    return usage();
+  }
+
+  std::unique_ptr<net::ServiceServer> self_hosted;
+  u16 port = args.port;
+  if (port == 0) {
+    net::ServerOptions sopt;
+    sopt.workers = args.workers;
+    sopt.tenancy.enabled = true;
+    sopt.tenancy.max_tenants = args.tenants;
+    self_hosted = std::make_unique<net::ServiceServer>(std::move(sopt));
+    self_hosted->start();
+    port = self_hosted->port();
+    std::printf("# self-hosted tenancy-enabled ceresz_server on "
+                "127.0.0.1:%u (workers=%u, max-tenants=%u)\n",
+                static_cast<unsigned>(port), args.workers, args.tenants);
+  } else {
+    std::printf("# driving ceresz_server at %s:%u (start it with --tenants)\n",
+                args.host.c_str(), static_cast<unsigned>(port));
+  }
+
+  net::RetryPolicy policy;
+  policy.connect_timeout_ms = args.connect_timeout_ms;
+
+  std::atomic<u64> failures{0};
+  std::vector<TenantReport> reports(args.tenants);
+  std::mutex report_mu;
+
+  const f64 wall = bench::time_seconds([&] {
+    std::vector<std::thread> threads;
+    threads.reserve(args.tenants);
+    for (u32 t = 0; t < args.tenants; ++t) {
+      threads.emplace_back([&, t] {
+        const u32 tenant_id = t + 1;
+        const u8 priority = priority_for(t);
+        // Distinct bound per tenant: ε routing is part of what the mix
+        // must prove, down to the exact bytes.
+        const core::ErrorBound bound =
+            core::ErrorBound::relative(1e-2 / static_cast<f64>(tenant_id));
+        TenantReport report;
+        net::CereszClient client(policy);
+        client.set_tenant(tenant_id, priority);
+        try {
+          connect_with_retry(client, args.host, port);
+
+          const auto data = smooth_signal(args.elems, /*seed=*/3000 + t);
+          // Solo reference: the tenant alone on the default engine path
+          // — the same bytes the CLI and an untenanted request produce.
+          const engine::ParallelEngine local{engine::EngineOptions{}};
+          const auto solo = local.compress(data, bound);
+          const auto solo_back = local.decompress(solo.stream);
+
+          for (u32 r = 0; r < args.requests; ++r) {
+            std::vector<u8> stream;
+            std::vector<f32> values;
+            f64 compress_s = 0.0;
+            f64 decompress_s = 0.0;
+            // A shed tenant (BUSY, e.g. while the coordinator has no
+            // row for it yet) backs off and retries; anything else is
+            // a real failure on a healthy network.
+            for (;;) {
+              try {
+                const u64 t0 = now_ns();
+                stream = client.compress(data, bound);
+                compress_s = static_cast<f64>(now_ns() - t0) * 1e-9;
+                const u64 t1 = now_ns();
+                values = client.decompress(stream);
+                decompress_s = static_cast<f64>(now_ns() - t1) * 1e-9;
+                break;
+              } catch (const net::ServiceError& e) {
+                if (e.status() != net::Status::kBusy) throw;
+                ++report.busy_retries;
+                std::this_thread::sleep_for(std::chrono::milliseconds(5));
+              }
+            }
+
+            const bool ok =
+                stream == solo.stream &&
+                values.size() == solo_back.values.size() &&
+                std::memcmp(values.data(), solo_back.values.data(),
+                            values.size() * sizeof(f32)) == 0;
+            if (!ok) {
+              failures.fetch_add(1);
+              std::fprintf(stderr,
+                           "tenant %u request %u: shared output differs "
+                           "from the solo run\n",
+                           tenant_id, r);
+            } else {
+              ++report.pairs_ok;
+            }
+            report.compress.observe(compress_s);
+            report.decompress.observe(decompress_s);
+          }
+        } catch (const std::exception& e) {
+          failures.fetch_add(1);
+          std::fprintf(stderr, "tenant %u: %s\n", tenant_id, e.what());
+        }
+        std::lock_guard lock(report_mu);
+        reports[t] = std::move(report);
+      });
+    }
+    for (auto& th : threads) th.join();
+  });
+
+  const u64 total_requests = u64{args.tenants} * args.requests * 2;
+  const f64 rps = wall > 0.0 ? static_cast<f64>(total_requests) / wall : 0.0;
+  std::printf("# tenants=%u requests/tenant=%u elems=%llu (%.1f MB)\n",
+              args.tenants, args.requests,
+              static_cast<unsigned long long>(args.elems),
+              static_cast<f64>(args.elems) * sizeof(f32) / 1e6);
+
+  // The gate records track the WORST tenant's p95: one starved lease is
+  // exactly the regression a multi-tenant scheduler can introduce while
+  // the aggregate mean stays flat.
+  f64 worst_compress_p95 = 0.0;
+  f64 worst_decompress_p95 = 0.0;
+  u64 busy_total = 0;
+  u64 pairs_ok = 0;
+  for (u32 t = 0; t < args.tenants; ++t) {
+    const TenantReport& r = reports[t];
+    std::printf("tenant %-3u %-11s  ok=%-4llu  busy=%-4llu  "
+                "compress p50=%7.3f p95=%7.3f p99=%7.3f ms  "
+                "decompress p50=%7.3f p95=%7.3f p99=%7.3f ms\n",
+                t + 1, priority_label(priority_for(t)),
+                static_cast<unsigned long long>(r.pairs_ok),
+                static_cast<unsigned long long>(r.busy_retries),
+                r.compress.p50() * 1e3, r.compress.p95() * 1e3,
+                r.compress.p99() * 1e3, r.decompress.p50() * 1e3,
+                r.decompress.p95() * 1e3, r.decompress.p99() * 1e3);
+    worst_compress_p95 = std::max(worst_compress_p95, r.compress.p95());
+    worst_decompress_p95 = std::max(worst_decompress_p95, r.decompress.p95());
+    busy_total += r.busy_retries;
+    pairs_ok += r.pairs_ok;
+  }
+  std::printf("total      %llu requests in %.3f s  (%.1f req/s)  "
+              "ok-pairs=%llu  busy-retries=%llu  failures=%llu\n",
+              static_cast<unsigned long long>(total_requests), wall, rps,
+              static_cast<unsigned long long>(pairs_ok),
+              static_cast<unsigned long long>(busy_total),
+              static_cast<unsigned long long>(failures.load()));
+
+  // Warn-only gate records: wide bands (5.0) because shared-runner wall
+  // clock plus admission ordering dominate; byte identity — the hard
+  // property — is enforced by the exit code, not the gate.
+  bench::HistoryWriter history(args.history_path);
+  const f64 kMixNoise = 5.0;
+  history.add("tenant_mix", "compress_p95_ms", worst_compress_p95 * 1e3,
+              "ms", "lower", kMixNoise);
+  history.add("tenant_mix", "decompress_p95_ms", worst_decompress_p95 * 1e3,
+              "ms", "lower", kMixNoise);
+  history.add("tenant_mix", "requests_per_sec", rps, "req/s", "higher",
+              kMixNoise);
+  history.add("tenant_mix", "busy_retries", static_cast<f64>(busy_total),
+              "count", "lower", kMixNoise);
+
+  if (self_hosted) self_hosted->stop();
+  return failures.load() == 0 ? 0 : 1;
+}

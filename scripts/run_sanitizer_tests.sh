@@ -2,8 +2,10 @@
 # Build with a sanitizer and run the concurrency-sensitive tests: the
 # engine, the checksum kernels, the fault-injection chaos suite, the
 # observability registry/tracer suite, the network service suite
-# (reader/worker threads, BufferPool, shutdown paths), and the network
-# chaos suite (ChaosProxy relay threads, client retry loop, drain).
+# (reader/worker threads, BufferPool, shutdown paths), the network
+# chaos suite (ChaosProxy relay threads, client retry loop, drain), and
+# the tenant coordinator suite (mutex-guarded lease bookkeeping racing
+# the server's reader threads).
 #
 #   scripts/run_sanitizer_tests.sh thread  [build-dir]   # ThreadSanitizer
 #   scripts/run_sanitizer_tests.sh address [build-dir]   # AddressSanitizer
@@ -41,7 +43,7 @@ cmake -B "$BUILD_DIR" -S . \
 
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target test_engine test_checksum test_fault_injection test_obs \
-  test_service test_chaos
+  test_service test_chaos test_tenant
 
 cd "$BUILD_DIR"
 if [ "$MODE" = "thread" ]; then
@@ -50,5 +52,5 @@ else
   export ASAN_OPTIONS="halt_on_error=1 detect_stack_use_after_return=1"
 fi
 ctest --output-on-failure \
-  -R '^test_(engine|checksum|fault_injection|obs|service|chaos)$'
+  -R '^test_(engine|checksum|fault_injection|obs|service|chaos|tenant)$'
 echo "${MODE} sanitizer tests passed."

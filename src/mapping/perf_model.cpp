@@ -34,9 +34,17 @@ PerfPrediction PerfModel::predict_degraded(const PipelinePlan& plan,
                                            u32 pipes_per_row,
                                            u64 blocks_total, u32 block_extent,
                                            u32 block_bytes) const {
-  CERESZ_CHECK(surviving_rows >= 1 && pipes_per_row >= 1,
-               "PerfModel: a degraded mesh still needs at least one "
-               "surviving pipeline");
+  if (surviving_rows == 0 || pipes_per_row == 0) {
+    // Every row dead, or the faults cut every pipeline: the mesh can run
+    // nothing. Return the typed zero-throughput verdict (the C1/C2
+    // constants are still reported — they describe the hardware, not the
+    // placement) instead of dividing the workload by zero pipelines.
+    PerfPrediction p;
+    p.feasible = false;
+    p.c1 = relay_c1(block_extent);
+    p.c2 = forward_c2(block_extent);
+    return p;
+  }
   return predict_mesh(plan, surviving_rows, pipes_per_row, blocks_total,
                       block_extent, block_bytes);
 }
@@ -69,8 +77,12 @@ PerfPrediction PerfModel::predict_mesh(const PipelinePlan& plan, u32 rows,
   p.rounds = (blocks_per_row + n_pipes - 1) / n_pipes;
   p.total_cycles = p.rounds * p.round_cycles;
   p.seconds = wse_.seconds(p.total_cycles);
-  p.throughput_gbps = static_cast<f64>(blocks_total) * block_bytes /
-                      p.seconds / 1.0e9;
+  // An empty workload (blocks_total = 0) runs zero rounds in zero
+  // seconds; report zero throughput rather than 0/0.
+  p.throughput_gbps = p.seconds > 0.0
+                          ? static_cast<f64>(blocks_total) * block_bytes /
+                                p.seconds / 1.0e9
+                          : 0.0;
   return p;
 }
 

@@ -24,6 +24,13 @@
 namespace ceresz::mapping {
 
 struct PerfPrediction {
+  /// False when the modeled mesh cannot run at all (no surviving rows or
+  /// no surviving pipelines after faults): every cycle count is zero and
+  /// throughput_gbps is 0 — a typed "this placement delivers nothing"
+  /// verdict instead of a division-by-zero extrapolation. Admission
+  /// control (src/tenant) branches on this before comparing throughput
+  /// against a quota.
+  bool feasible = true;
   Cycles c1 = 0;            ///< per-block software relay cost at one head
   Cycles c2 = 0;            ///< per-block intermediate forward cost
   // Per-term breakdown of one round (the quantities the trace-analytics
@@ -62,6 +69,11 @@ class PerfModel {
   /// runs `pipes_per_row` pipelines. The round cost is governed by that
   /// narrowest row (it deals the same block share with fewer pipelines),
   /// so the prediction is an upper bound for mixed-width survivors.
+  /// A mesh with zero surviving rows or zero pipelines per row (every
+  /// row dead, or the faults cut every pipeline) is not an error — it
+  /// returns a `feasible = false` zero-throughput prediction, so
+  /// admission/remap logic can treat "this placement delivers nothing"
+  /// as a comparable verdict rather than an exception.
   PerfPrediction predict_degraded(const PipelinePlan& plan,
                                   u32 surviving_rows, u32 pipes_per_row,
                                   u64 blocks_total, u32 block_extent,

@@ -80,7 +80,7 @@ std::vector<u8> CereszClient::attempt_once(Opcode op, u64 id,
                                            std::span<const u8> payload) {
   CERESZ_CHECK(sock_.valid(), "CereszClient: not connected");
   frame_.clear();
-  append_frame(frame_, op, Status::kOk, id, payload);
+  append_frame(frame_, op, Status::kOk, id, payload, tag_);
   sock_.write_all(frame_);
 
   std::array<u8, kFrameHeaderBytes> hdr_bytes;

@@ -154,6 +154,18 @@ class CereszClient {
 
   void close() { sock_.close(); }
 
+  /// Stamp every subsequent request with a tenant id and scheduling
+  /// priority (the CSNP v3 tenant fields). Tenant 0 — the default — is
+  /// the untenanted legacy path; a tenancy-enabled server routes nonzero
+  /// ids through its WaferCoordinator, which may shed a tenant whose
+  /// quota cannot be met with a BUSY error frame (surfaced here as a
+  /// retryable ServiceError, exactly like in-flight-limit shedding).
+  void set_tenant(u32 tenant_id, u8 priority = kPriorityStandard) {
+    tag_ = TenantTag{tenant_id, priority};
+  }
+
+  const TenantTag& tenant() const { return tag_; }
+
   /// Round-trip a PING; returns the wall-clock round-trip in seconds.
   /// Also refreshes server_state().
   f64 ping();
@@ -204,6 +216,7 @@ class CereszClient {
   Rng jitter_;
 
   Socket sock_;
+  TenantTag tag_;  ///< stamped into every request frame (v3)
   std::string host_;
   u16 port_ = 0;
   bool ever_connected_ = false;

@@ -104,6 +104,11 @@ void append_frame_header(std::vector<u8>& out, const FrameHeader& header) {
   append_u64(out, header.request_id);
   append_u64(out, header.payload_bytes);
   append_u32(out, header.payload_crc);
+  append_u32(out, header.tenant.tenant_id);
+  out.push_back(header.tenant.priority);
+  out.push_back(0);  // reserved
+  out.push_back(0);  // reserved
+  out.push_back(0);  // reserved
 }
 
 FrameHeader parse_frame_header(std::span<const u8> bytes, u64 max_payload) {
@@ -130,6 +135,12 @@ FrameHeader parse_frame_header(std::span<const u8> bytes, u64 max_payload) {
   CERESZ_CHECK(h.payload_bytes <= max_payload,
                "net: declared payload exceeds the frame-size bound");
   h.payload_crc = read_u32(p + 24);
+  h.tenant.tenant_id = read_u32(p + 28);
+  h.tenant.priority = p[32];
+  CERESZ_CHECK(h.tenant.priority <= kPriorityMax,
+               "net: unknown frame priority");
+  CERESZ_CHECK(p[33] == 0 && p[34] == 0 && p[35] == 0,
+               "net: frame header has reserved bytes set");
   return h;
 }
 
@@ -237,13 +248,15 @@ void decode_decompress_response(std::span<const u8> payload,
 // --- whole frames -----------------------------------------------------------
 
 void append_frame(std::vector<u8>& out, Opcode op, Status status,
-                  u64 request_id, std::span<const u8> payload) {
+                  u64 request_id, std::span<const u8> payload,
+                  TenantTag tag) {
   FrameHeader h;
   h.opcode = op;
   h.status = status;
   h.request_id = request_id;
   h.payload_bytes = payload.size();
   h.payload_crc = payload.empty() ? 0 : crc32c(payload);
+  h.tenant = tag;
   out.reserve(out.size() + kFrameHeaderBytes + payload.size());
   append_frame_header(out, h);
   out.insert(out.end(), payload.begin(), payload.end());
@@ -254,11 +267,13 @@ bool payload_crc_ok(const FrameHeader& header, std::span<const u8> payload) {
 }
 
 void append_error_frame(std::vector<u8>& out, Opcode op, Status status,
-                        u64 request_id, std::string_view message) {
+                        u64 request_id, std::string_view message,
+                        TenantTag tag) {
   append_frame(out, op, status, request_id,
                std::span<const u8>(
                    reinterpret_cast<const u8*>(message.data()),
-                   message.size()));
+                   message.size()),
+               tag);
 }
 
 }  // namespace ceresz::net

@@ -3,10 +3,10 @@
 // throughout (matching the .f32/SDRBench and chunk-container
 // conventions of the rest of the codebase).
 //
-// Frame layout (28-byte header, then `payload_bytes` of payload):
+// Frame layout (36-byte header, then `payload_bytes` of payload):
 //
 //   0  u32 magic "CSNP"
-//   4  u8  version (= 2)
+//   4  u8  version (= 3)
 //   5  u8  opcode            (Opcode)
 //   6  u16 status            (Status; 0 in requests, result code in
 //                             responses — nonzero = error frame whose
@@ -15,8 +15,13 @@
 //   16 u64 payload_bytes
 //   24 u32 payload_crc       (CRC32C of the payload bytes; 0-byte
 //                             payloads carry 0)
+//   28 u32 tenant_id         (0 = untenanted legacy traffic; echoed in
+//                             the response)
+//   32 u8  priority          (kPriorityBatch/Standard/Interactive;
+//                             echoed in the response)
+//   33 u8[3] reserved        (must be 0 — strict, like DECOMPRESS flags)
 //
-// Version history: v1 had a 24-byte header with no payload CRC. v2 adds
+// Version history: v1 had a 24-byte header with no payload CRC. v2 added
 // end-to-end payload integrity — every request and response payload is
 // covered by CRC32C, so a bit flipped anywhere on the wire is *detected*
 // (server: MALFORMED error frame on a still-usable connection; client:
@@ -24,7 +29,14 @@
 // wrong bytes. The compressed container's own per-chunk CRCs cover the
 // data at rest; the frame CRC covers it in flight, including the frames
 // (COMPRESS requests, DECOMPRESS responses) that carry raw f32 payloads
-// with no internal checksum.
+// with no internal checksum. v3 adds multi-tenancy: a tenant id plus a
+// scheduling priority in every frame, so the server's WaferCoordinator
+// (src/tenant) can route requests to per-tenant wafer leases and account
+// them per tenant. Tenant id 0 is the untenanted legacy path — a v3
+// client that never calls set_tenant behaves exactly like a v2 one.
+// The three reserved bytes must be zero (checked strictly, the same
+// policy as the DECOMPRESS flags word) so future fields cannot be
+// smuggled past old parsers.
 //
 // Opcodes and payloads (request -> response):
 //   PING        empty -> empty. Liveness + RTT probe.
@@ -54,8 +66,17 @@
 
 namespace ceresz::net {
 
-inline constexpr u8 kProtocolVersion = 2;
-inline constexpr std::size_t kFrameHeaderBytes = 28;
+inline constexpr u8 kProtocolVersion = 3;
+inline constexpr std::size_t kFrameHeaderBytes = 36;
+
+// Wire values of the frame priority byte. Kept as named u8 constants
+// (not an enum class) because the net layer only transports them; the
+// typed scheduling semantics live in tenant::Priority, which uses the
+// same numeric values.
+inline constexpr u8 kPriorityBatch = 0;
+inline constexpr u8 kPriorityStandard = 1;
+inline constexpr u8 kPriorityInteractive = 2;
+inline constexpr u8 kPriorityMax = kPriorityInteractive;
 
 /// Anti-bomb bound on payload_bytes: a frame can carry at most 1 GiB.
 /// Servers may tighten this (ServerOptions::max_frame_payload); parsers
@@ -89,6 +110,14 @@ enum class Status : u16 {
 const char* opcode_name(Opcode op);
 const char* status_name(Status st);
 
+/// Who a frame belongs to: the tenant routing fields of the v3 header.
+/// Defaults are the untenanted legacy path (tenant 0, standard
+/// priority); servers echo the request's tag back in the response.
+struct TenantTag {
+  u32 tenant_id = 0;
+  u8 priority = kPriorityStandard;
+};
+
 struct FrameHeader {
   u8 version = kProtocolVersion;
   Opcode opcode = Opcode::kPing;
@@ -96,9 +125,10 @@ struct FrameHeader {
   u64 request_id = 0;
   u64 payload_bytes = 0;
   u32 payload_crc = 0;  ///< CRC32C of the payload (0 for empty payloads)
+  TenantTag tenant{};   ///< v3: tenant id + priority (0/standard = legacy)
 };
 
-/// Append the 28 header bytes to `out`.
+/// Append the 36 header bytes to `out`.
 void append_frame_header(std::vector<u8>& out, const FrameHeader& header);
 
 /// Parse and validate a frame header: magic, version, known opcode, and
@@ -163,9 +193,11 @@ void decode_decompress_response(std::span<const u8> payload,
 
 /// Append a complete frame (header + payload) to `out`; the header's
 /// payload_crc is computed from `payload`, so frames built through this
-/// function always verify.
+/// function always verify. `tag` stamps the tenant fields (defaults to
+/// the untenanted legacy path).
 void append_frame(std::vector<u8>& out, Opcode op, Status status,
-                  u64 request_id, std::span<const u8> payload);
+                  u64 request_id, std::span<const u8> payload,
+                  TenantTag tag = {});
 
 /// Does `payload` match the CRC its header declared? Called by both
 /// peers after the payload read, before any decoding.
@@ -173,6 +205,7 @@ bool payload_crc_ok(const FrameHeader& header, std::span<const u8> payload);
 
 /// Append a complete error frame whose payload is `message`.
 void append_error_frame(std::vector<u8>& out, Opcode op, Status status,
-                        u64 request_id, std::string_view message);
+                        u64 request_id, std::string_view message,
+                        TenantTag tag = {});
 
 }  // namespace ceresz::net

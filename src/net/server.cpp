@@ -14,6 +14,7 @@
 #include "engine/bounded_queue.h"
 #include "net/buffer_pool.h"
 #include "net/socket.h"
+#include "tenant/coordinator.h"
 
 namespace ceresz::net {
 
@@ -46,6 +47,7 @@ struct ServerMetrics {
   obs::Counter& crc_rejected;
   obs::Counter& drain_rejected;
   obs::Gauge& draining;
+  obs::Counter& tenant_shed;
 
   explicit ServerMetrics(obs::MetricsRegistry& reg)
       : connections(reg.counter(kMetricConnections)),
@@ -75,7 +77,8 @@ struct ServerMetrics {
         io_timeouts(reg.counter(kMetricIoTimeouts)),
         crc_rejected(reg.counter(kMetricPayloadCrcRejected)),
         drain_rejected(reg.counter(kMetricDrainRejected)),
-        draining(reg.gauge(kMetricDraining)) {}
+        draining(reg.gauge(kMetricDraining)),
+        tenant_shed(reg.counter(kMetricTenantShed)) {}
 };
 
 /// One client connection. The reader thread owns the receive side; the
@@ -116,7 +119,16 @@ struct ServiceServer::Impl {
         m_(server.registry_),
         max_inflight_(max_inflight),
         pool_(options_.pool_buffers, &m_.pool_hits, &m_.pool_misses),
-        queue_(static_cast<std::size_t>(max_inflight)) {}
+        queue_(static_cast<std::size_t>(max_inflight)) {
+    if (options_.tenancy.enabled) {
+      tenant::CoordinatorOptions copt;
+      copt.rows = options_.tenancy.wafer_rows;
+      copt.cols = options_.tenancy.wafer_cols;
+      copt.max_tenants = options_.tenancy.max_tenants;
+      copt.metrics = &server.registry_;
+      coordinator_ = std::make_unique<tenant::WaferCoordinator>(copt);
+    }
+  }
 
   ServiceServer& server_;
   const ServerOptions& options_;
@@ -124,6 +136,7 @@ struct ServiceServer::Impl {
   const u64 max_inflight_;
   BufferPool pool_;
   engine::BoundedQueue<PendingRequest> queue_;  // after pool_: drains first
+  std::unique_ptr<tenant::WaferCoordinator> coordinator_;
 
   std::unique_ptr<TcpListener> listener_;
   std::thread accept_thread_;
@@ -153,11 +166,36 @@ struct ServiceServer::Impl {
   }
 
   void send_error(Connection& conn, Opcode op, Status status, u64 request_id,
-                  std::string_view message) {
+                  std::string_view message, TenantTag tag = {}) {
     m_.error_responses.add(1);
     PooledBuffer out = pool_.acquire();
-    append_error_frame(*out, op, status, request_id, message);
+    append_error_frame(*out, op, status, request_id, message, tag);
     send(conn, *out);
+  }
+
+  // --- tenancy --------------------------------------------------------------
+
+  /// First sight of a tenant admits it against the configured quota
+  /// (scaled by the frame's priority); later frames just check the
+  /// lease. Returns false — with the coordinator's verdict in `reason`
+  /// — when the tenant has no lease and cannot get one right now.
+  bool tenant_admitted(const FrameHeader& header, std::string& reason) {
+    const tenant::TenantId id = header.tenant.tenant_id;
+    if (coordinator_->lease_of(id).has_value()) return true;
+    tenant::TenantSpec spec;
+    spec.id = id;
+    spec.priority = static_cast<tenant::Priority>(header.tenant.priority);
+    const f64 scale = spec.priority == tenant::Priority::kInteractive ? 2.0
+                      : spec.priority == tenant::Priority::kBatch     ? 0.5
+                                                                      : 1.0;
+    spec.min_throughput_gbps = options_.tenancy.default_quota_gbps * scale;
+    const tenant::AdmissionResult r = coordinator_->admit(spec);
+    if (r.verdict == tenant::AdmissionVerdict::kAdmitted) return true;
+    // Two readers can race the first admission; the loser's "already
+    // active" rejection means the tenant IS admitted.
+    if (coordinator_->lease_of(id).has_value()) return true;
+    reason = r.reason;
+    return false;
   }
 
   // --- admission ------------------------------------------------------------
@@ -232,7 +270,8 @@ struct ServiceServer::Impl {
         send_error(*conn, header.opcode, Status::kMalformed,
                    header.request_id,
                    "request payload failed its CRC check "
-                   "(in-flight corruption)");
+                   "(in-flight corruption)",
+                   header.tenant);
         continue;
       }
 
@@ -248,7 +287,8 @@ struct ServiceServer::Impl {
           append_frame(*out, Opcode::kPing, Status::kOk, header.request_id,
                        std::span<const u8>(
                            reinterpret_cast<const u8*>(state.data()),
-                           state.size()));
+                           state.size()),
+                       header.tenant);
           send(*conn, *out);
           break;
         }
@@ -260,7 +300,8 @@ struct ServiceServer::Impl {
           append_frame(*out, Opcode::kStats, Status::kOk, header.request_id,
                        std::span<const u8>(
                            reinterpret_cast<const u8*>(json.data()),
-                           json.size()));
+                           json.size()),
+                       header.tenant);
           send(*conn, *out);
           break;
         }
@@ -273,11 +314,26 @@ struct ServiceServer::Impl {
             m_.drain_rejected.add(1);
             send_error(*conn, header.opcode, Status::kDraining,
                        header.request_id,
-                       "server is draining; no new work accepted");
+                       "server is draining; no new work accepted",
+                       header.tenant);
             conn->open.store(false, std::memory_order_release);
             conn->sock.shutdown_both();
             m_.active_connections.add(-1.0);
             return;
+          }
+          // Tenant admission (CSNP v3): a nonzero tenant id must hold a
+          // wafer lease before its work is accepted. A tenant the
+          // coordinator rejects or queues is shed with BUSY — the same
+          // retryable verdict as the in-flight limit, but decided by
+          // the Formula (2)-(4) prediction instead of a counter.
+          if (coordinator_ != nullptr && header.tenant.tenant_id != 0) {
+            std::string reason;
+            if (!tenant_admitted(header, reason)) {
+              m_.tenant_shed.add(1);
+              send_error(*conn, header.opcode, Status::kBusy,
+                         header.request_id, reason, header.tenant);
+              break;
+            }
           }
           // Bounded in-flight admission (queued + executing). Beyond
           // the limit, shed load NOW: an explicit BUSY beats an
@@ -289,7 +345,8 @@ struct ServiceServer::Impl {
             m_.busy_rejected.add(1);
             send_error(*conn, header.opcode, Status::kBusy,
                        header.request_id,
-                       "server is at its in-flight request limit");
+                       "server is at its in-flight request limit",
+                       header.tenant);
             break;
           }
           note_inflight(now_inflight);
@@ -357,6 +414,7 @@ struct ServiceServer::Impl {
   void handle(PendingRequest& req) {
     const Opcode op = req.header.opcode;
     const u64 id = req.header.request_id;
+    const TenantTag tag = req.header.tenant;
     Connection& conn = *req.conn;
     obs::Histogram& latency = op == Opcode::kCompress
                                   ? m_.compress_seconds
@@ -365,7 +423,22 @@ struct ServiceServer::Impl {
         .add(1);
 
     const auto finish = [&] {
-      latency.observe(static_cast<f64>(now_ns() - req.arrival_ns) * 1e-9);
+      const f64 seconds =
+          static_cast<f64>(now_ns() - req.arrival_ns) * 1e-9;
+      latency.observe(seconds);
+      if (coordinator_ != nullptr && tag.tenant_id != 0) {
+        // Per-tenant accounting next to the coordinator's lease
+        // gauges: a queue-inclusive latency histogram and a request
+        // counter per tenant id.
+        server_.registry_
+            .counter(tenant::tenant_metric_name(tag.tenant_id,
+                                                "requests_total"))
+            .add(1);
+        server_.registry_
+            .histogram(tenant::tenant_metric_name(tag.tenant_id, "seconds"),
+                       obs::MetricsRegistry::default_seconds_buckets())
+            .observe(seconds);
+      }
     };
 
     u64 deadline_ns = 0;
@@ -376,7 +449,8 @@ struct ServiceServer::Impl {
         if (deadline_ns != 0 && now_ns() >= deadline_ns) {
           m_.deadline_expired.add(1);
           send_error(conn, op, Status::kDeadlineExpired, id,
-                     "request deadline expired before execution started");
+                     "request deadline expired before execution started",
+                     tag);
           finish();
           return;
         }
@@ -386,12 +460,12 @@ struct ServiceServer::Impl {
         if (deadline_ns != 0 && now_ns() >= deadline_ns) {
           m_.deadline_expired.add(1);
           send_error(conn, op, Status::kDeadlineExpired, id,
-                     "request deadline expired during compression");
+                     "request deadline expired during compression", tag);
           finish();
           return;
         }
         PooledBuffer out = pool_.acquire();
-        append_frame(*out, op, Status::kOk, id, result.stream);
+        append_frame(*out, op, Status::kOk, id, result.stream, tag);
         send(conn, *out);
       } else {
         const DecompressRequest dreq =
@@ -400,7 +474,8 @@ struct ServiceServer::Impl {
         if (deadline_ns != 0 && now_ns() >= deadline_ns) {
           m_.deadline_expired.add(1);
           send_error(conn, op, Status::kDeadlineExpired, id,
-                     "request deadline expired before execution started");
+                     "request deadline expired before execution started",
+                     tag);
           finish();
           return;
         }
@@ -409,14 +484,14 @@ struct ServiceServer::Impl {
         if (deadline_ns != 0 && now_ns() >= deadline_ns) {
           m_.deadline_expired.add(1);
           send_error(conn, op, Status::kDeadlineExpired, id,
-                     "request deadline expired during decompression");
+                     "request deadline expired during decompression", tag);
           finish();
           return;
         }
         PooledBuffer out = pool_.acquire();
         std::vector<u8> body;
         append_decompress_response(body, result.values);
-        append_frame(*out, op, Status::kOk, id, body);
+        append_frame(*out, op, Status::kOk, id, body, tag);
         send(conn, *out);
       }
     } catch (const Error& e) {
@@ -437,9 +512,9 @@ struct ServiceServer::Impl {
       } else {
         status = Status::kInternal;
       }
-      send_error(conn, op, status, id, e.what());
+      send_error(conn, op, status, id, e.what(), tag);
     } catch (const std::exception& e) {
-      send_error(conn, op, Status::kInternal, id, e.what());
+      send_error(conn, op, Status::kInternal, id, e.what(), tag);
     }
     finish();
   }
@@ -585,6 +660,10 @@ u64 ServiceServer::inflight() const {
 
 bool ServiceServer::wait_idle(u32 timeout_ms) {
   return impl_ == nullptr || impl_->wait_idle(timeout_ms);
+}
+
+tenant::WaferCoordinator* ServiceServer::coordinator() {
+  return impl_ != nullptr ? impl_->coordinator_.get() : nullptr;
 }
 
 u16 ServiceServer::port() const {

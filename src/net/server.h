@@ -52,6 +52,10 @@
 #include "net/protocol.h"
 #include "obs/metrics.h"
 
+namespace ceresz::tenant {
+class WaferCoordinator;
+}  // namespace ceresz::tenant
+
 namespace ceresz::net {
 
 // Canonical server metric names (Prometheus families; see
@@ -102,6 +106,8 @@ inline constexpr const char* kMetricPayloadCrcRejected =
 inline constexpr const char* kMetricDrainRejected =
     "ceresz_server_drain_rejected_total";
 inline constexpr const char* kMetricDraining = "ceresz_server_draining";
+inline constexpr const char* kMetricTenantShed =
+    "ceresz_server_tenant_shed_total";
 
 struct ServerOptions {
   /// Port to bind on 127.0.0.1; 0 binds an ephemeral port (read it back
@@ -149,6 +155,30 @@ struct ServerOptions {
   /// through (null by default). `faults` is kept — chaos tests inject
   /// engine faults to exercise the service's deadline/error paths.
   engine::EngineOptions engine;
+
+  /// Multi-tenant wafer coordination (docs/tenancy.md). When enabled,
+  /// COMPRESS/DECOMPRESS frames carrying a nonzero tenant id (CSNP v3)
+  /// are routed through a WaferCoordinator: the first frame from a new
+  /// tenant admits it — a wafer lease sized by the Formula (2)-(4)
+  /// prediction against `default_quota_gbps` scaled by the frame's
+  /// priority — and a tenant the coordinator cannot place is shed with
+  /// a BUSY error frame carrying the admission verdict. Tenant id 0
+  /// (the default tag) always bypasses the coordinator, so legacy
+  /// clients are unaffected. The ceresz_tenant_* families land in the
+  /// server's registry next to ceresz_server_*.
+  struct TenancyOptions {
+    bool enabled = false;
+    /// The coordinated wafer's geometry. Sized like the test meshes,
+    /// not the full 750x994 wafer: leases must stay exactly simulable.
+    u32 wafer_rows = 12;
+    u32 wafer_cols = 8;
+    u32 max_tenants = 8;
+    /// Admission quota of a standard-priority tenant in GB/s;
+    /// interactive tenants ask for 2x, batch for 0.5x. 0 = best effort
+    /// (any free usable row admits).
+    f64 default_quota_gbps = 0.0;
+  };
+  TenancyOptions tenancy;
 };
 
 class ServiceServer {
@@ -197,6 +227,11 @@ class ServiceServer {
   /// families accumulated by per-request engine runs. Safe to snapshot
   /// concurrently with serving.
   obs::MetricsRegistry& metrics() { return registry_; }
+
+  /// The wafer coordinator when tenancy is enabled and the server is
+  /// running; nullptr otherwise. Thread-safe to use while serving
+  /// (tests inject fault storms into live leases through it).
+  tenant::WaferCoordinator* coordinator();
 
   const ServerOptions& options() const { return options_; }
 

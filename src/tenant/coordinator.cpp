@@ -1,0 +1,573 @@
+#include "tenant/coordinator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/timer.h"
+#include "core/stage.h"
+
+namespace ceresz::tenant {
+
+namespace {
+
+/// Format a throughput for verdict reasons without dragging <sstream>
+/// into the hot path. Three decimals is plenty for GB/s quotas.
+std::string gbps(f64 v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kBatch: return "batch";
+    case Priority::kStandard: return "standard";
+    case Priority::kInteractive: return "interactive";
+  }
+  return "unknown";
+}
+
+const char* verdict_name(AdmissionVerdict v) {
+  switch (v) {
+    case AdmissionVerdict::kAdmitted: return "ADMITTED";
+    case AdmissionVerdict::kQueued: return "QUEUED";
+    case AdmissionVerdict::kRejected: return "REJECTED";
+  }
+  return "unknown";
+}
+
+std::string tenant_metric_name(TenantId id, std::string_view suffix) {
+  std::string name = "ceresz_tenant_";
+  name += std::to_string(id);
+  name += '_';
+  name += suffix;
+  return name;
+}
+
+void declare_tenant_metrics(obs::MetricsRegistry& reg) {
+  reg.counter(kMetricTenantAdmitted);
+  reg.counter(kMetricTenantRejected);
+  reg.counter(kMetricTenantQueued);
+  reg.counter(kMetricTenantReleased);
+  reg.counter(kMetricTenantRemapped);
+  reg.counter(kMetricTenantQuotaViolations);
+  reg.gauge(kMetricTenantActive);
+}
+
+WaferCoordinator::WaferCoordinator(CoordinatorOptions options)
+    : options_(options), model_(options.wse) {
+  CERESZ_CHECK(options_.rows >= 1 && options_.cols >= 1,
+               "WaferCoordinator: empty wafer");
+  CERESZ_CHECK(options_.max_tenants >= 1,
+               "WaferCoordinator: need room for at least one tenant");
+  row_owner_.assign(options_.rows, 0);
+  if (options_.metrics != nullptr) declare_tenant_metrics(*options_.metrics);
+}
+
+void WaferCoordinator::bump(const char* name, f64 v) const {
+  if (options_.metrics != nullptr) options_.metrics->counter(name).add(v);
+}
+
+void WaferCoordinator::set_gauge(const std::string& name, f64 v) const {
+  if (options_.metrics != nullptr) options_.metrics->gauge(name).set(v);
+}
+
+// --- prediction helpers -----------------------------------------------------
+
+u32 WaferCoordinator::pipes_in_row_locked(u32 row, u32 pipeline_length) const {
+  // Traffic streams west to east: the first dead PE truncates the row's
+  // usable columns (the same rule as WaferMapper's plan_layout).
+  const std::optional<u32> dead = wafer_faults_.first_dead_col(row);
+  const u32 usable_cols = dead.has_value() ? *dead : options_.cols;
+  return usable_cols / pipeline_length;
+}
+
+mapping::PerfPrediction WaferCoordinator::predict_window_locked(
+    const mapping::PipelinePlan& plan, const TenantSpec& spec, u32 row_begin,
+    u32 row_count) const {
+  const u32 pl = plan.length();
+  u32 surviving = 0;
+  u32 min_pipes = 0;
+  for (u32 r = row_begin; r < row_begin + row_count; ++r) {
+    const u32 pipes = pipes_in_row_locked(r, pl);
+    if (pipes == 0) continue;
+    min_pipes = surviving == 0 ? pipes : std::min(min_pipes, pipes);
+    ++surviving;
+  }
+  // surviving == 0 yields the typed feasible = false verdict.
+  return model_.predict_degraded(
+      plan, surviving, min_pipes, spec.blocks_per_request, spec.codec.block_size,
+      spec.codec.block_size * static_cast<u32>(sizeof(f32)));
+}
+
+bool WaferCoordinator::meets_quota(const mapping::PerfPrediction& p,
+                                   const TenantSpec& spec) const {
+  return p.feasible && (spec.min_throughput_gbps <= 0.0 ||
+                        p.throughput_gbps >= spec.min_throughput_gbps);
+}
+
+mapping::PipelinePlan WaferCoordinator::plan_for(const TenantSpec& spec) const {
+  const mapping::GreedyScheduler scheduler(options_.cost,
+                                           spec.codec.block_size);
+  return scheduler.distribute(
+      core::compression_substages(std::max<u32>(1, spec.est_fixed_length)),
+      spec.pipeline_length);
+}
+
+u32 WaferCoordinator::live_pes_locked(u32 row_begin, u32 row_count) const {
+  u32 dead = 0;
+  wafer_faults_.for_each_dead([&](u32 r, u32 c) {
+    if (r >= row_begin && r < row_begin + row_count && c < options_.cols) {
+      ++dead;
+    }
+  });
+  return row_count * options_.cols - dead;
+}
+
+std::optional<WaferCoordinator::Placement>
+WaferCoordinator::find_placement_locked(const mapping::PipelinePlan& plan,
+                                        const TenantSpec& spec) const {
+  // Smallest window first, earliest start on ties: tight packing leaves
+  // the biggest contiguous gap for the next tenant. Windows may span
+  // rows the faults already killed (prediction accounts for them), but
+  // never rows another tenant owns.
+  for (u32 r = 1; r <= options_.rows; ++r) {
+    for (u32 start = 0; start + r <= options_.rows; ++start) {
+      bool free = true;
+      for (u32 row = start; row < start + r && free; ++row) {
+        free = row_owner_[row] == 0;
+      }
+      if (!free) continue;
+      mapping::PerfPrediction p =
+          predict_window_locked(plan, spec, start, r);
+      if (meets_quota(p, spec)) {
+        return Placement{start, r, std::move(p)};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// --- admission --------------------------------------------------------------
+
+AdmissionResult WaferCoordinator::admit(const TenantSpec& spec) {
+  std::lock_guard lock(mu_);
+  return admit_locked(spec, /*from_queue=*/false);
+}
+
+AdmissionResult WaferCoordinator::admit_locked(const TenantSpec& spec,
+                                               bool from_queue) {
+  AdmissionResult result;
+  const auto reject = [&](std::string reason) {
+    result.verdict = AdmissionVerdict::kRejected;
+    result.reason = std::move(reason);
+    bump(kMetricTenantRejected);
+    return result;
+  };
+
+  if (spec.id == 0) {
+    return reject("tenant admission: tenant id 0 is reserved for "
+                  "untenanted traffic");
+  }
+  if (leases_.contains(spec.id)) {
+    return reject("tenant admission: tenant is already active");
+  }
+  if (!from_queue) {
+    for (const QueuedSpec& q : queue_) {
+      if (q.spec.id == spec.id) {
+        return reject("tenant admission: tenant is already queued");
+      }
+    }
+  }
+  try {
+    spec.codec.validate();
+  } catch (const Error& e) {
+    return reject(std::string("tenant admission: ") + e.what());
+  }
+  if (spec.pipeline_length < 1 || spec.pipeline_length > options_.cols) {
+    return reject("tenant admission: pipeline length must be in [1, cols]");
+  }
+
+  const mapping::PipelinePlan plan = plan_for(spec);
+
+  // Formula (2)-(4) feasibility bound: the prediction for the ENTIRE
+  // wafer, fully healthy. A quota even that cannot meet is rejected
+  // outright — queueing would be a lie, no future placement can help.
+  {
+    const mapping::PerfPrediction best = model_.predict_degraded(
+        plan, options_.rows, options_.cols / plan.length(),
+        spec.blocks_per_request, spec.codec.block_size,
+        spec.codec.block_size * static_cast<u32>(sizeof(f32)));
+    if (!meets_quota(best, spec)) {
+      return reject("tenant admission: quota " +
+                    gbps(spec.min_throughput_gbps) +
+                    " GB/s exceeds the predicted " +
+                    gbps(best.throughput_gbps) +
+                    " GB/s of the whole healthy wafer");
+    }
+  }
+
+  std::string unfit_reason;
+  if (leases_.size() >= options_.max_tenants) {
+    unfit_reason = "tenant admission: at the active-tenant limit";
+  } else {
+    const std::optional<Placement> put = find_placement_locked(plan, spec);
+    if (put.has_value()) {
+      install_lease_locked(spec, *put, plan);
+      result.verdict = AdmissionVerdict::kAdmitted;
+      result.reason = "admitted: " + std::to_string(put->row_count) +
+                      " row(s) predicted at " +
+                      gbps(put->predicted.throughput_gbps) + " GB/s";
+      result.lease = leases_.at(spec.id);
+      return result;
+    }
+    unfit_reason =
+        "tenant admission: no free row window meets the quota right now";
+  }
+
+  // Feasible but unplaceable: queue when allowed, shed (BUSY-style)
+  // when not. A queued caller retries nothing — release()/rebalance
+  // admits it the moment capacity frees up.
+  if (from_queue) {
+    result.verdict = AdmissionVerdict::kQueued;
+    result.reason = unfit_reason;
+    return result;  // already in the queue; no metric double-count
+  }
+  if (options_.queue_when_full && queue_.size() < options_.max_queued) {
+    queue_.push_back(QueuedSpec{spec, next_arrival_++});
+    bump(kMetricTenantQueued);
+    result.verdict = AdmissionVerdict::kQueued;
+    result.reason = unfit_reason + "; queued at position " +
+                    std::to_string(queue_.size());
+    return result;
+  }
+  return reject(unfit_reason + (options_.queue_when_full
+                                    ? "; admission queue is full"
+                                    : "; queueing is disabled"));
+}
+
+void WaferCoordinator::install_lease_locked(const TenantSpec& spec,
+                                            const Placement& put,
+                                            const mapping::PipelinePlan& plan) {
+  Lease lease;
+  lease.spec = spec;
+  lease.row_begin = put.row_begin;
+  lease.row_count = put.row_count;
+  lease.cols = options_.cols;
+  lease.plan = plan;
+  lease.predicted = put.predicted;
+  lease.live_pes = live_pes_locked(put.row_begin, put.row_count);
+  for (u32 r = put.row_begin; r < put.row_begin + put.row_count; ++r) {
+    row_owner_[r] = spec.id;
+  }
+  update_lease_gauges_locked(lease);
+  leases_.emplace(spec.id, std::move(lease));
+  bump(kMetricTenantAdmitted);
+  set_gauge(kMetricTenantActive, static_cast<f64>(leases_.size()));
+}
+
+void WaferCoordinator::update_lease_gauges_locked(const Lease& lease) {
+  set_gauge(tenant_metric_name(lease.spec.id, "lease_pes"),
+            static_cast<f64>(lease.live_pes));
+}
+
+// --- departure + rebalance --------------------------------------------------
+
+bool WaferCoordinator::release(TenantId id) {
+  std::lock_guard lock(mu_);
+  const auto queued = std::find_if(
+      queue_.begin(), queue_.end(),
+      [&](const QueuedSpec& q) { return q.spec.id == id; });
+  if (queued != queue_.end()) {
+    queue_.erase(queued);
+    return true;
+  }
+  const auto it = leases_.find(id);
+  if (it == leases_.end()) return false;
+  for (u32 r = it->second.row_begin;
+       r < it->second.row_begin + it->second.row_count; ++r) {
+    row_owner_[r] = 0;
+  }
+  set_gauge(tenant_metric_name(id, "lease_pes"), 0.0);
+  leases_.erase(it);
+  bump(kMetricTenantReleased);
+  set_gauge(kMetricTenantActive, static_cast<f64>(leases_.size()));
+  rebalance_locked();
+  return true;
+}
+
+void WaferCoordinator::rebalance_locked() {
+  // 1. Degraded survivors first: a lease below its quota may now grow
+  //    into the freed rows (counts as an elastic remap).
+  for (auto& [id, lease] : leases_) {
+    if (!meets_quota(lease.predicted, lease.spec)) {
+      remap_lease_locked(lease);
+    }
+  }
+  // 2. Drain the queue, highest priority first, FIFO within a class.
+  std::vector<std::size_t> order(queue_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (queue_[a].spec.priority != queue_[b].spec.priority) {
+                       return queue_[a].spec.priority > queue_[b].spec.priority;
+                     }
+                     return queue_[a].arrival < queue_[b].arrival;
+                   });
+  std::vector<TenantId> admitted;
+  for (const std::size_t idx : order) {
+    const AdmissionResult r = admit_locked(queue_[idx].spec,
+                                           /*from_queue=*/true);
+    if (r.verdict == AdmissionVerdict::kAdmitted) {
+      admitted.push_back(queue_[idx].spec.id);
+    }
+  }
+  std::erase_if(queue_, [&](const QueuedSpec& q) {
+    return std::find(admitted.begin(), admitted.end(), q.spec.id) !=
+           admitted.end();
+  });
+}
+
+// --- faults + elastic remapping ---------------------------------------------
+
+void WaferCoordinator::kill_pe(u32 row, u32 col) {
+  std::lock_guard lock(mu_);
+  CERESZ_CHECK(row < options_.rows && col < options_.cols,
+               "WaferCoordinator: fault outside the wafer");
+  wafer_faults_.kill_pe(row, col);
+  const TenantId owner = row_owner_[row];
+  if (owner != 0) remap_lease_locked(leases_.at(owner));
+}
+
+void WaferCoordinator::inject_faults(const wse::FaultPlan& plan) {
+  std::lock_guard lock(mu_);
+  // Merge in wafer coordinates, remembering which tenants took a dead
+  // PE — only those get remapped (slow/drop/corrupt faults change the
+  // simulated run, not the placement-governing prediction).
+  std::vector<TenantId> hit;
+  plan.for_each_dead([&](u32 r, u32 c) {
+    if (r >= options_.rows || c >= options_.cols) return;
+    wafer_faults_.kill_pe(r, c);
+    const TenantId owner = row_owner_[r];
+    if (owner != 0 &&
+        std::find(hit.begin(), hit.end(), owner) == hit.end()) {
+      hit.push_back(owner);
+    }
+  });
+  plan.for_each_slow([&](u32 r, u32 c, f64 mult) {
+    if (r < options_.rows && c < options_.cols) {
+      wafer_faults_.slow_pe(r, c, mult);
+    }
+  });
+  plan.for_each_delivery_fault(
+      [&](u32 r, u32 c, u64 arrival, wse::DeliveryFault fault) {
+        if (r >= options_.rows || c >= options_.cols) return;
+        if (fault == wse::DeliveryFault::kDrop) {
+          wafer_faults_.drop_delivery(r, c, arrival);
+        } else if (fault == wse::DeliveryFault::kCorrupt) {
+          wafer_faults_.corrupt_delivery(r, c, arrival);
+        }
+      });
+  for (const TenantId id : hit) {
+    remap_lease_locked(leases_.at(id));
+  }
+}
+
+void WaferCoordinator::remap_lease_locked(Lease& lease) {
+  ++lease.remaps;
+  bump(kMetricTenantRemapped);
+
+  mapping::PerfPrediction pred = predict_window_locked(
+      lease.plan, lease.spec, lease.row_begin, lease.row_count);
+
+  // Grow: annex adjacent FREE rows (south first, then north) until the
+  // prediction clears the quota again. Neighboring leases are never
+  // touched — elasticity spends only unowned rows.
+  while (!meets_quota(pred, lease.spec)) {
+    const u32 south = lease.row_begin + lease.row_count;
+    if (south < options_.rows && row_owner_[south] == 0) {
+      row_owner_[south] = lease.spec.id;
+      ++lease.row_count;
+    } else if (lease.row_begin > 0 &&
+               row_owner_[lease.row_begin - 1] == 0) {
+      row_owner_[lease.row_begin - 1] = lease.spec.id;
+      --lease.row_begin;
+      ++lease.row_count;
+    } else {
+      break;  // boxed in
+    }
+    pred = predict_window_locked(lease.plan, lease.spec, lease.row_begin,
+                                 lease.row_count);
+  }
+
+  // Re-place: when growing in place cannot recover the quota, look for
+  // a fresh window anywhere in the free rows (the lease's own rows are
+  // candidates too — it may shrink back onto its healthy subset).
+  if (!meets_quota(pred, lease.spec)) {
+    for (u32 r = lease.row_begin; r < lease.row_begin + lease.row_count;
+         ++r) {
+      row_owner_[r] = 0;
+    }
+    const std::optional<Placement> put =
+        find_placement_locked(lease.plan, lease.spec);
+    if (put.has_value()) {
+      lease.row_begin = put->row_begin;
+      lease.row_count = put->row_count;
+      pred = put->predicted;
+    }
+    // No window meets the quota either: keep the (grown) degraded
+    // placement and serve best-effort, loudly.
+    for (u32 r = lease.row_begin; r < lease.row_begin + lease.row_count;
+         ++r) {
+      row_owner_[r] = lease.spec.id;
+    }
+  }
+
+  if (!meets_quota(pred, lease.spec)) {
+    bump(kMetricTenantQuotaViolations);
+  }
+  lease.predicted = std::move(pred);
+  lease.live_pes = live_pes_locked(lease.row_begin, lease.row_count);
+  update_lease_gauges_locked(lease);
+}
+
+// --- queries ----------------------------------------------------------------
+
+std::optional<Lease> WaferCoordinator::lease_of(TenantId id) const {
+  std::lock_guard lock(mu_);
+  const auto it = leases_.find(id);
+  return it == leases_.end() ? std::nullopt
+                             : std::optional<Lease>(it->second);
+}
+
+std::vector<Lease> WaferCoordinator::leases() const {
+  std::lock_guard lock(mu_);
+  std::vector<Lease> out;
+  out.reserve(leases_.size());
+  for (const auto& [id, lease] : leases_) out.push_back(lease);
+  return out;
+}
+
+std::size_t WaferCoordinator::active_count() const {
+  std::lock_guard lock(mu_);
+  return leases_.size();
+}
+
+std::size_t WaferCoordinator::queued_count() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+u32 WaferCoordinator::free_rows() const {
+  std::lock_guard lock(mu_);
+  return static_cast<u32>(
+      std::count(row_owner_.begin(), row_owner_.end(), TenantId{0}));
+}
+
+// --- per-lease execution ----------------------------------------------------
+
+wse::FaultPlan WaferCoordinator::lease_fault_slice_locked(
+    const Lease& lease) const {
+  // Re-express the wafer faults inside the lease in lease-local row
+  // coordinates (columns are shared: leases span the full width).
+  wse::FaultPlan slice;
+  const u32 begin = lease.row_begin;
+  const u32 end = lease.row_begin + lease.row_count;
+  wafer_faults_.for_each_dead([&](u32 r, u32 c) {
+    if (r >= begin && r < end && c < lease.cols) slice.kill_pe(r - begin, c);
+  });
+  wafer_faults_.for_each_slow([&](u32 r, u32 c, f64 mult) {
+    if (r >= begin && r < end && c < lease.cols) {
+      slice.slow_pe(r - begin, c, mult);
+    }
+  });
+  wafer_faults_.for_each_delivery_fault(
+      [&](u32 r, u32 c, u64 arrival, wse::DeliveryFault fault) {
+        if (r < begin || r >= end || c >= lease.cols) return;
+        if (fault == wse::DeliveryFault::kDrop) {
+          slice.drop_delivery(r - begin, c, arrival);
+        } else if (fault == wse::DeliveryFault::kCorrupt) {
+          slice.corrupt_delivery(r - begin, c, arrival);
+        }
+      });
+  return slice;
+}
+
+mapping::WaferRunResult WaferCoordinator::compress(TenantId id,
+                                                   std::span<const f32> data) {
+  mapping::MapperOptions mopt;
+  TenantSpec spec;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = leases_.find(id);
+    CERESZ_CHECK(it != leases_.end(),
+                 "WaferCoordinator: compress for a tenant with no lease");
+    const Lease& lease = it->second;
+    spec = lease.spec;
+    mopt.rows = lease.row_count;
+    mopt.cols = lease.cols;
+    mopt.fault_plan = lease_fault_slice_locked(lease);
+  }
+  mopt.pipeline_length = spec.pipeline_length;
+  mopt.codec = spec.codec;
+  mopt.cost = options_.cost;
+  mopt.wse = options_.wse;
+  // Faulted leases require exact simulation; lease row counts are small
+  // by construction, so simulate every row.
+  mopt.max_exact_rows = mopt.rows;
+  mopt.collect_output = true;
+  mopt.metrics = options_.metrics;
+
+  const u64 start = now_ns();
+  const mapping::WaferMapper mapper(mopt);
+  mapping::WaferRunResult result = mapper.compress(data, spec.bound);
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter(tenant_metric_name(id, "requests_total")).add();
+    options_.metrics
+        ->histogram(tenant_metric_name(id, "seconds"),
+                    obs::MetricsRegistry::default_seconds_buckets())
+        .observe(static_cast<f64>(now_ns() - start) * 1e-9);
+  }
+  return result;
+}
+
+mapping::WaferRunResult WaferCoordinator::decompress(
+    TenantId id, std::span<const u8> stream) {
+  mapping::MapperOptions mopt;
+  TenantSpec spec;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = leases_.find(id);
+    CERESZ_CHECK(it != leases_.end(),
+                 "WaferCoordinator: decompress for a tenant with no lease");
+    const Lease& lease = it->second;
+    spec = lease.spec;
+    mopt.rows = lease.row_count;
+    mopt.cols = lease.cols;
+    mopt.fault_plan = lease_fault_slice_locked(lease);
+  }
+  mopt.pipeline_length = spec.pipeline_length;
+  mopt.codec = spec.codec;
+  mopt.cost = options_.cost;
+  mopt.wse = options_.wse;
+  mopt.max_exact_rows = mopt.rows;
+  mopt.collect_output = true;
+  mopt.metrics = options_.metrics;
+
+  const u64 start = now_ns();
+  const mapping::WaferMapper mapper(mopt);
+  mapping::WaferRunResult result = mapper.decompress(stream);
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter(tenant_metric_name(id, "requests_total")).add();
+    options_.metrics
+        ->histogram(tenant_metric_name(id, "seconds"),
+                    obs::MetricsRegistry::default_seconds_buckets())
+        .observe(static_cast<f64>(now_ns() - start) * 1e-9);
+  }
+  return result;
+}
+
+}  // namespace ceresz::tenant

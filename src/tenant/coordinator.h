@@ -1,0 +1,283 @@
+// WaferCoordinator: space-shared multi-tenant scheduling of the wafer.
+//
+// The paper maps ONE compression job onto the whole wafer; a service
+// under heavy traffic sees many small streams with different error
+// bounds and priorities. Because CereSZ rows never communicate (the
+// basis of Fig. 7's linear row scaling), the wafer splits naturally
+// into contiguous full-width row bands — *leases* — that run completely
+// independent jobs. The coordinator owns that partition:
+//
+//   admit(spec)      size a lease for the tenant with the Formula
+//                    (2)-(4) analytic model (PerfModel::predict_degraded
+//                    over each candidate row window, accounting for the
+//                    dead PEs already inside it), place it best-fit in
+//                    the free rows, or queue/reject when no placement
+//                    meets the tenant's throughput quota — the same
+//                    explicit load-shedding stance as the server's BUSY
+//                    path, decided by prediction instead of a counter.
+//   release(id)      free the band, then rebalance: re-grow degraded
+//                    neighbors and drain the admission queue in
+//                    priority order.
+//   inject_faults()  merge wafer-coordinate hardware faults; every
+//                    lease that took a dead PE is *elastically
+//                    remapped* — re-predicted on its surviving
+//                    pipelines, grown into adjacent free rows, or
+//                    re-placed wholesale — while untouched leases keep
+//                    their rows bit-for-bit.
+//   compress()/decompress()
+//                    run the tenant's job on its lease: a per-lease
+//                    WaferMapper (exact simulation, lease-local slice
+//                    of the fault plan) whose GreedyScheduler balances
+//                    the tenant's own ε/block configuration.
+//
+// Output correctness under sharing is structural, not incidental: the
+// mapper deals blocks round-robin by tag and reassembles the stream in
+// tag order, and ε derives from the data + bound alone — so a tenant's
+// bytes do not depend on which rows it got, how many, or how degraded
+// they are. test_tenant asserts solo-vs-shared byte identity on exactly
+// this property.
+//
+// Thread safety: every public method is safe to call concurrently (the
+// server's reader threads admit from many connections at once). Lease
+// bookkeeping is mutex-guarded; compress/decompress snapshot the lease
+// under the lock and simulate outside it, so a concurrent remap applies
+// to the NEXT request (in-flight work keeps its placement, like an
+// in-flight request surviving drain()).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "core/config.h"
+#include "core/costmodel.h"
+#include "mapping/perf_model.h"
+#include "mapping/scheduler.h"
+#include "mapping/wafer_mapper.h"
+#include "obs/metrics.h"
+#include "wse/config.h"
+#include "wse/fault_plan.h"
+
+namespace ceresz::tenant {
+
+using TenantId = u32;
+
+/// Scheduling priority. Wire-compatible with the CSNP v3 priority byte
+/// (net::kPriorityBatch/Standard/Interactive use the same values);
+/// higher priorities drain from the admission queue first.
+enum class Priority : u8 {
+  kBatch = 0,
+  kStandard = 1,
+  kInteractive = 2,
+};
+
+const char* priority_name(Priority p);
+
+/// What a tenant declares when it asks for wafer capacity.
+struct TenantSpec {
+  /// Nonzero tenant identity (0 is the protocol's "untenanted" marker).
+  TenantId id = 0;
+  Priority priority = Priority::kStandard;
+  /// The tenant's own error bound and block configuration — each lease
+  /// schedules an independently balanced pipeline for them.
+  core::ErrorBound bound = core::ErrorBound::relative(1e-3);
+  core::CodecConfig codec{};
+  /// Pipeline length inside the lease (clamped to the sub-stage count
+  /// by GreedyScheduler; must fit within the wafer's columns).
+  u32 pipeline_length = 1;
+  /// Planning estimate of the fixed length (bit planes per block) used
+  /// to build the admission-time pipeline plan; per-request runs
+  /// re-profile and re-schedule with the real data.
+  u32 est_fixed_length = 12;
+  /// Modeled per-request workload (blocks), fed to Formula (2)-(4).
+  u64 blocks_per_request = 256;
+  /// Rate quota: the lease must be predicted to sustain at least this
+  /// throughput. 0 = best effort (any usable row admits).
+  f64 min_throughput_gbps = 0.0;
+};
+
+enum class AdmissionVerdict : u8 {
+  kAdmitted,  ///< a lease was carved out and is live
+  kQueued,    ///< feasible, but no fitting placement right now
+  kRejected,  ///< infeasible quota, full queue, or invalid spec
+};
+
+const char* verdict_name(AdmissionVerdict v);
+
+/// A tenant's slice of the wafer: `row_count` contiguous full-width
+/// rows starting at `row_begin` (wafer coordinates).
+struct Lease {
+  TenantSpec spec;
+  u32 row_begin = 0;
+  u32 row_count = 0;
+  u32 cols = 0;
+  /// The admission-time pipeline plan (Algorithm 1 over the tenant's
+  /// estimated sub-stages) the predictions are computed against.
+  mapping::PipelinePlan plan;
+  /// Current Formula (2)-(4) prediction on this placement, with the
+  /// lease's dead PEs accounted (feasible = false when every pipeline
+  /// inside the lease is dead).
+  mapping::PerfPrediction predicted;
+  u32 live_pes = 0;  ///< rows x cols minus dead PEs inside the lease
+  u32 remaps = 0;    ///< elastic remaps this lease has survived
+};
+
+struct AdmissionResult {
+  AdmissionVerdict verdict = AdmissionVerdict::kRejected;
+  /// Human-readable verdict detail, suitable for a BUSY error frame.
+  std::string reason;
+  /// Snapshot of the lease when admitted.
+  std::optional<Lease> lease;
+};
+
+struct CoordinatorOptions {
+  /// The coordinated mesh. Leases are row bands of this wafer; tests
+  /// and the server use small exactly-simulable meshes (the full
+  /// 750x994 wafer admits with the same code path — only
+  /// compress()/decompress() need exact simulation).
+  u32 rows = 12;
+  u32 cols = 8;
+  /// Timing parameters for the analytic model and per-lease runs
+  /// (rows/cols are overwritten per lease).
+  wse::WseConfig wse{};
+  core::PeCostModel cost{};
+  /// Active-lease cap, independent of row capacity.
+  u32 max_tenants = 8;
+  /// Queue jobs that fit the wafer but not the current free rows
+  /// (false = reject immediately, shedding like a BUSY response).
+  bool queue_when_full = true;
+  std::size_t max_queued = 16;
+  /// Borrowed; when non-null it must outlive the coordinator. Receives
+  /// the ceresz_tenant_* families plus per-lease mapper/fabric metrics.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+// Aggregate coordinator metric families (flat Prometheus names, same
+// registry conventions as ceresz_server_*).
+inline constexpr const char* kMetricTenantAdmitted =
+    "ceresz_tenant_admitted_total";
+inline constexpr const char* kMetricTenantRejected =
+    "ceresz_tenant_rejected_total";
+inline constexpr const char* kMetricTenantQueued =
+    "ceresz_tenant_queued_total";
+inline constexpr const char* kMetricTenantReleased =
+    "ceresz_tenant_released_total";
+inline constexpr const char* kMetricTenantRemapped =
+    "ceresz_tenant_remapped_total";
+inline constexpr const char* kMetricTenantQuotaViolations =
+    "ceresz_tenant_quota_violations_total";
+inline constexpr const char* kMetricTenantActive = "ceresz_tenant_active";
+
+/// Per-tenant metric name: "ceresz_tenant_<id>_<suffix>". The registry
+/// has no labels, so tenant identity is encoded in the family name —
+/// "ceresz_tenant_7_lease_pes", "ceresz_tenant_7_requests_total",
+/// "ceresz_tenant_7_seconds".
+std::string tenant_metric_name(TenantId id, std::string_view suffix);
+
+/// Pre-create the aggregate ceresz_tenant_* families at zero (the
+/// declare-at-zero pattern of declare_server_metrics). Per-tenant
+/// families appear on first admission.
+void declare_tenant_metrics(obs::MetricsRegistry& reg);
+
+class WaferCoordinator {
+ public:
+  explicit WaferCoordinator(CoordinatorOptions options);
+
+  const CoordinatorOptions& options() const { return options_; }
+
+  /// Admission control. Rejects outright when the Formula (2)-(4)
+  /// prediction says the quota cannot be met even by the whole healthy
+  /// wafer; otherwise places the smallest row band whose prediction
+  /// (with current faults) meets the quota, queueing (or shedding) when
+  /// none fits right now.
+  AdmissionResult admit(const TenantSpec& spec);
+
+  /// Free a tenant's lease. Returns false for an unknown id (also
+  /// drops the id from the admission queue). On success, rebalances:
+  /// degraded neighbors may grow into the freed rows, and queued
+  /// tenants are admitted in priority order.
+  bool release(TenantId id);
+
+  /// Merge `plan` (wafer coordinates) into the coordinator's fault
+  /// state and elastically remap every lease that took a dead PE.
+  void inject_faults(const wse::FaultPlan& plan);
+
+  /// Kill one PE (wafer coordinates) and remap the owning lease.
+  void kill_pe(u32 row, u32 col);
+
+  /// Snapshot of a tenant's lease, if active.
+  std::optional<Lease> lease_of(TenantId id) const;
+
+  /// Snapshot of every active lease, ordered by tenant id.
+  std::vector<Lease> leases() const;
+
+  std::size_t active_count() const;
+  std::size_t queued_count() const;
+  u32 free_rows() const;
+
+  /// Run the tenant's compression job on its lease: exact simulation of
+  /// the lease rows with the lease-local fault slice, the tenant's own
+  /// bound/codec, and a freshly balanced pipeline. The stream is
+  /// byte-identical to the tenant's solo run at the same ε regardless
+  /// of lease placement or degradation. Throws ceresz::Error for an
+  /// unknown tenant.
+  mapping::WaferRunResult compress(TenantId id, std::span<const f32> data);
+
+  /// The reverse path, same contract.
+  mapping::WaferRunResult decompress(TenantId id, std::span<const u8> stream);
+
+ private:
+  struct QueuedSpec {
+    TenantSpec spec;
+    u64 arrival = 0;  ///< FIFO tiebreak within a priority class
+  };
+
+  // All *_locked members require mu_ to be held.
+  u32 pipes_in_row_locked(u32 row, u32 pipeline_length) const;
+  mapping::PerfPrediction predict_window_locked(
+      const mapping::PipelinePlan& plan, const TenantSpec& spec,
+      u32 row_begin, u32 row_count) const;
+  bool meets_quota(const mapping::PerfPrediction& p,
+                   const TenantSpec& spec) const;
+  mapping::PipelinePlan plan_for(const TenantSpec& spec) const;
+  u32 live_pes_locked(u32 row_begin, u32 row_count) const;
+
+  struct Placement {
+    u32 row_begin = 0;
+    u32 row_count = 0;
+    mapping::PerfPrediction predicted;
+  };
+  /// Smallest row window (earliest on ties) in the free rows whose
+  /// prediction meets the quota.
+  std::optional<Placement> find_placement_locked(
+      const mapping::PipelinePlan& plan, const TenantSpec& spec) const;
+
+  AdmissionResult admit_locked(const TenantSpec& spec, bool from_queue);
+  void install_lease_locked(const TenantSpec& spec, const Placement& put,
+                            const mapping::PipelinePlan& plan);
+  void remap_lease_locked(Lease& lease);
+  void rebalance_locked();
+  void update_lease_gauges_locked(const Lease& lease);
+  wse::FaultPlan lease_fault_slice_locked(const Lease& lease) const;
+
+  void bump(const char* name, f64 v = 1.0) const;
+  void set_gauge(const std::string& name, f64 v) const;
+
+  CoordinatorOptions options_;
+  mapping::PerfModel model_;
+
+  mutable std::mutex mu_;
+  std::map<TenantId, Lease> leases_;
+  /// row -> owning tenant (0 = free); the single source of placement
+  /// truth, so overlap bugs cannot hide in per-lease state.
+  std::vector<TenantId> row_owner_;
+  std::vector<QueuedSpec> queue_;
+  u64 next_arrival_ = 0;
+  wse::FaultPlan wafer_faults_;
+};
+
+}  // namespace ceresz::tenant

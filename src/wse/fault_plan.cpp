@@ -51,6 +51,30 @@ DeliveryFault FaultPlan::delivery_fault(u32 row, u32 col,
   return it == pe->second.end() ? DeliveryFault::kNone : it->second;
 }
 
+void FaultPlan::for_each_dead(
+    const std::function<void(u32 row, u32 col)>& fn) const {
+  for (const auto& [row, cols] : dead_by_row_) {
+    for (const u32 col : cols) fn(row, col);
+  }
+}
+
+void FaultPlan::for_each_slow(
+    const std::function<void(u32 row, u32 col, f64 multiplier)>& fn) const {
+  for (const auto& [key, multiplier] : slow_) {
+    fn(static_cast<u32>(key >> 32), static_cast<u32>(key), multiplier);
+  }
+}
+
+void FaultPlan::for_each_delivery_fault(
+    const std::function<void(u32 row, u32 col, u64 arrival_index,
+                             DeliveryFault fault)>& fn) const {
+  for (const auto& [key, faults] : per_arrival_) {
+    for (const auto& [arrival, fault] : faults) {
+      fn(static_cast<u32>(key >> 32), static_cast<u32>(key), arrival, fault);
+    }
+  }
+}
+
 std::optional<u32> FaultPlan::first_dead_col(u32 row) const {
   const auto it = dead_by_row_.find(row);
   if (it == dead_by_row_.end() || it->second.empty()) return std::nullopt;

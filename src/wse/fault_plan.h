@@ -13,6 +13,7 @@
 // reads the same plan to place work around dead PEs before the run starts.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -75,6 +76,17 @@ class FaultPlan {
   /// pipeline columns (traffic streams west to east, so everything at or
   /// east of the first dead PE is unreachable).
   std::optional<u32> first_dead_col(u32 row) const;
+
+  // ---- Enumeration (coordinator lease slicing, src/tenant) ----
+  // The tenant coordinator tracks faults in wafer coordinates and must
+  // re-express the ones inside a lease in lease-local coordinates; these
+  // visit every recorded fault in deterministic (row, col) order.
+  void for_each_dead(const std::function<void(u32 row, u32 col)>& fn) const;
+  void for_each_slow(
+      const std::function<void(u32 row, u32 col, f64 multiplier)>& fn) const;
+  void for_each_delivery_fault(
+      const std::function<void(u32 row, u32 col, u64 arrival_index,
+                               DeliveryFault fault)>& fn) const;
 
  private:
   static u64 pe_key(u32 row, u32 col) {

@@ -288,7 +288,7 @@ TEST(Chaos, CorruptedResponseIsATypedTerminalError) {
   server.start();
   NetFaultPlan plan;
   // Flip one bit 100 bytes into the server->client stream: inside the
-  // first response's payload (28-byte header + container bytes). In v1
+  // first response's payload (36-byte header + container bytes). In v1
   // this was SILENT data corruption; in v2 the frame CRC catches it.
   plan.corrupt_byte(0, ChaosDir::kServerToClient, 100, 3);
   ChaosProxy proxy("127.0.0.1", server.port(), plan);
@@ -314,8 +314,8 @@ TEST(Chaos, CorruptedRequestIsRejectedByTheServerCrc) {
   server.start();
   NetFaultPlan plan;
   // Flip a bit 100 bytes into the client->server stream: inside the
-  // COMPRESS payload's raw f32 data (28-byte header + 24-byte fixed
-  // part ends at 52). Without the frame CRC the server would compress
+  // COMPRESS payload's raw f32 data (36-byte header + 24-byte fixed
+  // part ends at 60). Without the frame CRC the server would compress
   // subtly wrong data and no one would ever know.
   plan.corrupt_byte(0, ChaosDir::kClientToServer, 100, 5);
   ChaosProxy proxy("127.0.0.1", server.port(), plan);

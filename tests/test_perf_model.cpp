@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <utility>
+
 #include "core/stage.h"
 #include "mapping/wafer_mapper.h"
 #include "test_util.h"
@@ -91,6 +94,51 @@ TEST(PerfModel, AgreesWithSimulatorAcrossPipelineLengths) {
         run.throughput_gbps;
     EXPECT_LT(rel_err, 0.30) << "pl=" << pl;
   }
+}
+
+TEST(PerfModel, DegradedWithNoSurvivorsIsInfeasibleNotAnError) {
+  // Every row dead, or every pipeline cut: a typed zero-throughput
+  // verdict, not an exception or a division by zero. The tenant
+  // coordinator branches on `feasible` during admission and remapping.
+  const PerfModel model(wse::WseConfig{});
+  const PipelinePlan plan = plan_for(12, 1);
+  for (const auto [rows, pipes] : {std::pair<u32, u32>{0, 8}, {4, 0}, {0, 0}}) {
+    const auto p = model.predict_degraded(plan, rows, pipes, 1000, 32, 128);
+    EXPECT_FALSE(p.feasible) << rows << "x" << pipes;
+    EXPECT_EQ(p.throughput_gbps, 0.0);
+    EXPECT_EQ(p.total_cycles, 0u);
+    EXPECT_EQ(p.rounds, 0u);
+    // The per-block constants are still reported — they describe the
+    // plan, not the (empty) placement.
+    EXPECT_GT(p.c1, 0u);
+    EXPECT_GT(p.c2, 0u);
+  }
+}
+
+TEST(PerfModel, DegradedSingleSurvivingRowMatchesHealthyOneRowPredict) {
+  // The last surviving row must be priced exactly like a healthy 1-row
+  // mesh of the same width — degradation only removes capacity, it does
+  // not change the per-row round structure.
+  const PerfModel model(wse::WseConfig{});
+  const PipelinePlan plan = plan_for(12, 1);
+  const auto degraded = model.predict_degraded(plan, 1, 8, 4096, 32, 128);
+  const auto healthy = model.predict(plan, 1, 8, 4096, 32, 128);
+  EXPECT_TRUE(degraded.feasible);
+  EXPECT_EQ(degraded.round_cycles, healthy.round_cycles);
+  EXPECT_EQ(degraded.rounds, healthy.rounds);
+  EXPECT_EQ(degraded.total_cycles, healthy.total_cycles);
+  EXPECT_DOUBLE_EQ(degraded.throughput_gbps, healthy.throughput_gbps);
+}
+
+TEST(PerfModel, ZeroBlocksYieldsZeroThroughputNotNaN) {
+  const PerfModel model(wse::WseConfig{});
+  const PipelinePlan plan = plan_for(12, 1);
+  const auto p = model.predict(plan, 2, 8, /*blocks_total=*/0, 32, 128);
+  EXPECT_TRUE(p.feasible);
+  EXPECT_EQ(p.rounds, 0u);
+  EXPECT_EQ(p.seconds, 0.0);
+  EXPECT_EQ(p.throughput_gbps, 0.0);
+  EXPECT_FALSE(std::isnan(p.throughput_gbps));
 }
 
 TEST(PerfModel, InvalidGeometryThrows) {

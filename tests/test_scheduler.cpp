@@ -128,6 +128,66 @@ TEST(GreedyScheduler, ClampsToStageCount) {
   EXPECT_EQ(plan.length(), 3u);
 }
 
+TEST(GreedyScheduler, ClampsWhenRequestedLengthFarExceedsStageCount) {
+  // m beyond the sub-stage count (the tenant coordinator can ask for
+  // cols-many PEs on a short decompression table): one stage per group,
+  // no empty groups, order preserved.
+  const GreedyScheduler sched(PeCostModel{}, 32);
+  const auto stages = decompression_substages(2);  // 4 sub-stages
+  const PipelinePlan plan = sched.distribute(stages, 1000);
+  ASSERT_EQ(plan.length(), stages.size());
+  for (std::size_t g = 0; g < plan.groups.size(); ++g) {
+    ASSERT_EQ(plan.groups[g].stages.size(), 1u);
+    EXPECT_EQ(static_cast<int>(plan.groups[g].stages[0].kind),
+              static_cast<int>(stages[g].kind));
+  }
+}
+
+TEST(GreedyScheduler, ZeroCycleSubStagesStillCoverEveryStage) {
+  // A cost model that prices some sub-stages at zero (an accelerator
+  // with free adds, or a fused kernel) must not starve any group or
+  // drop a stage: the greedy fill is driven by position, not cost.
+  PeCostModel cost;
+  cost.add_per_elem = 0.0;
+  cost.sign_per_elem = 0.0;
+  cost.getlength_per_block = 0;
+  const GreedyScheduler sched(cost, 32);
+  const auto stages = compression_substages(4);
+  for (u32 m : {2u, 3u, 5u}) {
+    const PipelinePlan plan = sched.distribute(stages, m);
+    ASSERT_EQ(plan.length(), m);
+    std::size_t covered = 0;
+    Cycles total = 0;
+    for (const auto& g : plan.groups) {
+      EXPECT_FALSE(g.stages.empty());
+      covered += g.stages.size();
+      total += g.cycles;
+    }
+    EXPECT_EQ(covered, stages.size());
+    EXPECT_EQ(total, plan.total_cycles());
+    EXPECT_GT(plan.bottleneck_cycles(), 0u);
+  }
+}
+
+TEST(GreedyScheduler, AllZeroCostStagesMakeMaxFeasibleLengthThrow) {
+  // An all-free stage table has no meaningful ⌊C/t1⌋ bound; the
+  // scheduler refuses instead of dividing by zero.
+  PeCostModel free_cost;
+  free_cost.mul_per_elem = 0.0;
+  free_cost.add_per_elem = 0.0;
+  free_cost.lorenzo_per_elem = 0.0;
+  free_cost.sign_per_elem = 0.0;
+  free_cost.max_per_elem = 0.0;
+  free_cost.getlength_per_block = 0;
+  free_cost.shuffle_per_elem_bit = 0.0;
+  const GreedyScheduler sched(free_cost, 32);
+  EXPECT_THROW(sched.max_feasible_length(compression_substages(4)), Error);
+  // distribute still works — every group just costs zero.
+  const PipelinePlan plan = sched.distribute(compression_substages(4), 3);
+  EXPECT_EQ(plan.length(), 3u);
+  EXPECT_EQ(plan.total_cycles(), 0u);
+}
+
 TEST(GreedyScheduler, MaxFeasibleLengthIsTotalOverLongest) {
   const PeCostModel cost;
   const GreedyScheduler sched(cost, 32);

@@ -1,0 +1,456 @@
+// Multi-tenant wafer coordinator suite (docs/tenancy.md): admission
+// control against the Formula (2)-(4) prediction, space-shared leases,
+// elastic remapping under fault storms, the CSNP v3 tenant fields, and
+// the live tenancy-enabled ServiceServer.
+//
+// The load-bearing acceptance properties:
+//   1. each tenant's output under space-sharing is byte-identical to a
+//      solo run at the same error bound (placement-independence);
+//   2. a fault storm inside one lease remaps only that lease — the
+//      neighbors keep their rows and their bytes — and the remapped
+//      lease's prediction recovers its quota;
+//   3. a quota even the whole healthy wafer cannot meet is rejected
+//      outright, visibly in the ceresz_tenant_* metrics.
+#include "tenant/coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "mapping/wafer_mapper.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "test_util.h"
+#include "wse/fault_plan.h"
+
+namespace ceresz::tenant {
+namespace {
+
+CoordinatorOptions small_wafer(obs::MetricsRegistry* reg = nullptr) {
+  CoordinatorOptions opt;
+  opt.rows = 12;
+  opt.cols = 8;
+  opt.metrics = reg;
+  return opt;
+}
+
+TenantSpec spec_for(TenantId id, f64 quota_gbps = 0.0,
+                    Priority prio = Priority::kStandard) {
+  TenantSpec spec;
+  spec.id = id;
+  spec.priority = prio;
+  spec.min_throughput_gbps = quota_gbps;
+  return spec;
+}
+
+/// Predicted throughput of a single-row lease on a healthy small_wafer()
+/// — the unit the quota-driven tests size their demands in.
+f64 one_row_gbps() {
+  WaferCoordinator probe(small_wafer());
+  const AdmissionResult r = probe.admit(spec_for(1));
+  EXPECT_EQ(r.verdict, AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(r.lease->row_count, 1u);
+  return r.lease->predicted.throughput_gbps;
+}
+
+/// Solo reference run: the tenant alone on a mesh with a DIFFERENT
+/// geometry than any lease it will get, proving the stream does not
+/// depend on placement.
+std::vector<u8> solo_stream(const TenantSpec& spec,
+                            std::span<const f32> data) {
+  mapping::MapperOptions opt;
+  opt.rows = 3;
+  opt.cols = 4;
+  opt.pipeline_length = spec.pipeline_length;
+  opt.codec = spec.codec;
+  opt.max_exact_rows = opt.rows;
+  opt.collect_output = true;
+  const mapping::WaferMapper mapper(opt);
+  return mapper.compress(data, spec.bound).stream;
+}
+
+void expect_disjoint_leases(const WaferCoordinator& coord) {
+  std::vector<bool> owned(coord.options().rows, false);
+  for (const Lease& lease : coord.leases()) {
+    ASSERT_LE(lease.row_begin + lease.row_count, coord.options().rows);
+    for (u32 r = lease.row_begin; r < lease.row_begin + lease.row_count;
+         ++r) {
+      EXPECT_FALSE(owned[r]) << "row " << r << " leased twice";
+      owned[r] = true;
+    }
+  }
+}
+
+// --- admission --------------------------------------------------------------
+
+TEST(Coordinator, AdmitsDisjointLeasesAndTracksMetrics) {
+  obs::MetricsRegistry reg;
+  WaferCoordinator coord(small_wafer(&reg));
+
+  for (TenantId id : {1u, 2u, 3u}) {
+    const AdmissionResult r = coord.admit(spec_for(id));
+    EXPECT_EQ(r.verdict, AdmissionVerdict::kAdmitted) << r.reason;
+    ASSERT_TRUE(r.lease.has_value());
+    EXPECT_TRUE(r.lease->predicted.feasible);
+    EXPECT_GT(r.lease->predicted.throughput_gbps, 0.0);
+  }
+  EXPECT_EQ(coord.active_count(), 3u);
+  EXPECT_EQ(coord.free_rows(), 12u - 3u);
+  expect_disjoint_leases(coord);
+
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_value(kMetricTenantAdmitted), 3u);
+  EXPECT_EQ(snap.gauge_value(kMetricTenantActive), 3.0);
+  // Per-tenant lease gauges: 1 row x 8 cols, all healthy.
+  EXPECT_EQ(snap.gauge_value(tenant_metric_name(1, "lease_pes")), 8.0);
+}
+
+TEST(Coordinator, RejectsInvalidSpecs) {
+  WaferCoordinator coord(small_wafer());
+  EXPECT_EQ(coord.admit(spec_for(0)).verdict, AdmissionVerdict::kRejected);
+
+  ASSERT_EQ(coord.admit(spec_for(5)).verdict, AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(coord.admit(spec_for(5)).verdict, AdmissionVerdict::kRejected)
+      << "double admission must be rejected, not double-leased";
+
+  TenantSpec bad_codec = spec_for(6);
+  bad_codec.codec.block_size = 7;  // not a multiple of 8
+  const AdmissionResult r = coord.admit(bad_codec);
+  EXPECT_EQ(r.verdict, AdmissionVerdict::kRejected);
+  EXPECT_NE(r.reason.find("block_size"), std::string::npos) << r.reason;
+
+  TenantSpec bad_pl = spec_for(7);
+  bad_pl.pipeline_length = 99;  // > cols
+  EXPECT_EQ(coord.admit(bad_pl).verdict, AdmissionVerdict::kRejected);
+}
+
+// Acceptance 3: a quota the Formula (2)-(4) prediction cannot meet even
+// on the whole healthy wafer is rejected outright, and the rejection is
+// visible in the metrics.
+TEST(Coordinator, RejectsQuotaBeyondWholeWaferPrediction) {
+  obs::MetricsRegistry reg;
+  WaferCoordinator coord(small_wafer(&reg));
+
+  const AdmissionResult r = coord.admit(spec_for(1, /*quota_gbps=*/1e6));
+  EXPECT_EQ(r.verdict, AdmissionVerdict::kRejected);
+  EXPECT_FALSE(r.lease.has_value());
+  EXPECT_NE(r.reason.find("whole healthy wafer"), std::string::npos)
+      << r.reason;
+  EXPECT_EQ(coord.active_count(), 0u);
+  EXPECT_GE(reg.snapshot().counter_value(kMetricTenantRejected), 1u);
+}
+
+TEST(Coordinator, QuotaSizesTheLease) {
+  const f64 t1 = one_row_gbps();
+  WaferCoordinator coord(small_wafer());
+  // ~2.5 rows of demand must get at least a 3-row lease.
+  const AdmissionResult r = coord.admit(spec_for(1, 2.5 * t1));
+  ASSERT_EQ(r.verdict, AdmissionVerdict::kAdmitted) << r.reason;
+  EXPECT_GE(r.lease->row_count, 3u);
+  EXPECT_GE(r.lease->predicted.throughput_gbps, 2.5 * t1);
+}
+
+// --- queueing + departure rebalance -----------------------------------------
+
+TEST(Coordinator, QueuesWhenFullAndDrainsByPriorityOnRelease) {
+  obs::MetricsRegistry reg;
+  CoordinatorOptions opt = small_wafer(&reg);
+  opt.rows = 1;  // one lease fits
+  WaferCoordinator coord(opt);
+
+  ASSERT_EQ(coord.admit(spec_for(1)).verdict, AdmissionVerdict::kAdmitted);
+  // Batch arrives first, interactive second; both wait.
+  EXPECT_EQ(coord.admit(spec_for(2, 0.0, Priority::kBatch)).verdict,
+            AdmissionVerdict::kQueued);
+  EXPECT_EQ(coord.admit(spec_for(3, 0.0, Priority::kInteractive)).verdict,
+            AdmissionVerdict::kQueued);
+  EXPECT_EQ(coord.queued_count(), 2u);
+  EXPECT_EQ(coord.admit(spec_for(2)).verdict, AdmissionVerdict::kRejected)
+      << "a queued tenant must not be queued twice";
+
+  // Departure admits the INTERACTIVE tenant despite its later arrival.
+  EXPECT_TRUE(coord.release(1));
+  EXPECT_TRUE(coord.lease_of(3).has_value());
+  EXPECT_FALSE(coord.lease_of(2).has_value());
+  EXPECT_EQ(coord.queued_count(), 1u);
+
+  // Releasing a queued id drops it from the queue; unknown ids say no.
+  EXPECT_TRUE(coord.release(2));
+  EXPECT_EQ(coord.queued_count(), 0u);
+  EXPECT_FALSE(coord.release(99));
+
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_value(kMetricTenantQueued), 2u);
+  EXPECT_GE(snap.counter_value(kMetricTenantReleased), 1u);
+}
+
+TEST(Coordinator, ShedsInsteadOfQueueingWhenDisabled) {
+  CoordinatorOptions opt = small_wafer();
+  opt.rows = 1;
+  opt.queue_when_full = false;
+  WaferCoordinator coord(opt);
+  ASSERT_EQ(coord.admit(spec_for(1)).verdict, AdmissionVerdict::kAdmitted);
+  const AdmissionResult r = coord.admit(spec_for(2));
+  EXPECT_EQ(r.verdict, AdmissionVerdict::kRejected);
+  EXPECT_NE(r.reason.find("queueing is disabled"), std::string::npos)
+      << r.reason;
+}
+
+// --- byte identity under space-sharing --------------------------------------
+
+// Acceptance 1: every tenant's stream equals its solo run at the same
+// error bound, independent of which rows it leased.
+TEST(Coordinator, SharedOutputByteIdenticalToSoloRuns) {
+  WaferCoordinator coord(small_wafer());
+
+  struct Job {
+    TenantSpec spec;
+    std::vector<f32> data;
+  };
+  std::vector<Job> jobs;
+  for (TenantId id : {1u, 2u, 3u}) {
+    TenantSpec spec = spec_for(id);
+    spec.bound = core::ErrorBound::relative(1e-2 / static_cast<f64>(id));
+    jobs.push_back({spec, test::smooth_signal(32 * 40 + 5 * id, 100 + id)});
+    ASSERT_EQ(coord.admit(spec).verdict, AdmissionVerdict::kAdmitted);
+  }
+
+  for (const Job& job : jobs) {
+    const mapping::WaferRunResult shared =
+        coord.compress(job.spec.id, job.data);
+    EXPECT_EQ(shared.stream, solo_stream(job.spec, job.data))
+        << "tenant " << job.spec.id
+        << ": shared stream differs from the solo run";
+
+    const mapping::WaferRunResult back =
+        coord.decompress(job.spec.id, shared.stream);
+    ASSERT_EQ(back.output.size(), job.data.size());
+    EXPECT_LE(test::max_err(job.data, back.output), shared.eps_abs * 1.0001);
+  }
+}
+
+// --- elastic remapping ------------------------------------------------------
+
+TEST(Coordinator, RemapGrowsIntoAdjacentFreeRows) {
+  const f64 t1 = one_row_gbps();
+  obs::MetricsRegistry reg;
+  WaferCoordinator coord(small_wafer(&reg));
+
+  ASSERT_EQ(coord.admit(spec_for(1, 0.9 * t1)).verdict,
+            AdmissionVerdict::kAdmitted);
+  const Lease before = *coord.lease_of(1);
+  ASSERT_EQ(before.row_count, 1u);
+
+  // Kill the lease row's column 0: traffic streams west to east, so the
+  // whole row is unusable and the quota can only be recovered by
+  // annexing a neighbor row.
+  coord.kill_pe(before.row_begin, 0);
+
+  const Lease after = *coord.lease_of(1);
+  EXPECT_GE(after.remaps, 1u);
+  EXPECT_GT(after.row_count, before.row_count);
+  EXPECT_TRUE(after.predicted.feasible);
+  EXPECT_GE(after.predicted.throughput_gbps, 0.9 * t1);
+  EXPECT_EQ(after.live_pes, after.row_count * 8 - 1);
+  EXPECT_GE(reg.snapshot().counter_value(kMetricTenantRemapped), 1u);
+  expect_disjoint_leases(coord);
+}
+
+// Acceptance 2: a fixed-seed fault storm inside ONE lease remaps only
+// that lease; the neighbors keep their rows and every tenant's output
+// stays byte-identical to its solo run.
+TEST(Coordinator, FaultStormRemapsOnlyTheHitLease) {
+  const f64 t1 = one_row_gbps();
+  obs::MetricsRegistry reg;
+  WaferCoordinator coord(small_wafer(&reg));
+
+  struct Job {
+    TenantSpec spec;
+    std::vector<f32> data;
+  };
+  std::vector<Job> jobs;
+  for (TenantId id : {1u, 2u, 3u}) {
+    TenantSpec spec = spec_for(id, 0.9 * t1);
+    spec.bound = core::ErrorBound::relative(1e-3);
+    jobs.push_back({spec, test::smooth_signal(32 * 32, 200 + id)});
+    ASSERT_EQ(coord.admit(spec).verdict, AdmissionVerdict::kAdmitted);
+  }
+  const Lease a0 = *coord.lease_of(1);
+  const Lease b0 = *coord.lease_of(2);
+  const Lease c0 = *coord.lease_of(3);
+
+  // A deterministic storm confined to tenant 2's single row: kill its
+  // head column (the whole row dies) plus a mid-row PE.
+  wse::FaultPlan storm(/*seed=*/42);
+  storm.kill_pe(b0.row_begin, 0);
+  storm.kill_pe(b0.row_begin, 4);
+  coord.inject_faults(storm);
+
+  // Tenant 2 was remapped (its row is boxed in between tenants 1 and 3,
+  // so it must have been re-placed elsewhere); 1 and 3 are untouched.
+  const Lease a1 = *coord.lease_of(1);
+  const Lease b1 = *coord.lease_of(2);
+  const Lease c1 = *coord.lease_of(3);
+  EXPECT_EQ(a1.row_begin, a0.row_begin);
+  EXPECT_EQ(a1.row_count, a0.row_count);
+  EXPECT_EQ(a1.remaps, 0u);
+  EXPECT_EQ(c1.row_begin, c0.row_begin);
+  EXPECT_EQ(c1.row_count, c0.row_count);
+  EXPECT_EQ(c1.remaps, 0u);
+  EXPECT_GE(b1.remaps, 1u);
+  EXPECT_NE(b1.row_begin, b0.row_begin);
+  expect_disjoint_leases(coord);
+
+  // Bounded predicted loss: the re-placed lease meets its quota again.
+  EXPECT_TRUE(b1.predicted.feasible);
+  EXPECT_GE(b1.predicted.throughput_gbps, 0.9 * t1);
+  EXPECT_GE(reg.snapshot().counter_value(kMetricTenantRemapped), 1u);
+
+  // Zero impact on anyone's bytes — including the remapped tenant's.
+  for (const Job& job : jobs) {
+    EXPECT_EQ(coord.compress(job.spec.id, job.data).stream,
+              solo_stream(job.spec, job.data))
+        << "tenant " << job.spec.id << " after the storm";
+  }
+}
+
+TEST(Coordinator, BoxedInLeaseDegradesLoudly) {
+  const f64 t1 = one_row_gbps();
+  obs::MetricsRegistry reg;
+  CoordinatorOptions opt = small_wafer(&reg);
+  opt.rows = 1;  // nowhere to grow, nowhere to re-place
+  WaferCoordinator coord(opt);
+  ASSERT_EQ(coord.admit(spec_for(1, 0.9 * t1)).verdict,
+            AdmissionVerdict::kAdmitted);
+
+  coord.kill_pe(0, 0);
+
+  const Lease lease = *coord.lease_of(1);
+  EXPECT_FALSE(lease.predicted.feasible)
+      << "the only row is dead; the prediction must say so";
+  EXPECT_EQ(lease.predicted.throughput_gbps, 0.0);
+  EXPECT_GE(reg.snapshot().counter_value(kMetricTenantQuotaViolations), 1u);
+  EXPECT_EQ(coord.active_count(), 1u) << "degraded, not evicted";
+}
+
+TEST(Coordinator, FaultsOnFreeRowsSteerLaterPlacements) {
+  WaferCoordinator coord(small_wafer());
+  // Rows 0-2 die before any tenant arrives; the first admission must
+  // land south of them (prediction sees zero pipelines there).
+  wse::FaultPlan plan;
+  for (u32 r = 0; r < 3; ++r) plan.kill_pe(r, 0);
+  coord.inject_faults(plan);
+  const AdmissionResult r = coord.admit(spec_for(1, 1e-6));
+  ASSERT_EQ(r.verdict, AdmissionVerdict::kAdmitted) << r.reason;
+  EXPECT_GE(r.lease->row_begin, 3u);
+}
+
+// --- CSNP v3 tenant fields --------------------------------------------------
+
+TEST(ProtocolV3, TenantTagRoundTrips) {
+  net::FrameHeader h;
+  h.opcode = net::Opcode::kCompress;
+  h.request_id = 77;
+  h.payload_bytes = 0;
+  h.tenant = net::TenantTag{0xdeadbeefu, net::kPriorityInteractive};
+  std::vector<u8> bytes;
+  net::append_frame_header(bytes, h);
+  ASSERT_EQ(bytes.size(), net::kFrameHeaderBytes);
+
+  const net::FrameHeader back =
+      net::parse_frame_header(bytes, net::kDefaultMaxPayload);
+  EXPECT_EQ(back.version, 3u);
+  EXPECT_EQ(back.tenant.tenant_id, 0xdeadbeefu);
+  EXPECT_EQ(back.tenant.priority, net::kPriorityInteractive);
+}
+
+TEST(ProtocolV3, DefaultTagIsUntenanted) {
+  net::FrameHeader h;
+  std::vector<u8> bytes;
+  net::append_frame_header(bytes, h);
+  const net::FrameHeader back =
+      net::parse_frame_header(bytes, net::kDefaultMaxPayload);
+  EXPECT_EQ(back.tenant.tenant_id, 0u);
+  EXPECT_EQ(back.tenant.priority, net::kPriorityStandard);
+}
+
+TEST(ProtocolV3, RejectsUnknownPriorityAndReservedBytes) {
+  net::FrameHeader h;
+  std::vector<u8> good;
+  net::append_frame_header(good, h);
+
+  auto bad = good;
+  bad[32] = net::kPriorityMax + 1;
+  EXPECT_THROW(net::parse_frame_header(bad, net::kDefaultMaxPayload), Error);
+  for (int i = 33; i <= 35; ++i) {
+    bad = good;
+    bad[i] = 1;
+    EXPECT_THROW(net::parse_frame_header(bad, net::kDefaultMaxPayload), Error)
+        << "reserved byte " << i << " must be zero";
+  }
+}
+
+// --- live tenancy-enabled server --------------------------------------------
+
+TEST(TenantService, ServerAdmitsFirstTenantAndShedsTheSecond) {
+  net::ServerOptions opt;
+  opt.port = 0;
+  opt.workers = 2;
+  opt.engine.threads = 2;
+  opt.tenancy.enabled = true;
+  opt.tenancy.wafer_rows = 4;
+  opt.tenancy.max_tenants = 1;
+  net::ServiceServer server(std::move(opt));
+  server.start();
+  ASSERT_NE(server.coordinator(), nullptr);
+
+  const auto data = test::smooth_signal(8192);
+  const auto bound = core::ErrorBound::relative(1e-3);
+
+  net::CereszClient first;
+  first.set_tenant(1, net::kPriorityInteractive);
+  first.connect("127.0.0.1", server.port());
+  const auto stream = first.compress(data, bound);
+  EXPECT_FALSE(stream.empty());
+  EXPECT_EQ(server.coordinator()->active_count(), 1u);
+  const std::optional<Lease> lease = server.coordinator()->lease_of(1);
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_EQ(lease->spec.priority, Priority::kInteractive);
+
+  // Tenant 2 cannot get a lease (max_tenants = 1): shed with BUSY, the
+  // standing load-shedding contract.
+  net::CereszClient second;
+  second.set_tenant(2);
+  second.connect("127.0.0.1", server.port());
+  try {
+    (void)second.compress(data, bound);
+    FAIL() << "expected a BUSY shed for the unplaceable tenant";
+  } catch (const net::ServiceError& e) {
+    EXPECT_EQ(e.status(), net::Status::kBusy);
+  }
+
+  // Untenanted traffic (tenant 0) bypasses the coordinator entirely.
+  net::CereszClient legacy;
+  legacy.connect("127.0.0.1", server.port());
+  EXPECT_EQ(legacy.compress(data, bound), stream);
+
+  // Tenant departure frees the lease; the shed tenant can now come in.
+  ASSERT_TRUE(server.coordinator()->release(2))
+      << "the shed tenant was queued and must be droppable";
+  ASSERT_TRUE(server.coordinator()->release(1));
+  EXPECT_FALSE(second.compress(data, bound).empty());
+
+  server.stop();
+  const auto snap = server.metrics().snapshot();
+  EXPECT_GE(snap.counter_value(net::kMetricTenantShed), 1u);
+  EXPECT_GE(snap.counter_value(kMetricTenantAdmitted), 2u);
+  EXPECT_GE(
+      snap.counter_value(tenant_metric_name(1, "requests_total")), 1u);
+}
+
+}  // namespace
+}  // namespace ceresz::tenant

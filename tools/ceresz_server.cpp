@@ -5,6 +5,8 @@
 //                 [--max-frame-mb MB] [--io-timeout-ms T]
 //                 [--idle-timeout-ms T] [--drain-ms T]
 //                 [--metrics-out FILE]
+//                 [--tenants N] [--tenant-quota-gbps Q]
+//                 [--wafer-rows R] [--wafer-cols C]
 //
 // Binds 127.0.0.1:P (default 4860; 0 = ephemeral, printed on startup),
 // accepts CSNP frames (docs/service.md), and serves COMPRESS /
@@ -67,6 +69,16 @@ int usage() {
       "                    before stopping (default 10000)\n"
       "  --metrics-out F   write the final metrics snapshot on shutdown\n"
       "                    (.prom = Prometheus text, else JSON)\n"
+      "  --tenants N       enable multi-tenant wafer coordination with up\n"
+      "                    to N concurrent tenants (docs/tenancy.md);\n"
+      "                    CSNP v3 frames with a nonzero tenant id are\n"
+      "                    admitted against a wafer lease, others bypass\n"
+      "                    (default 0 = tenancy disabled)\n"
+      "  --tenant-quota-gbps Q  standard-priority admission quota in\n"
+      "                    GB/s; interactive asks 2x, batch 0.5x\n"
+      "                    (default 0 = best effort)\n"
+      "  --wafer-rows R    coordinated wafer rows (default 12)\n"
+      "  --wafer-cols C    coordinated wafer columns (default 8)\n"
       "exit codes: 0 clean shutdown, 1 runtime error, 2 usage error\n");
   return 2;
 }
@@ -76,6 +88,14 @@ bool parse_u64(const char* s, u64& out) {
   const unsigned long long v = std::strtoull(s, &end, 10);
   if (end == s || *end != '\0') return false;
   out = static_cast<u64>(v);
+  return true;
+}
+
+bool parse_f64(const char* s, f64& out) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || v < 0.0) return false;
+  out = v;
   return true;
 }
 
@@ -138,6 +158,24 @@ int main(int argc, char** argv) {
       const char* s = value();
       if (!s) return usage();
       metrics_out = s;
+    } else if (a == "--tenants") {
+      const char* s = value();
+      if (!s || !parse_u64(s, v) || v == 0 || v > 1024) return usage();
+      opt.tenancy.enabled = true;
+      opt.tenancy.max_tenants = static_cast<u32>(v);
+    } else if (a == "--tenant-quota-gbps") {
+      const char* s = value();
+      f64 q = 0.0;
+      if (!s || !parse_f64(s, q)) return usage();
+      opt.tenancy.default_quota_gbps = q;
+    } else if (a == "--wafer-rows") {
+      const char* s = value();
+      if (!s || !parse_u64(s, v) || v == 0 || v > 4096) return usage();
+      opt.tenancy.wafer_rows = static_cast<u32>(v);
+    } else if (a == "--wafer-cols") {
+      const char* s = value();
+      if (!s || !parse_u64(s, v) || v == 0 || v > 4096) return usage();
+      opt.tenancy.wafer_cols = static_cast<u32>(v);
     } else if (a == "--help" || a == "-h") {
       usage();
       return 0;
@@ -157,6 +195,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     server.resolved_max_inflight()),
                 static_cast<unsigned>(server.options().default_deadline_ms));
+    if (server.options().tenancy.enabled) {
+      std::printf("ceresz_server tenancy: max-tenants=%u wafer=%ux%u "
+                  "quota-gbps=%.3f\n",
+                  static_cast<unsigned>(server.options().tenancy.max_tenants),
+                  static_cast<unsigned>(server.options().tenancy.wafer_rows),
+                  static_cast<unsigned>(server.options().tenancy.wafer_cols),
+                  server.options().tenancy.default_quota_gbps);
+    }
     std::fflush(stdout);
 
     std::signal(SIGINT, handle_signal);
