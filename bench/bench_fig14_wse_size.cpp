@@ -5,11 +5,98 @@
 // Meshes up to 128 columns are simulated (one saturated row, row-linear
 // scaling); the two largest entries additionally print the Formula (2)-(4)
 // model prediction, which the simulated sizes validate.
+//
+// With --history, a FIXED 256x4 exact run (every row simulated through the
+// parallel simulator core on --sim-threads workers, independent of
+// CERESZ_BENCH_SCALE) is compared against the extrapolation path and its
+// makespan / relative error / wall time are appended to the bench history
+// for ceresz_perfgate. The pass exits nonzero if the error exceeds the
+// committed mapping::kExtrapolationRelTolerance.
 #include "bench_util.h"
+#include "mapping/perf_model.h"
 
 using namespace ceresz;
 
-int main() {
+namespace {
+
+/// The fixed 256-row differential pass behind --history.
+bool validation_run(u32 sim_threads, bench::HistoryWriter& history) {
+  const data::Field field =
+      data::generate_field(data::DatasetId::kCesmAtm, 0, 42, 0.7);
+  const core::ErrorBound bound = core::ErrorBound::relative(1e-4);
+  constexpr u32 kRows = 256;
+  constexpr u32 kCols = 4;
+
+  mapping::MapperOptions opt;
+  opt.rows = kRows;
+  opt.cols = kCols;
+  opt.pipeline_length = 1;
+  opt.max_exact_rows = kRows;
+  opt.sim_threads = sim_threads;
+  opt.collect_output = false;
+  const mapping::WaferMapper exact_mapper(opt);
+  mapping::WaferRunResult exact;
+  const f64 wall = bench::time_seconds(
+      [&] { exact = exact_mapper.compress(field.view(), bound); });
+
+  // 16 representative rows: the makespan is a MAX over rows, so on
+  // heterogeneous data a tiny sample systematically underestimates it
+  // (4 rows is ~10% off on this workload); 16 rows samples enough of the
+  // round-robin block deal to capture the governing row.
+  opt.max_exact_rows = 16;
+  const mapping::WaferMapper extrap_mapper(opt);
+  const auto extrap = extrap_mapper.compress(field.view(), bound);
+
+  const f64 rel_err =
+      std::abs(extrap.throughput_gbps - exact.throughput_gbps) /
+      exact.throughput_gbps;
+  std::printf("validation: exact %ux%u mesh (%u-thread sim) makespan %llu "
+              "cycles, %.3f GB/s in %.3fs wall; extrapolated (16 rows) "
+              "%.3f GB/s; rel err %.4f (tolerance %.2f)\n",
+              kRows, kCols, sim_threads,
+              static_cast<unsigned long long>(exact.makespan),
+              exact.throughput_gbps, wall, extrap.throughput_gbps, rel_err,
+              mapping::kExtrapolationRelTolerance);
+
+  history.add("fig14_wse_size", "exact256x4_makespan_cycles",
+              static_cast<f64>(exact.makespan), "cycles", "lower", 0.01);
+  history.add("fig14_wse_size", "extrapolation_rel_err", rel_err, "frac",
+              "lower", 0.01);
+  history.add("fig14_wse_size", "sim_wall_seconds", wall, "s", "lower", 1.5);
+  if (rel_err > mapping::kExtrapolationRelTolerance) {
+    std::fprintf(stderr,
+                 "validation FAILED: extrapolation error %.4f exceeds the "
+                 "committed tolerance %.2f\n",
+                 rel_err, mapping::kExtrapolationRelTolerance);
+    return false;
+  }
+  return history.ok();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  u32 sim_threads = 1;
+  std::string history_out;
+  bool validate = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--sim-threads" && i + 1 < argc) {
+      sim_threads = static_cast<u32>(std::atoi(argv[++i]));
+    } else if (a == "--history" && i + 1 < argc) {
+      history_out = argv[++i];
+      validate = true;
+    } else if (a == "--validate") {
+      validate = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_fig14_wse_size [--sim-threads N] "
+                   "[--history FILE] [--validate]\n");
+      return 2;
+    }
+  }
+  if (sim_threads < 1) sim_threads = 1;
+
   std::printf("=== Figure 14: compression throughput vs WSE size "
               "(REL 1e-4) ===\n\n");
 
@@ -35,8 +122,9 @@ int main() {
                      "PEs ratio"});
     f64 base = 0.0;
     for (const auto& size : sizes) {
-      const auto sim = bench::simulate_compression(all, bound, size.cols, 1,
-                                                   size.rows);
+      const auto sim =
+          bench::simulate_compression(all, bound, size.cols, 1, size.rows, 4,
+                                      /*max_exact_rows=*/1, sim_threads);
       if (base == 0.0) base = sim.gbps_full_mesh;
       const f64 pes =
           static_cast<f64>(size.rows) * size.cols / (16.0 * 16.0);
@@ -53,5 +141,12 @@ int main() {
               "meshes the per-row relay constant C1 begins to bound the "
               "gain from extra columns (Formula 4's PL*C1 term), while row "
               "scaling stays linear.\n");
-  return 0;
+
+  bool validation_ok = true;
+  if (validate) {
+    bench::HistoryWriter history(history_out);
+    std::printf("\n");
+    validation_ok = validation_run(sim_threads, history);
+  }
+  return validation_ok ? 0 : 1;
 }

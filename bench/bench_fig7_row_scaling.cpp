@@ -2,11 +2,96 @@
 // with different numbers of PE rows, running the whole compression on the
 // first PE of each row (parallelization strategy 1). The paper observes
 // linear scaling because rows never communicate.
+//
+// With --history, an additional near-wafer validation pass runs a FIXED
+// workload (independent of CERESZ_BENCH_SCALE) on 128 rows two ways —
+// exactly, through the parallel simulator core (every row simulated, row
+// bands spread over --sim-threads workers), and through the Formula
+// (2)-(4) extrapolation path (4 representative rows) — and appends the
+// exact makespan, the extrapolation's relative throughput error, and the
+// exact run's wall time to the bench history for ceresz_perfgate. The
+// pass exits nonzero if the error exceeds the committed
+// mapping::kExtrapolationRelTolerance.
 #include "bench_util.h"
+#include "mapping/perf_model.h"
 
 using namespace ceresz;
 
-int main() {
+namespace {
+
+/// The fixed 128-row differential pass behind --history.
+bool validation_run(u32 sim_threads, bench::HistoryWriter& history) {
+  const data::Field field =
+      data::generate_field(data::DatasetId::kNyx, 4 /*temperature*/, 42, 0.35);
+  const core::ErrorBound bound = core::ErrorBound::relative(1e-3);
+  constexpr u32 kRows = 128;
+
+  mapping::MapperOptions opt;
+  opt.rows = kRows;
+  opt.cols = 1;
+  opt.max_exact_rows = kRows;
+  opt.sim_threads = sim_threads;
+  opt.collect_output = false;
+  const mapping::WaferMapper exact_mapper(opt);
+  mapping::WaferRunResult exact;
+  const f64 wall =
+      bench::time_seconds([&] { exact = exact_mapper.compress(field.view(), bound); });
+
+  opt.max_exact_rows = 4;
+  const mapping::WaferMapper extrap_mapper(opt);
+  const auto extrap = extrap_mapper.compress(field.view(), bound);
+
+  const f64 rel_err =
+      std::abs(extrap.throughput_gbps - exact.throughput_gbps) /
+      exact.throughput_gbps;
+  std::printf("validation: exact %u rows (%u-thread sim) makespan %llu "
+              "cycles, %.3f GB/s in %.3fs wall; extrapolated (4 rows) "
+              "%.3f GB/s; rel err %.4f (tolerance %.2f)\n",
+              kRows, sim_threads,
+              static_cast<unsigned long long>(exact.makespan),
+              exact.throughput_gbps, wall, extrap.throughput_gbps, rel_err,
+              mapping::kExtrapolationRelTolerance);
+
+  history.add("fig7_row_scaling", "exact128_makespan_cycles",
+              static_cast<f64>(exact.makespan), "cycles", "lower", 0.01);
+  history.add("fig7_row_scaling", "extrapolation_rel_err", rel_err, "frac",
+              "lower", 0.01);
+  history.add("fig7_row_scaling", "sim_wall_seconds", wall, "s", "lower",
+              1.5);
+  if (rel_err > mapping::kExtrapolationRelTolerance) {
+    std::fprintf(stderr,
+                 "validation FAILED: extrapolation error %.4f exceeds the "
+                 "committed tolerance %.2f\n",
+                 rel_err, mapping::kExtrapolationRelTolerance);
+    return false;
+  }
+  return history.ok();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  u32 sim_threads = 1;
+  std::string history_out;
+  bool validate = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--sim-threads" && i + 1 < argc) {
+      sim_threads = static_cast<u32>(std::atoi(argv[++i]));
+    } else if (a == "--history" && i + 1 < argc) {
+      history_out = argv[++i];
+      validate = true;
+    } else if (a == "--validate") {
+      validate = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_fig7_row_scaling [--sim-threads N] "
+                   "[--history FILE] [--validate]\n");
+      return 2;
+    }
+  }
+  if (sim_threads < 1) sim_threads = 1;
+
   std::printf("=== Figure 7: throughput vs number of PE rows "
               "(NYX temperature, block 32, first PE of each row) ===\n\n");
 
@@ -21,6 +106,7 @@ int main() {
     opt.rows = rows;
     opt.cols = 1;  // whole kernel on the first PE of each row
     opt.max_exact_rows = rows;
+    opt.sim_threads = sim_threads;
     opt.collect_output = false;
     const mapping::WaferMapper mapper(opt);
     const auto run = mapper.compress(field.view(), bound);
@@ -34,5 +120,12 @@ int main() {
   std::printf("shape check: throughput increases linearly with the row "
               "count (the paper's Fig. 7), because rows process disjoint "
               "block streams with no communication.\n");
-  return 0;
+
+  bool validation_ok = true;
+  if (validate) {
+    bench::HistoryWriter history(history_out);
+    std::printf("\n");
+    validation_ok = validation_run(sim_threads, history);
+  }
+  return validation_ok ? 0 : 1;
 }

@@ -2,10 +2,14 @@
 //
 // Methodology notes (see DESIGN.md for the full substitution table):
 //  - CereSZ throughput comes from the event-driven WSE simulation. Rows
-//    never communicate, so we simulate ONE saturated row (several full
-//    rounds of its pipelines) and scale by the row count of the target
-//    mesh — the row-linearity this relies on is itself validated by the
-//    Fig. 7 bench and the exact small-mesh runs in Fig. 14.
+//    never communicate, so by default we simulate ONE saturated row
+//    (several full rounds of its pipelines) and scale by the row count
+//    of the target mesh — the row-linearity this relies on is itself
+//    validated by the Fig. 7 bench and, since the parallel simulator
+//    core (wse::WaferSimulator, docs/simulator.md), by exact
+//    multi-hundred-row runs: pass `max_exact_rows`/`sim_threads` to the
+//    simulate_* helpers (or --sim-threads to the fig7/fig14 benches) to
+//    simulate every row exactly across host threads instead of scaling.
 //  - Baseline GPU/CPU throughput is modeled (baselines::DeviceModel),
 //    calibrated to the paper's reported numbers; compression ratios and
 //    quality are always measured from the real reimplementations.
@@ -50,11 +54,16 @@ struct SimulatedRun {
 };
 
 /// Simulate CereSZ compression on one saturated row of `cols` columns and
-/// scale to a `full_rows`-row mesh of the same width.
+/// scale to a `full_rows`-row mesh of the same width. `max_exact_rows` > 1
+/// simulates up to that many of the saturated rows exactly (the parallel
+/// simulator spreads the row bands over `sim_threads` host workers);
+/// the defaults preserve the single-row scaling methodology.
 inline SimulatedRun simulate_compression(std::span<const f32> data,
                                          core::ErrorBound bound, u32 cols,
                                          u32 pipeline_length, u32 full_rows,
-                                         u32 target_rounds = 4) {
+                                         u32 target_rounds = 4,
+                                         u32 max_exact_rows = 1,
+                                         u32 sim_threads = 1) {
   const u32 L = 32;
   const u64 blocks = (data.size() + L - 1) / L;
   const u32 n_pipes = cols / pipeline_length;
@@ -67,13 +76,14 @@ inline SimulatedRun simulate_compression(std::span<const f32> data,
   opt.rows = rows;
   opt.cols = cols;
   opt.pipeline_length = pipeline_length;
-  opt.max_exact_rows = 1;
+  opt.max_exact_rows = max_exact_rows;
+  opt.sim_threads = sim_threads;
   opt.collect_output = false;
   const mapping::WaferMapper mapper(opt);
 
   SimulatedRun out;
   out.run = mapper.compress(data, bound);
-  out.rows_simulated = 1;
+  out.rows_simulated = out.run.rows_simulated;
   out.rows_saturated = rows;
   out.gbps_simulated = out.run.throughput_gbps;
   out.gbps_full_mesh =
@@ -85,7 +95,9 @@ inline SimulatedRun simulate_compression(std::span<const f32> data,
 inline SimulatedRun simulate_decompression(std::span<const u8> stream,
                                            u64 element_count, u32 cols,
                                            u32 pipeline_length, u32 full_rows,
-                                           u32 target_rounds = 4) {
+                                           u32 target_rounds = 4,
+                                           u32 max_exact_rows = 1,
+                                           u32 sim_threads = 1) {
   const u32 L = 32;
   const u64 blocks = (element_count + L - 1) / L;
   const u32 n_pipes = cols / pipeline_length;
@@ -97,13 +109,14 @@ inline SimulatedRun simulate_decompression(std::span<const u8> stream,
   opt.rows = rows;
   opt.cols = cols;
   opt.pipeline_length = pipeline_length;
-  opt.max_exact_rows = 1;
+  opt.max_exact_rows = max_exact_rows;
+  opt.sim_threads = sim_threads;
   opt.collect_output = false;
   const mapping::WaferMapper mapper(opt);
 
   SimulatedRun out;
   out.run = mapper.decompress(stream);
-  out.rows_simulated = 1;
+  out.rows_simulated = out.run.rows_simulated;
   out.rows_saturated = rows;
   out.gbps_simulated = out.run.throughput_gbps;
   out.gbps_full_mesh =

@@ -3,9 +3,10 @@
 # engine, the checksum kernels, the fault-injection chaos suite, the
 # observability registry/tracer suite, the network service suite
 # (reader/worker threads, BufferPool, shutdown paths), the network
-# chaos suite (ChaosProxy relay threads, client retry loop, drain), and
-# the tenant coordinator suite (mutex-guarded lease bookkeeping racing
-# the server's reader threads).
+# chaos suite (ChaosProxy relay threads, client retry loop, drain), the
+# tenant coordinator suite (mutex-guarded lease bookkeeping racing
+# the server's reader threads), and the parallel-simulator differential
+# suite (WaferSimulator row bands on shared thread pools).
 #
 #   scripts/run_sanitizer_tests.sh thread  [build-dir]   # ThreadSanitizer
 #   scripts/run_sanitizer_tests.sh address [build-dir]   # AddressSanitizer
@@ -43,7 +44,7 @@ cmake -B "$BUILD_DIR" -S . \
 
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target test_engine test_checksum test_fault_injection test_obs \
-  test_service test_chaos test_tenant
+  test_service test_chaos test_tenant test_wafer_sim
 
 cd "$BUILD_DIR"
 if [ "$MODE" = "thread" ]; then
@@ -52,5 +53,5 @@ else
   export ASAN_OPTIONS="halt_on_error=1 detect_stack_use_after_return=1"
 fi
 ctest --output-on-failure \
-  -R '^test_(engine|checksum|fault_injection|obs|service|chaos|tenant)$'
+  -R '^test_(engine|checksum|fault_injection|obs|service|chaos|tenant|wafer_sim)$'
 echo "${MODE} sanitizer tests passed."

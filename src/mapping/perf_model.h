@@ -23,6 +23,19 @@
 
 namespace ceresz::mapping {
 
+/// Committed accuracy bound for the mapper's extrapolation path: the
+/// relative error between an extrapolated throughput/makespan (simulate
+/// `max_exact_rows` representative rows, reuse the makespan for the full
+/// mesh) and an exact full-mesh simulation of the same workload. The
+/// differential suite (tests/test_wafer_sim.cpp) runs a multi-hundred-row
+/// exact simulation through the parallel wse::WaferSimulator and fails if
+/// the extrapolation drifts past this bound, and CI runs that suite on
+/// every change — so the bound is a regression-checked contract, not an
+/// aspiration. Rows are independent in CereSZ, so the residual error is
+/// only the block-share remainder when rows don't divide the workload
+/// evenly; 5% comfortably covers it at realistic block counts.
+inline constexpr f64 kExtrapolationRelTolerance = 0.05;
+
 struct PerfPrediction {
   /// False when the modeled mesh cannot run at all (no surviving rows or
   /// no surviving pipelines after faults): every cycle count is zero and

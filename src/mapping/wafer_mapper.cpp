@@ -8,6 +8,7 @@
 #include "mapping/perf_model.h"
 #include "mapping/pipeline_program.h"
 #include "obs/analysis/model_check.h"
+#include "wse/wafer_sim.h"
 
 namespace ceresz::mapping {
 
@@ -213,6 +214,23 @@ void export_predictions(obs::MetricsRegistry* reg, const MapperOptions& opt,
   reg->gauge(oa::kGaugePredictedRounds).set(static_cast<f64>(p.rounds));
 }
 
+/// The parallel simulator configured for this run's mesh: row bands
+/// share the full fault plan (global coordinates), observability sinks,
+/// and optionally the caller's worker pool.
+wse::WaferSimOptions sim_options(const MapperOptions& opt, u32 rows_sim) {
+  wse::WaferSimOptions sopt;
+  sopt.wse = opt.wse;
+  sopt.wse.rows = rows_sim;
+  sopt.wse.cols = opt.cols;
+  sopt.sim_threads = opt.sim_threads;
+  sopt.rows_per_group = opt.sim_rows_per_group;
+  sopt.fault_plan = opt.fault_plan;
+  sopt.tracer = opt.tracer;
+  sopt.metrics = opt.metrics;
+  sopt.pool = opt.sim_pool;
+  return sopt;
+}
+
 /// Fold a finished run into the caller's long-lived registry.
 void record_mapper_metrics(obs::MetricsRegistry* reg,
                            const WaferRunResult& result) {
@@ -345,18 +363,15 @@ WaferRunResult WaferMapper::compress(std::span<const f32> data,
     options_.tracer->record(ev);
   }
 
-  // 3. Build and run the fabric.
-  wse::WseConfig wcfg = options_.wse;
-  wcfg.rows = result.rows_simulated;
-  wcfg.cols = options_.cols;
-  wse::Fabric fabric(wcfg);
-  fabric.set_fault_plan(options_.fault_plan);
-  fabric.set_tracer(options_.tracer);
-  fabric.set_metrics(options_.metrics);
+  // 3. Build and run the parallel simulator (one band per row by
+  // default; bands execute concurrently on sim_threads / sim_pool).
+  wse::WaferSimulator sim(sim_options(options_, result.rows_simulated));
+  const wse::WseConfig& wcfg = sim.options().wse;
   auto executor = std::make_shared<const SubStageExecutor>(
       options_.codec, options_.cost, result.eps_abs);
   for (std::size_t s = 0; s < layout.slots.size(); ++s) {
-    build_row_program(fabric, layout.slots[s].row, result.plan,
+    build_row_program(sim.fabric_for_row(layout.slots[s].row),
+                      layout.slots[s].row, result.plan,
                       PipeDirection::kCompress, executor,
                       std::move(assignment.per_row[s]),
                       options_.ingress_cycles_per_wavelet,
@@ -364,7 +379,7 @@ WaferRunResult WaferMapper::compress(std::span<const f32> data,
   }
   {
     obs::SpanGuard span(options_.tracer, "mapper.fabric_run", "mapper");
-    result.run_stats = fabric.run();
+    result.run_stats = sim.run();
   }
   enrich_thread_names(options_, layout, result.plan, L);
   export_predictions(options_.metrics, options_, layout, result.plan,
@@ -376,14 +391,14 @@ WaferRunResult WaferMapper::compress(std::span<const f32> data,
 
   result.row0_stats.reserve(options_.cols);
   for (u32 c = 0; c < options_.cols; ++c) {
-    result.row0_stats.push_back(fabric.stats(0, c));
+    result.row0_stats.push_back(sim.stats(0, c));
   }
 
   // 4. Assemble the stream (exact mode only: every block was simulated).
   if (options_.collect_output && !result.extrapolated) {
     obs::SpanGuard span(options_.tracer, "mapper.assemble", "mapper");
     std::vector<std::span<const u8>> records(n_blocks);
-    for (const auto& rec : fabric.results()) {
+    for (const auto& rec : sim.results()) {
       if (rec.tag >= kPadTagBase) continue;
       records[rec.tag] = rec.bytes;
     }
@@ -527,17 +542,13 @@ WaferRunResult WaferMapper::decompress(std::span<const u8> stream) const {
     options_.tracer->record(ev);
   }
 
-  wse::WseConfig wcfg = options_.wse;
-  wcfg.rows = result.rows_simulated;
-  wcfg.cols = options_.cols;
-  wse::Fabric fabric(wcfg);
-  fabric.set_fault_plan(options_.fault_plan);
-  fabric.set_tracer(options_.tracer);
-  fabric.set_metrics(options_.metrics);
+  wse::WaferSimulator sim(sim_options(options_, result.rows_simulated));
+  const wse::WseConfig& wcfg = sim.options().wse;
   auto executor = std::make_shared<const SubStageExecutor>(
       options_.codec, options_.cost, eps_abs);
   for (std::size_t s = 0; s < layout.slots.size(); ++s) {
-    build_row_program(fabric, layout.slots[s].row, result.plan,
+    build_row_program(sim.fabric_for_row(layout.slots[s].row),
+                      layout.slots[s].row, result.plan,
                       PipeDirection::kDecompress, executor,
                       std::move(assignment.per_row[s]),
                       options_.ingress_cycles_per_wavelet,
@@ -545,7 +556,7 @@ WaferRunResult WaferMapper::decompress(std::span<const u8> stream) const {
   }
   {
     obs::SpanGuard span(options_.tracer, "mapper.fabric_run", "mapper");
-    result.run_stats = fabric.run();
+    result.run_stats = sim.run();
   }
   enrich_thread_names(options_, layout, result.plan, L);
   {
@@ -565,13 +576,13 @@ WaferRunResult WaferMapper::decompress(std::span<const u8> stream) const {
 
   result.row0_stats.reserve(options_.cols);
   for (u32 c = 0; c < options_.cols; ++c) {
-    result.row0_stats.push_back(fabric.stats(0, c));
+    result.row0_stats.push_back(sim.stats(0, c));
   }
 
   if (options_.collect_output && !result.extrapolated) {
     obs::SpanGuard span(options_.tracer, "mapper.assemble", "mapper");
     result.output.assign(n_blocks * L, 0.0f);
-    for (const auto& rec : fabric.results()) {
+    for (const auto& rec : sim.results()) {
       if (rec.tag >= kPadTagBase) continue;
       CERESZ_CHECK(rec.bytes.size() == L * sizeof(f32),
                    "WaferMapper: bad reconstructed block size");

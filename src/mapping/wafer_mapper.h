@@ -4,11 +4,18 @@
 // counter / 850 MHz, Section 5.1.1).
 //
 // Scaling strategy: CereSZ's rows never communicate (the basis of the
-// paper's Fig. 7 linear row scaling), so meshes with at most
-// `max_exact_rows` rows are simulated exactly, while larger meshes
-// simulate `max_exact_rows` representative rows — each processing the
-// block share a full mesh would give it — and reuse the measured makespan
-// for the full mesh. Results carry an `extrapolated` flag.
+// paper's Fig. 7 linear row scaling), which the simulator exploits twice.
+// First, exact runs go through wse::WaferSimulator, which partitions the
+// mesh into independent row bands and simulates them concurrently on
+// `sim_threads` workers (or a borrowed engine::ThreadPool) with a
+// deterministic band-order merge — output is bit-identical and every
+// virtual-cycle count is stable regardless of thread count, so
+// `max_exact_rows` can be raised to near-wafer scale. Second, meshes
+// beyond `max_exact_rows` simulate that many representative rows — each
+// processing the block share a full mesh would give it — and reuse the
+// measured makespan for the full mesh. Results carry an `extrapolated`
+// flag; tests/test_wafer_sim.cpp validates the extrapolation against
+// multi-hundred-row exact runs within kExtrapolationRelTolerance.
 #pragma once
 
 #include <span>
@@ -24,6 +31,10 @@
 #include "obs/trace.h"
 #include "wse/config.h"
 #include "wse/fabric.h"
+
+namespace ceresz::engine {
+class ThreadPool;
+}
 
 namespace ceresz::mapping {
 
@@ -55,6 +66,18 @@ struct MapperOptions {
   wse::WseConfig wse{};
   /// Simulate at most this many rows exactly; beyond it, extrapolate.
   u32 max_exact_rows = 4;
+  /// Worker threads for the parallel simulator core (row bands run
+  /// concurrently; <= 1 simulates serially). Pure host-side parallelism:
+  /// the simulated outcome is bit-identical for every value. Ignored
+  /// when `sim_pool` is set.
+  u32 sim_threads = 1;
+  /// Rows per simulated band (0 = one band per row). Like sim_threads,
+  /// changing it never changes the simulated outcome.
+  u32 sim_rows_per_group = 0;
+  /// Borrowed worker pool to run row bands on instead of spawning one
+  /// (nullable; must outlive the mapper's runs). Safe to share with the
+  /// compression engine — the simulator never blocks on a full queue.
+  engine::ThreadPool* sim_pool = nullptr;
   /// Ingress rate: cycles between successive wavelets arriving at each
   /// row's first PE. 1.0 = saturated (Section 4.4, assumption 1).
   f64 ingress_cycles_per_wavelet = 1.0;

@@ -473,27 +473,8 @@ wse::FaultPlan WaferCoordinator::lease_fault_slice_locked(
     const Lease& lease) const {
   // Re-express the wafer faults inside the lease in lease-local row
   // coordinates (columns are shared: leases span the full width).
-  wse::FaultPlan slice;
-  const u32 begin = lease.row_begin;
-  const u32 end = lease.row_begin + lease.row_count;
-  wafer_faults_.for_each_dead([&](u32 r, u32 c) {
-    if (r >= begin && r < end && c < lease.cols) slice.kill_pe(r - begin, c);
-  });
-  wafer_faults_.for_each_slow([&](u32 r, u32 c, f64 mult) {
-    if (r >= begin && r < end && c < lease.cols) {
-      slice.slow_pe(r - begin, c, mult);
-    }
-  });
-  wafer_faults_.for_each_delivery_fault(
-      [&](u32 r, u32 c, u64 arrival, wse::DeliveryFault fault) {
-        if (r < begin || r >= end || c >= lease.cols) return;
-        if (fault == wse::DeliveryFault::kDrop) {
-          slice.drop_delivery(r - begin, c, arrival);
-        } else if (fault == wse::DeliveryFault::kCorrupt) {
-          slice.corrupt_delivery(r - begin, c, arrival);
-        }
-      });
-  return slice;
+  return wafer_faults_.slice_rows(lease.row_begin, lease.row_count,
+                                  lease.cols);
 }
 
 mapping::WaferRunResult WaferCoordinator::compress(TenantId id,
@@ -515,9 +496,10 @@ mapping::WaferRunResult WaferCoordinator::compress(TenantId id,
   mopt.codec = spec.codec;
   mopt.cost = options_.cost;
   mopt.wse = options_.wse;
-  // Faulted leases require exact simulation; lease row counts are small
-  // by construction, so simulate every row.
+  // Faulted leases require exact simulation; every lease row is
+  // simulated exactly, with row bands spread over sim_threads workers.
   mopt.max_exact_rows = mopt.rows;
+  mopt.sim_threads = options_.sim_threads;
   mopt.collect_output = true;
   mopt.metrics = options_.metrics;
 
@@ -554,6 +536,7 @@ mapping::WaferRunResult WaferCoordinator::decompress(
   mopt.cost = options_.cost;
   mopt.wse = options_.wse;
   mopt.max_exact_rows = mopt.rows;
+  mopt.sim_threads = options_.sim_threads;
   mopt.collect_output = true;
   mopt.metrics = options_.metrics;
 

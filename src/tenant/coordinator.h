@@ -145,6 +145,11 @@ struct CoordinatorOptions {
   /// (rows/cols are overwritten per lease).
   wse::WseConfig wse{};
   core::PeCostModel cost{};
+  /// Worker threads for each lease's simulator core (wse::WaferSimulator
+  /// row bands). Host-side parallelism only — simulated results are
+  /// bit-identical at any value — so larger leases can stay on the exact
+  /// (fault-aware) simulation path instead of extrapolating.
+  u32 sim_threads = 1;
   /// Active-lease cap, independent of row capacity.
   u32 max_tenants = 8;
   /// Queue jobs that fit the wafer but not the current free rows

@@ -47,13 +47,6 @@ struct Fabric::Event {
   Color color = 0; // kActivate
 };
 
-struct Fabric::EventCompare {
-  bool operator()(const Event& a, const Event& b) const {
-    if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;  // min-heap: earlier seq first for determinism
-  }
-};
-
 struct Fabric::Pe {
   u32 row = 0;
   u32 col = 0;
@@ -197,17 +190,19 @@ struct Fabric::InFlight {
   std::unordered_map<u64, PendingOp> ops;
 };
 
-Fabric::Fabric(WseConfig config)
-    : config_(config), in_flight_(std::make_unique<InFlight>()) {
+Fabric::Fabric(WseConfig config, u32 row_begin)
+    : config_(config),
+      row_begin_(row_begin),
+      in_flight_(std::make_unique<InFlight>()) {
   CERESZ_CHECK(config_.rows >= 1 && config_.cols >= 1,
                "Fabric: mesh must be at least 1x1");
   pes_.reserve(config_.pe_count());
   for (u32 r = 0; r < config_.rows; ++r) {
     for (u32 c = 0; c < config_.cols; ++c) {
       auto pe = std::make_unique<Pe>(config_.sram_bytes);
-      pe->row = r;
+      pe->row = row_begin_ + r;  // global wafer row
       pe->col = c;
-      pe->index = r * config_.cols + c;
+      pe->index = r * config_.cols + c;  // local storage index
       pes_.push_back(std::move(pe));
     }
   }
@@ -216,18 +211,20 @@ Fabric::Fabric(WseConfig config)
   }
 }
 
-Fabric::~Fabric() { delete heap_; }
+Fabric::~Fabric() = default;
 
 Fabric::Pe& Fabric::pe_at(u32 row, u32 col) {
-  CERESZ_CHECK(row < config_.rows && col < config_.cols,
+  CERESZ_CHECK(row >= row_begin_ && row - row_begin_ < config_.rows &&
+                   col < config_.cols,
                "Fabric: PE coordinate out of range");
-  return *pes_[row * config_.cols + col];
+  return *pes_[(row - row_begin_) * config_.cols + col];
 }
 
 const Fabric::Pe& Fabric::pe_at(u32 row, u32 col) const {
-  CERESZ_CHECK(row < config_.rows && col < config_.cols,
+  CERESZ_CHECK(row >= row_begin_ && row - row_begin_ < config_.rows &&
+                   col < config_.cols,
                "Fabric: PE coordinate out of range");
-  return *pes_[row * config_.cols + col];
+  return *pes_[(row - row_begin_) * config_.cols + col];
 }
 
 RouterConfig& Fabric::router(u32 row, u32 col) { return pe_at(row, col).router; }
@@ -276,7 +273,16 @@ void Fabric::set_fault_plan(FaultPlan plan) {
 
 void Fabric::push_event(Event ev) {
   ev.seq = next_seq_++;
-  heap_->push(std::move(ev));
+  HeapEntry entry{ev.time, ev.seq, 0};
+  if (!free_slots_.empty()) {
+    entry.slot = free_slots_.back();
+    free_slots_.pop_back();
+    arena_[entry.slot] = std::move(ev);
+  } else {
+    entry.slot = static_cast<u32>(arena_.size());
+    arena_.push_back(std::move(ev));
+  }
+  heap_.push(entry);
 }
 
 void Fabric::record_span(const Pe& pe, const char* name, Cycles start,
@@ -286,7 +292,9 @@ void Fabric::record_span(const Pe& pe, const char* name, Cycles start,
   ev.name = name;
   ev.cat = "fabric";
   ev.pid = obs::kFabricPid;
-  ev.tid = pe.index + 1;  // one trace row per PE
+  // One trace row per PE, keyed by GLOBAL wafer coordinates so the bands
+  // of a partitioned simulation land on distinct, stable timeline rows.
+  ev.tid = pe.row * config_.cols + pe.col + 1;
   ev.ts_ns = start * kTraceNsPerCycle;
   ev.dur_ns = (end - start) * kTraceNsPerCycle;
   ev.arg1_name = arg1_name;
@@ -300,18 +308,34 @@ RunStats Fabric::run() {
   if (tracer_) {
     tracer_->set_process_name(obs::kFabricPid, "wse-fabric (virtual cycles)");
     for (const auto& pe : pes_) {
-      tracer_->set_thread_name(obs::kFabricPid, pe->index + 1,
+      tracer_->set_thread_name(obs::kFabricPid,
+                               pe->row * config_.cols + pe->col + 1,
                                "pe[" + std::to_string(pe->row) + "," +
                                    std::to_string(pe->col) + "]");
     }
   }
-  heap_ = new std::priority_queue<Event, std::vector<Event>, EventCompare>();
-  for (auto& ev : initial_events_) push_event(std::move(ev));
-  initial_events_.clear();
+  // Bulk-load the coalesced pre-run batch: stamp sequence numbers in
+  // injection order, move every event into the arena, and heapify the
+  // handles in one O(n) pass instead of n pushes.
+  {
+    std::vector<HeapEntry> entries;
+    entries.reserve(initial_events_.size());
+    arena_.reserve(initial_events_.size());
+    for (auto& ev : initial_events_) {
+      ev.seq = next_seq_++;
+      entries.push_back({ev.time, ev.seq, static_cast<u32>(arena_.size())});
+      arena_.push_back(std::move(ev));
+    }
+    initial_events_.clear();
+    initial_events_.shrink_to_fit();
+    heap_ = decltype(heap_)(HeapCompare{}, std::move(entries));
+  }
 
-  while (!heap_->empty()) {
-    Event ev = heap_->top();
-    heap_->pop();
+  while (!heap_.empty()) {
+    const HeapEntry entry = heap_.top();
+    heap_.pop();
+    Event ev = std::move(arena_[entry.slot]);
+    free_slots_.push_back(entry.slot);
     ++events_processed_;
     makespan_ = std::max(makespan_, ev.time);
     Pe& pe = *pes_[ev.pe_index];
@@ -551,7 +575,7 @@ void Fabric::route_send(const Pe& from, Message msg, Cycles depart) {
     Event ev;
     ev.kind = Event::Kind::kDeliver;
     ev.time = head_time + msg.extent;
-    ev.pe_index = row * config_.cols + col;
+    ev.pe_index = (row - row_begin_) * config_.cols + col;
     ev.msg = msg;  // shared payload; cheap copy
     push_event(std::move(ev));
   };
@@ -568,13 +592,16 @@ void Fabric::route_send(const Pe& from, Message msg, Cycles depart) {
       if (!entry.has_output(d)) continue;
       const int nr = static_cast<int>(row) + drow(d);
       const int nc = static_cast<int>(col) + dcol(d);
-      CERESZ_CHECK(nr >= 0 && nr < static_cast<int>(config_.rows) &&
+      CERESZ_CHECK(nr >= static_cast<int>(row_begin_) &&
+                       nr < static_cast<int>(row_begin_ + config_.rows) &&
                        nc >= 0 && nc < static_cast<int>(config_.cols),
-                   "route_send: wavelet routed off the fabric edge");
+                   "route_send: wavelet routed off the simulated fabric "
+                   "(mesh edge or row-band boundary)");
       Cycles link_depart = head_time;
       if (config_.model_link_contention) {
         const std::size_t link =
-            (static_cast<std::size_t>(row) * config_.cols + col) * 4 +
+            (static_cast<std::size_t>(row - row_begin_) * config_.cols +
+             col) * 4 +
             (static_cast<std::size_t>(d) - 1);
         Cycles& free_at = link_free_[link];
         link_depart = std::max(link_depart, free_at);
@@ -593,7 +620,7 @@ void Fabric::route_send(const Pe& from, Message msg, Cycles depart) {
     CERESZ_CHECK(!visited.contains(key),
                  "route_send: color route forms a cycle");
     visited.insert(key);
-    Pe& pe = *pes_[f.row * config_.cols + f.col];
+    Pe& pe = *pes_[(f.row - row_begin_) * config_.cols + f.col];
     if (fault_plan_.is_dead(f.row, f.col)) {
       // The burst dies at a dead PE's router; hops behind it never happen.
       ++pe.stats.messages_dropped;

@@ -91,13 +91,25 @@ struct ResultRecord {
 
 class Fabric {
  public:
-  explicit Fabric(WseConfig config);
+  /// Simulate `config.rows` x `config.cols` PEs. When `row_begin` is
+  /// nonzero the fabric models the row band [row_begin, row_begin +
+  /// config.rows) of a conceptually larger wafer: every public row
+  /// coordinate (router/memory/bind_task/inject/stats, PeStats rows,
+  /// ResultRecord::row, trace thread ids, FaultPlan queries) is a GLOBAL
+  /// wafer row. This is what lets wse::WaferSimulator carve a wafer into
+  /// independently simulated bands whose outputs merge seamlessly — a
+  /// route that tries to leave the band (north of row_begin or south of
+  /// its last row) fails the same check as one leaving the wafer edge.
+  explicit Fabric(WseConfig config, u32 row_begin = 0);
   ~Fabric();
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
   const WseConfig& config() const { return config_; }
+
+  /// First global row this fabric simulates (0 for a whole-mesh fabric).
+  u32 row_begin() const { return row_begin_; }
 
   /// Router configuration of the PE at (row, col). Must be set up before
   /// run(); routes are static for the duration of a run.
@@ -132,6 +144,11 @@ class Fabric {
 
   /// Results emitted during the run, in emission order.
   const std::vector<ResultRecord>& results() const { return results_; }
+
+  /// Move the emitted results out (valid after run(); results() is empty
+  /// afterwards). Used by WaferSimulator to merge band results without
+  /// copying payload bytes.
+  std::vector<ResultRecord> take_results() { return std::move(results_); }
 
   /// Per-PE statistics (valid after run()).
   const PeStats& stats(u32 row, u32 col) const;
@@ -168,6 +185,7 @@ class Fabric {
                    const char* arg1_name = nullptr, i64 arg1 = 0);
 
   WseConfig config_;
+  u32 row_begin_ = 0;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   FaultPlan fault_plan_;
@@ -178,8 +196,27 @@ class Fabric {
   /// config_.model_link_contention is set). Key: pe_index * 4 + direction.
   std::vector<Cycles> link_free_;
 
-  struct EventCompare;
-  std::priority_queue<Event, std::vector<Event>, EventCompare>* heap_ = nullptr;
+  // Event storage is arena-allocated: Events (which carry a Message with
+  // two shared_ptrs) live in fixed `arena_` slots recycled through
+  // `free_slots_`, and the heap orders 20-byte (time, seq, slot) handles
+  // instead of sifting whole Events. Peak memory is the maximum number
+  // of concurrently scheduled events, not the run's total event count.
+  struct HeapEntry {
+    Cycles time = 0;
+    u64 seq = 0;
+    u32 slot = 0;
+  };
+  struct HeapCompare {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;  // min-heap: earlier seq first for determinism
+    }
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCompare> heap_;
+  std::vector<Event> arena_;
+  std::vector<u32> free_slots_;
+  /// Pre-run injections and activations, staged as one coalesced batch
+  /// and bulk-heapified (O(n)) when run() starts.
   std::vector<Event> initial_events_;
 
   Cycles makespan_ = 0;

@@ -75,6 +75,31 @@ void FaultPlan::for_each_delivery_fault(
   }
 }
 
+FaultPlan FaultPlan::slice_rows(u32 row_begin, u32 row_count,
+                                std::optional<u32> col_limit) const {
+  FaultPlan slice(seed_);
+  const u64 end = static_cast<u64>(row_begin) + row_count;
+  const auto in_slice = [&](u32 row, u32 col) {
+    return row >= row_begin && row < end &&
+           (!col_limit.has_value() || col < *col_limit);
+  };
+  for_each_dead([&](u32 r, u32 c) {
+    if (in_slice(r, c)) slice.kill_pe(r - row_begin, c);
+  });
+  for_each_slow([&](u32 r, u32 c, f64 mult) {
+    if (in_slice(r, c)) slice.slow_pe(r - row_begin, c, mult);
+  });
+  for_each_delivery_fault([&](u32 r, u32 c, u64 arrival, DeliveryFault f) {
+    if (!in_slice(r, c)) return;
+    if (f == DeliveryFault::kDrop) {
+      slice.drop_delivery(r - row_begin, c, arrival);
+    } else {
+      slice.corrupt_delivery(r - row_begin, c, arrival);
+    }
+  });
+  return slice;
+}
+
 std::optional<u32> FaultPlan::first_dead_col(u32 row) const {
   const auto it = dead_by_row_.find(row);
   if (it == dead_by_row_.end() || it->second.empty()) return std::nullopt;

@@ -8,9 +8,10 @@
 // so the same seed always yields the same fault schedule — chaos tests can
 // assert exact counters and byte-identical recovered output.
 //
-// The plan only *describes* faults; all modeling lives in Fabric (which
-// stays deterministic because its event loop is serial). The mapping layer
-// reads the same plan to place work around dead PEs before the run starts.
+// The plan only *describes* faults; all modeling lives in Fabric (whose
+// per-band event loop is serial, so a schedule replays identically however
+// many bands WaferSimulator runs in parallel). The mapping layer reads the
+// same plan to place work around dead PEs before the run starts.
 #pragma once
 
 #include <functional>
@@ -76,6 +77,17 @@ class FaultPlan {
   /// pipeline columns (traffic streams west to east, so everything at or
   /// east of the first dead PE is unreachable).
   std::optional<u32> first_dead_col(u32 row) const;
+
+  // ---- Row slicing (band simulation + coordinator leases) ----
+  /// The plan restricted to rows [row_begin, row_begin + row_count),
+  /// re-expressed with rows rebased by -row_begin (slice row 0 is wafer
+  /// row `row_begin`). `col_limit` additionally drops faults at columns
+  /// >= col_limit (std::nullopt keeps every column). Slicing a plan over
+  /// a disjoint partition of its rows conserves every fault exactly once
+  /// — the property test_wafer_sim fuzzes. The tenant coordinator uses
+  /// this to hand each lease its lease-local fault schedule.
+  FaultPlan slice_rows(u32 row_begin, u32 row_count,
+                       std::optional<u32> col_limit = std::nullopt) const;
 
   // ---- Enumeration (coordinator lease slicing, src/tenant) ----
   // The tenant coordinator tracks faults in wafer coordinates and must

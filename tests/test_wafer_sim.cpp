@@ -1,0 +1,507 @@
+// Differential suite for the parallel full-wafer simulator core
+// (wse::WaferSimulator, docs/simulator.md):
+//   - banded parallel simulation is bit-identical to a whole-mesh serial
+//     Fabric run, at every thread count and band size;
+//   - an exact >= 128-row simulation through the wafer mapper produces
+//     byte-identical streams and stable virtual-cycle counts whether it
+//     runs on 1 thread or 8;
+//   - the Formula (2)-(4) extrapolation path stays within the committed
+//     mapping::kExtrapolationRelTolerance of a multi-hundred-row exact
+//     run;
+//   - fault storms (dead/slow PEs, dropped and corrupted bursts) are
+//     simulated identically across thread counts, and degraded remapping
+//     is parallel == serial;
+//   - FaultPlan::slice_rows conserves every fault exactly once over any
+//     row partition (fuzzed) and matches the coordinator's lease filter;
+//   - sharing one engine::ThreadPool between the engine and the
+//     simulator — even a 1-worker pool, even invoking a simulation from
+//     inside a pool task — never deadlocks.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "common/rng.h"
+#include "engine/thread_pool.h"
+#include "mapping/perf_model.h"
+#include "mapping/wafer_mapper.h"
+#include "test_util.h"
+#include "wse/fabric.h"
+#include "wse/fault_plan.h"
+#include "wse/wafer_sim.h"
+
+namespace ceresz {
+namespace {
+
+wse::WseConfig mesh(u32 rows, u32 cols) {
+  wse::WseConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  return cfg;
+}
+
+void expect_pe_stats_eq(const wse::PeStats& a, const wse::PeStats& b,
+                        u32 row, u32 col) {
+  EXPECT_EQ(a.busy_cycles, b.busy_cycles) << "pe " << row << "," << col;
+  EXPECT_EQ(a.finish_time, b.finish_time) << "pe " << row << "," << col;
+  EXPECT_EQ(a.tasks_run, b.tasks_run) << "pe " << row << "," << col;
+  EXPECT_EQ(a.messages_relayed, b.messages_relayed);
+  EXPECT_EQ(a.messages_received, b.messages_received);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.messages_corrupted, b.messages_corrupted);
+  EXPECT_EQ(a.activations_suppressed, b.activations_suppressed);
+}
+
+void expect_run_stats_eq(const wse::RunStats& a, const wse::RunStats& b) {
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.tasks_run, b.tasks_run);
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.messages_corrupted, b.messages_corrupted);
+  EXPECT_EQ(a.activations_suppressed, b.activations_suppressed);
+}
+
+// ---------------------------------------------------------------------
+// Banded parallel simulation vs whole-mesh serial Fabric
+// ---------------------------------------------------------------------
+
+constexpr wse::Color kWork = 3;
+constexpr wse::Color kData = 7;
+
+/// Per-row compute + one west-to-east burst, installed identically on a
+/// whole-mesh Fabric or on WaferSimulator bands (rows are global either
+/// way). Row r does row-dependent work so bands genuinely differ.
+template <typename FabricFor>
+void install_row_program(FabricFor&& fabric_for, u32 rows) {
+  for (u32 r = 0; r < rows; ++r) {
+    wse::Fabric& f = fabric_for(r);
+    f.router(r, 0).set_route(kData, {wse::Direction::kRamp},
+                             {wse::Direction::kEast});
+    f.router(r, 1).set_route(kData, {wse::Direction::kWest},
+                             {wse::Direction::kRamp});
+    f.bind_task(r, 0, kWork, [r](wse::PeContext& ctx) {
+      ctx.consume(100 + 13 * r);
+      ctx.send_async(kData,
+                     wse::Message::make(kData, {r, r + 1, 2 * r}, 1));
+    });
+    f.bind_task(
+        r, 1, kData,
+        [r](wse::PeContext& ctx) {
+          wse::Message m = ctx.take_delivered(kData);
+          ctx.consume(10);
+          std::vector<u8> bytes;
+          for (const u32 w : *m.payload) {
+            bytes.push_back(static_cast<u8>(w & 0xff));
+          }
+          bytes.push_back(m.corrupted ? 1 : 0);
+          ctx.emit_result(r, std::move(bytes));
+        },
+        wse::TaskTrigger::kDataTriggered);
+    f.activate_at(r, 0, kWork, 0);
+  }
+}
+
+struct SimOutcome {
+  wse::RunStats stats;
+  std::map<u64, std::vector<u8>> results;  // by tag: order-independent
+  std::vector<wse::PeStats> pe_stats;
+};
+
+SimOutcome run_banded(u32 rows, u32 cols, u32 threads, u32 rows_per_group,
+                      const wse::FaultPlan& plan = {},
+                      engine::ThreadPool* pool = nullptr) {
+  wse::WaferSimOptions opt;
+  opt.wse = mesh(rows, cols);
+  opt.sim_threads = threads;
+  opt.rows_per_group = rows_per_group;
+  opt.fault_plan = plan;
+  opt.pool = pool;
+  wse::WaferSimulator sim(opt);
+  install_row_program([&](u32 r) -> wse::Fabric& { return sim.fabric_for_row(r); },
+                      rows);
+  SimOutcome out;
+  out.stats = sim.run();
+  for (const auto& rec : sim.results()) out.results[rec.tag] = rec.bytes;
+  for (u32 r = 0; r < rows; ++r) {
+    for (u32 c = 0; c < cols; ++c) out.pe_stats.push_back(sim.stats(r, c));
+  }
+  return out;
+}
+
+TEST(WaferSimulator, BandedParallelMatchesWholeMeshSerial) {
+  constexpr u32 kRows = 24, kCols = 2;
+
+  wse::Fabric whole(mesh(kRows, kCols));
+  install_row_program([&](u32) -> wse::Fabric& { return whole; }, kRows);
+  const wse::RunStats serial = whole.run();
+  std::map<u64, std::vector<u8>> serial_results;
+  for (const auto& rec : whole.results()) serial_results[rec.tag] = rec.bytes;
+
+  for (const auto& [threads, per_group] :
+       std::vector<std::pair<u32, u32>>{{1, 0}, {4, 0}, {8, 0}, {4, 3}, {8, 7}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads) +
+                 " rows_per_group=" + std::to_string(per_group));
+    const SimOutcome banded = run_banded(kRows, kCols, threads, per_group);
+    expect_run_stats_eq(banded.stats, serial);
+    EXPECT_EQ(banded.results, serial_results);
+    for (u32 r = 0; r < kRows; ++r) {
+      for (u32 c = 0; c < kCols; ++c) {
+        expect_pe_stats_eq(banded.pe_stats[r * kCols + c],
+                           whole.stats(r, c), r, c);
+      }
+    }
+  }
+}
+
+TEST(WaferSimulator, FaultStormDeterministicAcrossThreadCounts) {
+  constexpr u32 kRows = 16, kCols = 2;
+  // A cross-row storm: dead + slow PEs plus drop/corrupt delivery faults
+  // spread over many rows (so row bands genuinely consult the global
+  // plan).
+  wse::FaultPlan plan(99);
+  plan.kill_pe(3, 1);        // swallows row 3's burst and its result
+  plan.slow_pe(5, 0, 2.5);   // stretches row 5's compute
+  plan.slow_pe(11, 1, 3.0);
+  plan.drop_delivery(7, 1, 0);
+  plan.corrupt_delivery(9, 1, 0);
+
+  const SimOutcome serial = run_banded(kRows, kCols, 1, 0, plan);
+  EXPECT_GT(serial.stats.messages_dropped, 0u);
+  EXPECT_GT(serial.stats.messages_corrupted, 0u);
+  EXPECT_FALSE(serial.results.contains(3));  // dead PE ate it
+  EXPECT_FALSE(serial.results.contains(7));  // dropped burst
+  ASSERT_TRUE(serial.results.contains(9));
+  EXPECT_EQ(serial.results.at(9).back(), 1);  // corrupted flag delivered
+
+  for (const u32 threads : {2u, 4u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const SimOutcome parallel = run_banded(kRows, kCols, threads, 0, plan);
+    expect_run_stats_eq(parallel.stats, serial.stats);
+    EXPECT_EQ(parallel.results, serial.results);
+    for (std::size_t i = 0; i < serial.pe_stats.size(); ++i) {
+      expect_pe_stats_eq(parallel.pe_stats[i], serial.pe_stats[i],
+                         static_cast<u32>(i / kCols),
+                         static_cast<u32>(i % kCols));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Wafer-mapper integration: >= 128-row exact runs, thread identity,
+// extrapolation tolerance
+// ---------------------------------------------------------------------
+
+mapping::MapperOptions exact_mapper_options(u32 rows, u32 cols,
+                                            u32 sim_threads) {
+  mapping::MapperOptions opt;
+  opt.rows = rows;
+  opt.cols = cols;
+  opt.pipeline_length = 1;
+  opt.max_exact_rows = rows;
+  opt.sim_threads = sim_threads;
+  return opt;
+}
+
+TEST(WaferMapperParallelSim, Exact128RowRunByteIdenticalAcrossThreads) {
+  // 512 blocks over 128 rows x 2 pipes: every row simulated exactly.
+  const std::vector<f32> data = test::smooth_signal(512 * 32);
+  const core::ErrorBound bound = core::ErrorBound::absolute(1e-3);
+
+  const mapping::WaferMapper serial(exact_mapper_options(128, 2, 1));
+  const auto base = serial.compress(data, bound);
+  EXPECT_FALSE(base.extrapolated);
+  EXPECT_EQ(base.rows_simulated, 128u);
+  ASSERT_FALSE(base.stream.empty());
+
+  for (const u32 threads : {2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const mapping::WaferMapper parallel(exact_mapper_options(128, 2, threads));
+    const auto run = parallel.compress(data, bound);
+    EXPECT_EQ(run.stream, base.stream);  // bit-identical output
+    EXPECT_EQ(run.makespan, base.makespan);  // stable virtual cycles
+    expect_run_stats_eq(run.run_stats, base.run_stats);
+    ASSERT_EQ(run.row0_stats.size(), base.row0_stats.size());
+    for (std::size_t c = 0; c < base.row0_stats.size(); ++c) {
+      expect_pe_stats_eq(run.row0_stats[c], base.row0_stats[c], 0,
+                         static_cast<u32>(c));
+    }
+  }
+
+  // Round-trip through the parallel decompression path too.
+  mapping::MapperOptions dopt = exact_mapper_options(128, 2, 8);
+  const auto decoded = mapping::WaferMapper(dopt).decompress(base.stream);
+  dopt.sim_threads = 1;
+  const auto decoded_serial =
+      mapping::WaferMapper(dopt).decompress(base.stream);
+  EXPECT_EQ(decoded.output, decoded_serial.output);
+  EXPECT_EQ(decoded.makespan, decoded_serial.makespan);
+  ASSERT_EQ(decoded.output.size(), data.size());
+  EXPECT_LE(test::max_err(data, decoded.output), 1e-3 + 1e-6);
+}
+
+TEST(WaferMapperParallelSim, ExtrapolationWithinCommittedTolerance) {
+  // Exact multi-hundred-row run vs the Formula (2)-(4) extrapolation
+  // path (16 representative rows of the same mesh). The tolerance is
+  // the committed constant the benches also gate on.
+  const std::vector<f32> data = test::smooth_signal(2048 * 32, 21);
+  const core::ErrorBound bound = core::ErrorBound::absolute(1e-3);
+  constexpr u32 kRows = 256;
+
+  mapping::MapperOptions opt = exact_mapper_options(kRows, 2, 8);
+  opt.collect_output = false;
+  const auto exact = mapping::WaferMapper(opt).compress(data, bound);
+  EXPECT_FALSE(exact.extrapolated);
+  EXPECT_EQ(exact.rows_simulated, kRows);
+
+  opt.max_exact_rows = 16;
+  const auto extrap = mapping::WaferMapper(opt).compress(data, bound);
+  EXPECT_TRUE(extrap.extrapolated);
+  EXPECT_EQ(extrap.rows_simulated, 16u);
+
+  ASSERT_GT(exact.throughput_gbps, 0.0);
+  const f64 rel_err =
+      std::abs(extrap.throughput_gbps - exact.throughput_gbps) /
+      exact.throughput_gbps;
+  EXPECT_LE(rel_err, mapping::kExtrapolationRelTolerance)
+      << "extrapolated " << extrap.throughput_gbps << " GB/s vs exact "
+      << exact.throughput_gbps << " GB/s";
+}
+
+TEST(WaferMapperParallelSim, DegradedRemappingParallelEqualsSerial) {
+  // Dead PEs fail one row outright and narrow another; surviving rows
+  // absorb the share. The degraded placement must be identical however
+  // many threads simulate it.
+  const std::vector<f32> data = test::smooth_signal(256 * 32, 5);
+  const core::ErrorBound bound = core::ErrorBound::absolute(1e-3);
+
+  wse::FaultPlan plan(7);
+  plan.kill_pe(2, 0);  // row 2: no usable pipeline -> row fails
+  plan.kill_pe(9, 2);  // row 9: pipelines east of col 2 lost
+  plan.slow_pe(13, 1, 2.0);
+
+  mapping::MapperOptions opt = exact_mapper_options(16, 4, 1);
+  opt.fault_plan = plan;
+  const auto serial = mapping::WaferMapper(opt).compress(data, bound);
+  EXPECT_TRUE(serial.degraded);
+  EXPECT_EQ(serial.rows_failed, 1u);
+  EXPECT_GT(serial.pipelines_lost, 0u);
+  ASSERT_FALSE(serial.stream.empty());
+
+  for (const u32 threads : {4u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    opt.sim_threads = threads;
+    const auto parallel = mapping::WaferMapper(opt).compress(data, bound);
+    EXPECT_EQ(parallel.stream, serial.stream);
+    EXPECT_EQ(parallel.makespan, serial.makespan);
+    EXPECT_EQ(parallel.rows_failed, serial.rows_failed);
+    EXPECT_EQ(parallel.pipelines_lost, serial.pipelines_lost);
+    expect_run_stats_eq(parallel.run_stats, serial.run_stats);
+  }
+}
+
+// ---------------------------------------------------------------------
+// FaultPlan::slice_rows: conservation fuzz + lease-filter equivalence
+// ---------------------------------------------------------------------
+
+using DeadSet = std::set<std::pair<u32, u32>>;
+using SlowSet = std::set<std::tuple<u32, u32, i64>>;
+using DeliverySet = std::set<std::tuple<u32, u32, u64, int>>;
+
+struct FaultSets {
+  DeadSet dead;
+  SlowSet slow;
+  DeliverySet delivery;
+};
+
+/// Every fault of `plan`, with rows shifted by +row_offset (to map a
+/// slice back into wafer coordinates). Multipliers are keyed by their
+/// bit pattern so set equality is exact, not epsilon-based.
+FaultSets collect(const wse::FaultPlan& plan, u32 row_offset = 0) {
+  FaultSets s;
+  plan.for_each_dead(
+      [&](u32 r, u32 c) { s.dead.emplace(r + row_offset, c); });
+  plan.for_each_slow([&](u32 r, u32 c, f64 mult) {
+    i64 bits;
+    std::memcpy(&bits, &mult, sizeof(bits));
+    s.slow.emplace(r + row_offset, c, bits);
+  });
+  plan.for_each_delivery_fault(
+      [&](u32 r, u32 c, u64 arrival, wse::DeliveryFault fault) {
+        s.delivery.emplace(r + row_offset, c, arrival,
+                           static_cast<int>(fault));
+      });
+  return s;
+}
+
+TEST(FaultPlanSliceRows, FuzzedPartitionsConserveEveryFaultExactlyOnce) {
+  constexpr u32 kRows = 48, kCols = 8;
+  wse::FaultSpec spec;
+  spec.dead_pes = 10;
+  spec.slow_pes = 12;
+  spec.dropped_bursts = 9;
+  spec.corrupted_bursts = 9;
+
+  for (u64 seed = 0; seed < 25; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const wse::FaultPlan plan =
+        wse::FaultPlan::random(seed, kRows, kCols, spec);
+    const FaultSets global = collect(plan);
+
+    // A random contiguous partition of [0, kRows) drawn from the seed.
+    Rng rng(seed * 7919 + 1);
+    std::vector<u32> boundaries{0};
+    while (boundaries.back() < kRows) {
+      boundaries.push_back(boundaries.back() + 1 +
+                           static_cast<u32>(rng.next_below(11)));
+    }
+    boundaries.back() = kRows;
+
+    FaultSets merged;
+    u64 dead_total = 0, slow_total = 0, delivery_total = 0;
+    for (std::size_t i = 0; i + 1 < boundaries.size(); ++i) {
+      const u32 begin = boundaries[i];
+      const u32 count = boundaries[i + 1] - begin;
+      const wse::FaultPlan slice = plan.slice_rows(begin, count);
+      EXPECT_EQ(slice.seed(), plan.seed());
+      dead_total += slice.dead_pe_count();
+      slow_total += slice.slow_pe_count();
+      delivery_total += slice.delivery_fault_count();
+      const FaultSets rebased = collect(slice, begin);
+      // Exactly-once: no slice may re-report a fault another slice owns.
+      for (const auto& d : rebased.dead) EXPECT_TRUE(merged.dead.insert(d).second);
+      for (const auto& s : rebased.slow) EXPECT_TRUE(merged.slow.insert(s).second);
+      for (const auto& d : rebased.delivery) {
+        EXPECT_TRUE(merged.delivery.insert(d).second);
+      }
+    }
+    // Nothing dropped: the union over the partition is the global plan.
+    EXPECT_EQ(merged.dead, global.dead);
+    EXPECT_EQ(merged.slow, global.slow);
+    EXPECT_EQ(merged.delivery, global.delivery);
+    EXPECT_EQ(dead_total, plan.dead_pe_count());
+    EXPECT_EQ(slow_total, plan.slow_pe_count());
+    EXPECT_EQ(delivery_total, plan.delivery_fault_count());
+  }
+}
+
+TEST(FaultPlanSliceRows, MatchesManualLeaseFiltering) {
+  // The tenant coordinator's lease slice (PR 7) re-expressed through
+  // slice_rows must equal the original manual filter, including the
+  // column limit (leases can be narrower than the wafer).
+  constexpr u32 kRows = 32, kCols = 10;
+  wse::FaultSpec spec;
+  spec.dead_pes = 8;
+  spec.slow_pes = 8;
+  spec.dropped_bursts = 6;
+  spec.corrupted_bursts = 6;
+
+  for (u64 seed = 100; seed < 110; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const wse::FaultPlan plan =
+        wse::FaultPlan::random(seed, kRows, kCols, spec);
+    Rng rng(seed);
+    const u32 begin = static_cast<u32>(rng.next_below(kRows - 1));
+    const u32 count =
+        1 + static_cast<u32>(rng.next_below(kRows - begin));
+    const u32 lease_cols = 1 + static_cast<u32>(rng.next_below(kCols));
+
+    // The manual filter the coordinator used before slice_rows existed.
+    wse::FaultPlan manual;
+    plan.for_each_dead([&](u32 r, u32 c) {
+      if (r >= begin && r < begin + count && c < lease_cols) {
+        manual.kill_pe(r - begin, c);
+      }
+    });
+    plan.for_each_slow([&](u32 r, u32 c, f64 mult) {
+      if (r >= begin && r < begin + count && c < lease_cols) {
+        manual.slow_pe(r - begin, c, mult);
+      }
+    });
+    plan.for_each_delivery_fault(
+        [&](u32 r, u32 c, u64 arrival, wse::DeliveryFault fault) {
+          if (r < begin || r >= begin + count || c >= lease_cols) return;
+          if (fault == wse::DeliveryFault::kDrop) {
+            manual.drop_delivery(r - begin, c, arrival);
+          } else {
+            manual.corrupt_delivery(r - begin, c, arrival);
+          }
+        });
+
+    const wse::FaultPlan sliced = plan.slice_rows(begin, count, lease_cols);
+    const FaultSets a = collect(manual);
+    const FaultSets b = collect(sliced);
+    EXPECT_EQ(a.dead, b.dead);
+    EXPECT_EQ(a.slow, b.slow);
+    EXPECT_EQ(a.delivery, b.delivery);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Thread-pool sharing: no deadlock, even on a 1-worker pool
+// ---------------------------------------------------------------------
+
+/// Run `fn` with a deadline; a hang fails the test instead of wedging
+/// the whole suite (the canonical symptom this guards against).
+template <typename Fn>
+void run_with_deadline(Fn&& fn, std::chrono::seconds deadline) {
+  auto done = std::async(std::launch::async, std::forward<Fn>(fn));
+  ASSERT_EQ(done.wait_for(deadline), std::future_status::ready)
+      << "simulation deadlocked";
+  done.get();
+}
+
+TEST(WaferSimulatorPoolSharing, OneWorkerPoolDoesNotDeadlock) {
+  engine::ThreadPool pool(1);
+  run_with_deadline(
+      [&] {
+        const SimOutcome shared = run_banded(12, 2, 1, 0, {}, &pool);
+        const SimOutcome solo = run_banded(12, 2, 1, 0);
+        expect_run_stats_eq(shared.stats, solo.stats);
+        EXPECT_EQ(shared.results, solo.results);
+      },
+      std::chrono::seconds(60));
+}
+
+TEST(WaferSimulatorPoolSharing, SimulationInsidePoolTaskDoesNotDeadlock) {
+  // The tenant/server request path: compression work already runs on a
+  // pool task, and that task drives a simulation borrowing the SAME
+  // pool. With 1 worker the simulator must make progress inline.
+  engine::ThreadPool pool(1);
+  run_with_deadline(
+      [&] {
+        SimOutcome from_task;
+        pool.submit([&] { from_task = run_banded(12, 2, 1, 0, {}, &pool); });
+        pool.wait_idle();
+        const SimOutcome solo = run_banded(12, 2, 1, 0);
+        expect_run_stats_eq(from_task.stats, solo.stats);
+        EXPECT_EQ(from_task.results, solo.results);
+      },
+      std::chrono::seconds(60));
+}
+
+TEST(WaferSimulatorPoolSharing, MapperOnSharedPoolMatchesPrivateThreads) {
+  // Engine-style reuse at the mapper level: the same pool instance
+  // serves several compressions, and results match a fresh-pool run.
+  const std::vector<f32> data = test::smooth_signal(128 * 32, 3);
+  const core::ErrorBound bound = core::ErrorBound::absolute(1e-3);
+  engine::ThreadPool pool(2);
+
+  mapping::MapperOptions opt = exact_mapper_options(32, 2, 1);
+  opt.sim_pool = &pool;
+  run_with_deadline(
+      [&] {
+        const auto shared = mapping::WaferMapper(opt).compress(data, bound);
+        mapping::MapperOptions priv = exact_mapper_options(32, 2, 4);
+        const auto owned = mapping::WaferMapper(priv).compress(data, bound);
+        EXPECT_EQ(shared.stream, owned.stream);
+        EXPECT_EQ(shared.makespan, owned.makespan);
+      },
+      std::chrono::seconds(60));
+}
+
+}  // namespace
+}  // namespace ceresz
