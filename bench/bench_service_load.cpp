@@ -6,11 +6,26 @@
 //   bench_service_load [--port P [--host H]] [--clients N] [--requests M]
 //                      [--elems E] [--rel B] [--workers W] [--history F]
 //                      [--connect-timeout-ms T] [--chaos] [--chaos-seed S]
+//                      [--trace-out F] [--server-trace-out F]
+//                      [--merged-trace-out F]
 //
 // With --port the bench drives an already-running ceresz_server (how
 // the CI smoke step uses it, retrying the connect while the daemon
 // starts); without it, a ServiceServer is hosted in-process on an
 // ephemeral port with --workers connection workers.
+//
+// --trace-out records every client's request/attempt span tree (one
+// shared obs::Tracer — per-thread rings, so N clients write without
+// locking) to a Chrome trace file. When self-hosting, the server side
+// is traced too (--server-trace-out to keep that file), the two traces
+// are stitched on the CSNP v4 trace context (obs/analysis/stitch.h),
+// and the report adds the cross-process breakdown — network vs queue
+// wait vs engine time, attempt match rate, server span coverage —
+// next to the latency percentiles, plus "service_trace" history
+// records when --history is given. --merged-trace-out writes both
+// processes on one aligned timeline for chrome://tracing. Against a
+// remote daemon (--port) only the client trace is written; stitch it
+// with the daemon's own --trace-out via `ceresz_report --stitch`.
 //
 // --chaos routes every client through an in-process net::ChaosProxy
 // running a seeded NetFaultPlan (resets, delays, dribbled writes,
@@ -42,11 +57,16 @@
 #include <thread>
 #include <vector>
 
+#include <fstream>
+
 #include "bench_util.h"
 #include "net/chaos.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "obs/analysis/digest.h"
+#include "obs/analysis/stitch.h"
+#include "obs/analysis/trace_analysis.h"
+#include "obs/trace.h"
 
 using namespace ceresz;
 
@@ -64,6 +84,9 @@ struct Args {
   bool chaos = false;
   u64 chaos_seed = 42;
   std::string history_path;
+  std::string trace_out;         ///< client-side Chrome trace
+  std::string server_trace_out;  ///< self-hosted server's trace
+  std::string merged_trace_out;  ///< stitched cross-process timeline
 };
 
 int usage() {
@@ -73,7 +96,9 @@ int usage() {
                "                          [--elems E] [--rel B] "
                "[--workers W] [--history F]\n"
                "                          [--connect-timeout-ms T] "
-               "[--chaos] [--chaos-seed S]\n");
+               "[--chaos] [--chaos-seed S]\n"
+               "                          [--trace-out F] "
+               "[--server-trace-out F] [--merged-trace-out F]\n");
   return 2;
 }
 
@@ -164,6 +189,12 @@ int main(int argc, char** argv) {
       args.chaos_seed = static_cast<u64>(std::atoll(s));
     } else if (a == "--history" && (s = value())) {
       args.history_path = s;
+    } else if (a == "--trace-out" && (s = value())) {
+      args.trace_out = s;
+    } else if (a == "--server-trace-out" && (s = value())) {
+      args.server_trace_out = s;
+    } else if (a == "--merged-trace-out" && (s = value())) {
+      args.merged_trace_out = s;
     } else {
       return usage();
     }
@@ -171,6 +202,19 @@ int main(int argc, char** argv) {
   if (args.clients == 0 || args.requests == 0 || args.elems == 0 ||
       args.rel <= 0.0) {
     return usage();
+  }
+
+  // One tracer per process side. Client threads share client_tracer
+  // (per-thread rings); the self-hosted server gets its own, standing in
+  // for the daemon's --trace-out so the two can be stitched in-process.
+  const bool tracing = !args.trace_out.empty() ||
+                       !args.server_trace_out.empty() ||
+                       !args.merged_trace_out.empty();
+  std::unique_ptr<obs::Tracer> client_tracer;
+  std::unique_ptr<obs::Tracer> server_tracer;
+  if (tracing) {
+    client_tracer = std::make_unique<obs::Tracer>();
+    client_tracer->set_process_name(obs::kHostPid, "bench_service_load");
   }
 
   // Self-host unless pointed at a live daemon. The self-hosted server
@@ -181,6 +225,11 @@ int main(int argc, char** argv) {
   if (port == 0) {
     net::ServerOptions sopt;
     sopt.workers = args.workers;
+    if (tracing) {
+      server_tracer = std::make_unique<obs::Tracer>();
+      server_tracer->set_process_name(obs::kHostPid, "ceresz_server");
+      sopt.tracer = server_tracer.get();
+    }
     self_hosted = std::make_unique<net::ServiceServer>(std::move(sopt));
     self_hosted->start();
     port = self_hosted->port();
@@ -189,6 +238,13 @@ int main(int argc, char** argv) {
   } else {
     std::printf("# driving ceresz_server at %s:%u\n", args.host.c_str(),
                 static_cast<unsigned>(port));
+    if (!args.server_trace_out.empty() || !args.merged_trace_out.empty()) {
+      std::fprintf(stderr,
+                   "--server-trace-out/--merged-trace-out need the "
+                   "self-hosted server; with --port use the daemon's "
+                   "--trace-out and `ceresz_report --stitch`\n");
+      return usage();
+    }
   }
 
   // Chaos: interpose the fault-injecting proxy and aim clients at it.
@@ -269,7 +325,8 @@ int main(int argc, char** argv) {
       threads.emplace_back([&, c] {
         net::RetryPolicy client_policy = policy;
         client_policy.jitter_seed = args.chaos_seed * 7919 + c;
-        net::CereszClient client(client_policy);
+        net::CereszClient client(client_policy, /*reg=*/nullptr,
+                                 client_tracer.get());
         try {
           connect_with_retry(client, target_host, target_port);
 
@@ -464,5 +521,86 @@ int main(int argc, char** argv) {
 
   if (proxy) proxy->stop();
   if (self_hosted) self_hosted->stop();
-  return failures.load() == 0 ? 0 : 1;
+
+  // Tracing post-mortem: everything is quiescent now (clients joined,
+  // server stopped), so the rings can be snapshotted and stitched.
+  bool stitch_fail = false;
+  if (tracing) {
+    namespace analysis = obs::analysis;
+    const auto write_trace = [](const std::string& path,
+                                const std::string& json) {
+      std::ofstream out(path, std::ios::binary);
+      out << json;
+      if (!out.good()) {
+        std::fprintf(stderr, "trace: cannot write %s\n", path.c_str());
+        return false;
+      }
+      return true;
+    };
+    if (!args.trace_out.empty()) {
+      stitch_fail |=
+          !write_trace(args.trace_out, client_tracer->chrome_trace_json());
+    }
+    if (server_tracer && !args.server_trace_out.empty()) {
+      stitch_fail |= !write_trace(args.server_trace_out,
+                                  server_tracer->chrome_trace_json());
+    }
+    if (server_tracer) {
+      const analysis::TraceData client_data =
+          analysis::from_tracer(*client_tracer);
+      const analysis::TraceData server_data =
+          analysis::from_tracer(*server_tracer);
+      const analysis::StitchReport stitched =
+          analysis::stitch_traces(client_data, server_data);
+      const auto& t = stitched.totals;
+      std::printf("stitched    requests=%llu  attempts=%llu  "
+                  "matched=%llu (%.1f%%)  server-coverage=%.1f%%\n",
+                  static_cast<unsigned long long>(t.requests),
+                  static_cast<unsigned long long>(t.attempts),
+                  static_cast<unsigned long long>(t.matched_attempts),
+                  t.match_rate * 100.0, t.server_coverage * 100.0);
+      std::printf("breakdown   network=%8.3f ms  queue-wait=%8.3f ms  "
+                  "engine=%8.3f ms  server=%8.3f ms  "
+                  "retry-overhead=%8.3f ms\n",
+                  t.mean_network_ns * 1e-6, t.mean_queue_wait_ns * 1e-6,
+                  t.mean_engine_ns * 1e-6, t.mean_server_ns * 1e-6,
+                  t.mean_retry_overhead_ns * 1e-6);
+      if (!args.merged_trace_out.empty()) {
+        stitch_fail |= !write_trace(
+            args.merged_trace_out,
+            analysis::merged_chrome_trace_json(client_data, server_data,
+                                               stitched));
+      }
+      bench::HistoryWriter history(args.history_path);
+      for (const auto& rec : analysis::stitch_history_records(stitched)) {
+        history.add_record(rec);
+      }
+      // The tracing acceptance contract (docs/observability.md): on a
+      // clean run every attempt joins exactly one server span tree and
+      // request-tagged spans cover >= 95% of server busy time. Shed /
+      // faulted attempts legitimately have no server-side tree, so the
+      // 1:1 check only applies when nothing was shed.
+      const bool clean_run = !args.chaos && busy_retries.load() == 0 &&
+                             draining_rejections.load() == 0 &&
+                             typed_errors.load() == 0;
+      if (clean_run && t.matched_attempts != t.attempts) {
+        std::fprintf(stderr,
+                     "stitch: %llu of %llu attempts missing a server "
+                     "span tree on a clean run\n",
+                     static_cast<unsigned long long>(t.attempts -
+                                                     t.matched_attempts),
+                     static_cast<unsigned long long>(t.attempts));
+        stitch_fail = true;
+      }
+      if (t.server_coverage < 0.95) {
+        std::fprintf(stderr,
+                     "stitch: request-tagged spans cover only %.1f%% of "
+                     "server busy time (need >= 95%%)\n",
+                     t.server_coverage * 100.0);
+        stitch_fail = true;
+      }
+    }
+  }
+
+  return failures.load() == 0 && !stitch_fail ? 0 : 1;
 }

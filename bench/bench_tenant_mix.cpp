@@ -8,7 +8,15 @@
 //
 //   bench_tenant_mix [--port P [--host H]] [--tenants N] [--requests M]
 //                    [--elems E] [--workers W] [--history F]
-//                    [--connect-timeout-ms T]
+//                    [--connect-timeout-ms T] [--warn-p95-ms MS]
+//
+// --warn-p95-ms arms a per-tenant latency alarm: any tenant whose
+// compress or decompress p95 exceeds the threshold gets a WARN line
+// naming the tenant and its priority — the bench-side mirror of the
+// server's ceresz_tenant_<id>_request_seconds histograms, which let a
+// scraper set the same alarm on a live daemon. Warnings do not change
+// the exit code (shared-runner wall clock is advisory; byte identity
+// is the hard property).
 //
 // With --port the bench drives an already-running daemon started with
 // --tenants (the CI tenant-mix smoke step); without it, a ServiceServer
@@ -50,6 +58,7 @@ struct Args {
   u64 elems = u64{64} * 1024;
   u32 workers = 2;
   u32 connect_timeout_ms = 0;
+  f64 warn_p95_ms = 0.0;  ///< 0 = alarm disarmed
   std::string history_path;
 };
 
@@ -59,7 +68,7 @@ int usage() {
                "                        [--requests M] [--elems E] "
                "[--workers W]\n"
                "                        [--history F] "
-               "[--connect-timeout-ms T]\n");
+               "[--connect-timeout-ms T] [--warn-p95-ms MS]\n");
   return 2;
 }
 
@@ -133,6 +142,8 @@ int main(int argc, char** argv) {
       args.workers = static_cast<u32>(std::atoi(s));
     } else if (a == "--connect-timeout-ms" && (s = value())) {
       args.connect_timeout_ms = static_cast<u32>(std::atoi(s));
+    } else if (a == "--warn-p95-ms" && (s = value())) {
+      args.warn_p95_ms = std::atof(s);
     } else if (a == "--history" && (s = value())) {
       args.history_path = s;
     } else {
@@ -273,6 +284,16 @@ int main(int argc, char** argv) {
     worst_decompress_p95 = std::max(worst_decompress_p95, r.decompress.p95());
     busy_total += r.busy_retries;
     pairs_ok += r.pairs_ok;
+    if (args.warn_p95_ms > 0.0) {
+      const f64 worst_ms =
+          std::max(r.compress.p95(), r.decompress.p95()) * 1e3;
+      if (worst_ms > args.warn_p95_ms) {
+        std::printf("WARN       tenant %u (%s) p95=%.3f ms exceeds "
+                    "--warn-p95-ms %.3f\n",
+                    t + 1, priority_label(priority_for(t)), worst_ms,
+                    args.warn_p95_ms);
+      }
+    }
   }
   std::printf("total      %llu requests in %.3f s  (%.1f req/s)  "
               "ok-pairs=%llu  busy-retries=%llu  failures=%llu\n",

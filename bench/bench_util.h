@@ -143,7 +143,10 @@ class HistoryWriter {
 
   /// `better` is "higher" or "lower"; `noise` the relative band the
   /// gate tolerates. Simulated (deterministic) metrics should use a
-  /// tight band, wall-clock metrics a generous one.
+  /// tight band, wall-clock metrics a generous one. Every line is
+  /// stamped with run provenance (UTC timestamp, git SHA when the
+  /// environment provides one, hostname); ceresz_perfgate ignores the
+  /// extra keys.
   void add(const std::string& bench, const std::string& metric, f64 value,
            const std::string& unit, const std::string& better, f64 noise) {
     if (!out_.is_open()) return;
@@ -154,6 +157,15 @@ class HistoryWriter {
     rec.unit = unit;
     rec.better = better;
     rec.noise = noise;
+    obs::analysis::stamp_history_metadata(rec);
+    out_ << rec.to_jsonl() << "\n";
+  }
+
+  /// Append a pre-built record (e.g. from stitch_history_records),
+  /// stamping the same provenance metadata.
+  void add_record(obs::analysis::HistoryRecord rec) {
+    if (!out_.is_open()) return;
+    obs::analysis::stamp_history_metadata(rec);
     out_ << rec.to_jsonl() << "\n";
   }
 

@@ -31,7 +31,8 @@ void ThreadPool::submit(std::function<void()> task) {
     std::lock_guard lock(state_mutex_);
     ++in_flight_;
   }
-  if (!queue_.push(std::move(task))) {
+  if (!queue_.push(
+          PoolTask{std::move(task), obs::current_trace_context()})) {
     // Closed pool: roll the count back so wait_idle() cannot hang.
     std::lock_guard lock(state_mutex_);
     --in_flight_;
@@ -48,7 +49,8 @@ bool ThreadPool::try_submit(std::function<void()> task) {
     std::lock_guard lock(state_mutex_);
     ++in_flight_;
   }
-  if (!queue_.try_push(std::move(task))) {
+  if (!queue_.try_push(
+          PoolTask{std::move(task), obs::current_trace_context()})) {
     std::lock_guard lock(state_mutex_);
     if (--in_flight_ == 0) idle_.notify_all();
     return false;
@@ -63,8 +65,9 @@ bool ThreadPool::try_submit(std::function<void()> task) {
 bool ThreadPool::run_one_inline() {
   auto task = queue_.try_pop();
   if (!task) return false;
+  const obs::TraceContextScope scope(task->ctx);
   try {
-    (*task)();
+    (task->fn)();
   } catch (const WorkerCrash&) {
     // The caller's thread is only borrowed; a crash here kills nothing.
   }
@@ -109,11 +112,14 @@ void ThreadPool::run_tasks(u32 index) {
     const u64 start_ns = now_ns();
     bool crashed = false;
     {
+      // The submitter's trace context wraps the busy span too, so the
+      // "task" wrapper itself carries the request's trace id.
+      const obs::TraceContextScope scope(task->ctx);
       // The busy span and busy_seconds_ bracket the same region, so the
       // trace's task spans account for (cover) the measured busy time.
       obs::SpanGuard span(tracer_, "task", "pool");
       try {
-        (*task)();
+        (task->fn)();
       } catch (const WorkerCrash&) {
         crashed = true;
       }

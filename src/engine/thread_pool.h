@@ -21,6 +21,7 @@
 #include "common/types.h"
 #include "engine/bounded_queue.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace ceresz::engine {
 
@@ -54,6 +55,11 @@ class ThreadPool {
   /// after the destructor has begun. Unsafe once the pool may have
   /// collapsed (alive() == 0): nothing would ever free a queue slot — use
   /// try_submit() + run_one_inline() there.
+  ///
+  /// The submitter's ambient obs::TraceContext is captured with the task
+  /// and re-installed around its execution (worker or inline), so spans
+  /// recorded inside pool tasks stay attributed to the request that
+  /// submitted them.
   void submit(std::function<void()> task);
 
   /// Non-blocking submit: false when the queue is full (caller should run
@@ -93,11 +99,17 @@ class ThreadPool {
   std::size_t queue_high_water() const { return queue_.high_water(); }
 
  private:
+  /// A queued task plus the trace context active where it was submitted.
+  struct PoolTask {
+    std::function<void()> fn;
+    obs::TraceContext ctx;
+  };
+
   void worker_loop(u32 index);
   void run_tasks(u32 index);
 
   obs::Tracer* tracer_ = nullptr;  // set before workers start, then const
-  BoundedQueue<std::function<void()>> queue_;
+  BoundedQueue<PoolTask> queue_;
   std::vector<std::thread> workers_;
   std::vector<f64> busy_seconds_;  // one slot per worker, owner-written
   std::atomic<u32> alive_{0};

@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "obs/log.h"
 
 namespace ceresz::net {
 
@@ -18,6 +19,19 @@ namespace {
 constexpr std::size_t kRelayChunk = 16 * 1024;
 
 }  // namespace
+
+const char* chaos_fault_name(ChaosFaultKind kind) {
+  switch (kind) {
+    case ChaosFaultKind::kNone: return "none";
+    case ChaosFaultKind::kResetOnAccept: return "reset_on_accept";
+    case ChaosFaultKind::kBlackhole: return "blackhole";
+    case ChaosFaultKind::kDelay: return "delay";
+    case ChaosFaultKind::kShortWrite: return "short_write";
+    case ChaosFaultKind::kTruncate: return "truncate";
+    case ChaosFaultKind::kCorrupt: return "corrupt";
+  }
+  return "unknown";
+}
 
 // --- NetFaultPlan -----------------------------------------------------------
 
@@ -196,6 +210,14 @@ void ChaosProxy::accept_loop() {
     const u64 index = next_conn_index_++;
     const ConnFault fault = plan_.fault_for(index);
     stats_.connections.fetch_add(1);
+    if (logger_ != nullptr && fault.kind != ChaosFaultKind::kNone) {
+      logger_->info("chaos.fault",
+                    {{"conn", index},
+                     {"kind", chaos_fault_name(fault.kind)},
+                     {"dir", fault.dir == ChaosDir::kClientToServer
+                                 ? "c2s"
+                                 : "s2c"}});
+    }
 
     if (fault.kind == ChaosFaultKind::kResetOnAccept) {
       stats_.resets.fetch_add(1);
@@ -214,8 +236,12 @@ void ChaosProxy::accept_loop() {
     } else {
       try {
         link->upstream = connect_to(upstream_host_, upstream_port_);
-      } catch (const Error&) {
+      } catch (const Error& e) {
         stats_.upstream_failures.fetch_add(1);
+        if (logger_ != nullptr) {
+          logger_->warn("chaos.upstream_failure",
+                        {{"conn", index}, {"error", e.what()}});
+        }
         link->client.reset_hard();
         continue;
       }

@@ -42,6 +42,10 @@
 #include "common/types.h"
 #include "net/socket.h"
 
+namespace ceresz::obs {
+class Logger;
+}  // namespace ceresz::obs
+
 namespace ceresz::net {
 
 /// Which relay direction a byte-positioned fault applies to.
@@ -59,6 +63,9 @@ enum class ChaosFaultKind : u8 {
   kTruncate,
   kCorrupt,
 };
+
+/// Stable lowercase name ("reset_on_accept", ...), for logs and tests.
+const char* chaos_fault_name(ChaosFaultKind kind);
 
 /// The one fault scheduled for a connection.
 struct ConnFault {
@@ -161,6 +168,12 @@ class ChaosProxy {
   /// The proxy's listening port (valid after start()).
   u16 port() const;
 
+  /// Structured log for injected faults (one record per faulted
+  /// connection, plus upstream failures) — the observable side channel
+  /// chaos runs use instead of ad-hoc stderr prints. Null disables.
+  /// Must outlive the proxy; set before start().
+  void set_logger(obs::Logger* logger) { logger_ = logger; }
+
   const ChaosProxyStats& stats() const { return stats_; }
 
  private:
@@ -175,6 +188,7 @@ class ChaosProxy {
   const u16 upstream_port_;
   const NetFaultPlan plan_;
   ChaosProxyStats stats_;
+  obs::Logger* logger_ = nullptr;
 
   std::unique_ptr<TcpListener> listener_;
   std::thread accept_thread_;

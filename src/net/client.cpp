@@ -29,9 +29,18 @@ void declare_client_metrics(obs::MetricsRegistry& reg) {
   reg.counter(kClientMetricBudgetExhausted);
 }
 
-CereszClient::CereszClient(RetryPolicy policy, obs::MetricsRegistry* reg)
-    : policy_(policy), reg_(reg), jitter_(policy.jitter_seed) {
+CereszClient::CereszClient(RetryPolicy policy, obs::MetricsRegistry* reg,
+                           obs::Tracer* tracer)
+    : policy_(policy), reg_(reg), tracer_(tracer),
+      jitter_(policy.jitter_seed) {
   if (reg_ != nullptr) declare_client_metrics(*reg_);
+}
+
+void CereszClient::set_protocol_version(u8 version) {
+  CERESZ_CHECK(version == kProtocolVersion ||
+                   version == kProtocolVersionV3,
+               "CereszClient: unsupported protocol version");
+  wire_version_ = version;
 }
 
 void CereszClient::connect(const std::string& host, u16 port) {
@@ -77,20 +86,42 @@ void CereszClient::backoff_sleep(u32 retry_index, u64 overall_deadline_ns) {
 }
 
 std::vector<u8> CereszClient::attempt_once(Opcode op, u64 id,
-                                           std::span<const u8> payload) {
+                                           std::span<const u8> payload,
+                                           TraceTag trace) {
   CERESZ_CHECK(sock_.valid(), "CereszClient: not connected");
   frame_.clear();
-  append_frame(frame_, op, Status::kOk, id, payload, tag_);
-  sock_.write_all(frame_);
+  append_frame(frame_, op, Status::kOk, id, payload,
+               FrameMeta(tag_, trace, wire_version_));
+  {
+    obs::SpanGuard write_span(tracer_, "client.write", "client");
+    sock_.write_all(frame_);
+  }
 
-  std::array<u8, kFrameHeaderBytes> hdr_bytes;
-  sock_.read_exact(hdr_bytes);
+  // The server echoes the request's wire version, but read defensively:
+  // pull the 36-byte common prefix, then the v4 trace tail if the
+  // version byte says so.
+  std::array<u8, kFrameHeaderBytesV4> hdr_bytes;
+  const std::span<u8> prefix(hdr_bytes.data(), kFrameHeaderBytes);
+  {
+    obs::SpanGuard wait_span(tracer_, "client.wait", "client");
+    sock_.read_exact(prefix);
+  }
+  std::size_t hdr_len = frame_header_bytes(hdr_bytes[4]);
+  if (hdr_len > kFrameHeaderBytes) {
+    sock_.read_exact(
+        std::span<u8>(hdr_bytes.data() + kFrameHeaderBytes,
+                      hdr_len - kFrameHeaderBytes));
+  }
   // The client accepts responses up to the protocol-wide bound — the
   // server's configured limit may be tighter, but a response cannot
   // exceed what the server was willing to build.
-  const FrameHeader header = parse_frame_header(hdr_bytes, kDefaultMaxPayload);
+  const FrameHeader header = parse_frame_header(
+      std::span<const u8>(hdr_bytes.data(), hdr_len), kDefaultMaxPayload);
   std::vector<u8> response(static_cast<std::size_t>(header.payload_bytes));
-  sock_.read_exact(response);
+  {
+    obs::SpanGuard read_span(tracer_, "client.read", "client");
+    sock_.read_exact(response);
+  }
 
   if (!payload_crc_ok(header, response)) {
     // The framing survived but the bytes did not: nothing else read
@@ -127,15 +158,77 @@ std::vector<u8> CereszClient::roundtrip(Opcode op,
           : now_ns() + static_cast<u64>(policy_.overall_deadline_ms) *
                            1'000'000;
 
+  // One trace per logical request, one child span per wire attempt.
+  // Ids are generated even without a tracer: the wire context still
+  // reaches the server, so server-side attribution works regardless.
+  const u64 trace_id = obs::next_trace_id();
+  const u64 request_span = obs::next_span_id();
+  last_trace_id_ = trace_id;
+  const u64 request_start = tracer_ ? tracer_->now_rel_ns() : 0;
+
+  // Record the "client.request" root when the loop exits, success or
+  // throw, covering every attempt and backoff underneath it.
+  struct RequestSpan {
+    obs::Tracer* t;
+    obs::TraceEvent ev;
+    ~RequestSpan() {
+      if (t == nullptr) return;
+      ev.dur_ns = t->now_rel_ns() - ev.ts_ns;
+      t->record(ev);
+    }
+  } request_guard{tracer_, {}};
+  if (tracer_ != nullptr) {
+    request_guard.ev.name = "client.request";
+    request_guard.ev.cat = "client";
+    request_guard.ev.ts_ns = request_start;
+    request_guard.ev.trace_id = trace_id;
+    request_guard.ev.span_id = request_span;
+    request_guard.ev.arg1_name = "request_id";
+    request_guard.ev.arg1 = static_cast<i64>(id);
+    request_guard.ev.arg2_name = "tenant_id";
+    request_guard.ev.arg2 = static_cast<i64>(tag_.tenant_id);
+  }
+
   std::exception_ptr last;
   for (u32 attempt = 1;; ++attempt) {
+    // A fresh span id per attempt is the stitcher's join key: the wire
+    // parent_span_id below makes the server's span tree for THIS
+    // attempt a child of THIS attempt span, so a retried request shows
+    // up as sibling attempt spans each with their own server tree.
+    const u64 attempt_span = obs::next_span_id();
+    const obs::TraceContextScope scope({trace_id, attempt_span});
+    struct AttemptSpan {
+      obs::Tracer* t;
+      obs::TraceEvent ev;
+      ~AttemptSpan() {
+        if (t == nullptr) return;
+        ev.dur_ns = t->now_rel_ns() - ev.ts_ns;
+        t->record(ev);
+      }
+    } attempt_guard{tracer_, {}};
+    if (tracer_ != nullptr) {
+      attempt_guard.ev.name = "client.attempt";
+      attempt_guard.ev.cat = "client";
+      attempt_guard.ev.ts_ns = tracer_->now_rel_ns();
+      attempt_guard.ev.trace_id = trace_id;
+      attempt_guard.ev.span_id = attempt_span;
+      attempt_guard.ev.parent_span_id = request_span;
+      attempt_guard.ev.arg1_name = "request_id";
+      attempt_guard.ev.arg1 = static_cast<i64>(id);
+      attempt_guard.ev.arg2_name = "attempt";
+      attempt_guard.ev.arg2 = static_cast<i64>(attempt);
+    }
     try {
       // Establishment is part of the attempt: a connect that fails is
       // an attempt that failed, and is counted and retried as one.
       ++stats_.attempts;
       bump(reg_, kClientMetricAttempts);
-      if (!sock_.valid()) establish_connection();
-      return attempt_once(op, id, payload);
+      if (!sock_.valid()) {
+        obs::SpanGuard connect_span(tracer_, "client.connect", "client");
+        establish_connection();
+      }
+      return attempt_once(op, id, payload,
+                          TraceTag{trace_id, attempt_span});
     } catch (const CorruptResponse&) {
       ++stats_.corrupt_responses;
       bump(reg_, kClientMetricCorruptResponses);
@@ -175,7 +268,11 @@ std::vector<u8> CereszClient::roundtrip(Opcode op,
     }
     ++stats_.retries;
     bump(reg_, kClientMetricRetries);
-    backoff_sleep(attempt, overall_deadline);
+    {
+      obs::SpanGuard backoff_span(tracer_, "client.backoff", "client",
+                                  "attempt", static_cast<i64>(attempt));
+      backoff_sleep(attempt, overall_deadline);
+    }
   }
 }
 

@@ -37,6 +37,8 @@
 #include "net/protocol.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace ceresz::net {
 
@@ -138,9 +140,14 @@ class CereszClient {
   /// A client with retry behavior. When `reg` is non-null (and must
   /// then outlive the client), the ceresz_client_* counters are bumped
   /// alongside ClientStats — registries are thread-safe, so concurrent
-  /// clients can share one.
+  /// clients can share one. A non-null `tracer` (same lifetime rule;
+  /// per-thread rings, so concurrent clients can share one) records a
+  /// span tree per logical request: a "client.request" root, one
+  /// "client.attempt" span per wire attempt with nested connect/write/
+  /// wait/read spans, and "client.backoff" spans between attempts.
   explicit CereszClient(RetryPolicy policy,
-                        obs::MetricsRegistry* reg = nullptr);
+                        obs::MetricsRegistry* reg = nullptr,
+                        obs::Tracer* tracer = nullptr);
 
   /// Record the server endpoint. A fail-fast policy (max_attempts <=
   /// 1) dials eagerly and throws ceresz::Error / NetTimeout here on
@@ -165,6 +172,23 @@ class CereszClient {
   }
 
   const TenantTag& tenant() const { return tag_; }
+
+  /// Wire protocol version to emit: kProtocolVersion (default) or
+  /// kProtocolVersionV3 for compatibility testing against newer
+  /// servers. v3 frames cannot carry the trace context — the server
+  /// synthesizes a trace id for them.
+  void set_protocol_version(u8 version);
+
+  u8 protocol_version() const { return wire_version_; }
+
+  /// Tracer for client-side request/attempt spans; null disables
+  /// recording (trace ids are still generated and sent on the wire, so
+  /// server-side attribution works regardless).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// The trace id stamped on the most recent logical request (0 before
+  /// the first). The stitcher's join key, exposed for tests.
+  u64 last_trace_id() const { return last_trace_id_; }
 
   /// Round-trip a PING; returns the wall-clock round-trip in seconds.
   /// Also refreshes server_state().
@@ -199,9 +223,12 @@ class CereszClient {
   std::vector<u8> roundtrip(Opcode op, std::span<const u8> payload);
 
   /// One wire attempt: send the frame, read the response, verify the
-  /// payload CRC, unwrap error frames into ServiceError.
+  /// payload CRC, unwrap error frames into ServiceError. `trace` is the
+  /// attempt's wire trace context (parent_span_id = this attempt's span
+  /// id, so the server's span tree joins to exactly this attempt).
   std::vector<u8> attempt_once(Opcode op, u64 id,
-                               std::span<const u8> payload);
+                               std::span<const u8> payload,
+                               TraceTag trace);
 
   /// (Re-)establish the connection per the policy's timeouts.
   void establish_connection();
@@ -212,17 +239,20 @@ class CereszClient {
 
   RetryPolicy policy_;
   obs::MetricsRegistry* reg_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   ClientStats stats_;
   Rng jitter_;
 
   Socket sock_;
-  TenantTag tag_;  ///< stamped into every request frame (v3)
+  TenantTag tag_;  ///< stamped into every request frame
+  u8 wire_version_ = kProtocolVersion;
   std::string host_;
   u16 port_ = 0;
   bool ever_connected_ = false;
   std::string server_state_;
   std::vector<u8> frame_;  ///< reused send buffer
   u64 next_request_id_ = 1;
+  u64 last_trace_id_ = 0;
 };
 
 }  // namespace ceresz::net

@@ -97,6 +97,9 @@ const char* status_name(Status st) {
 }
 
 void append_frame_header(std::vector<u8>& out, const FrameHeader& header) {
+  CERESZ_CHECK(header.version == kProtocolVersion ||
+                   header.version == kProtocolVersionV3,
+               "net: cannot build a frame with an unknown version");
   out.insert(out.end(), kMagic, kMagic + 4);
   out.push_back(header.version);
   out.push_back(static_cast<u8>(header.opcode));
@@ -109,6 +112,10 @@ void append_frame_header(std::vector<u8>& out, const FrameHeader& header) {
   out.push_back(0);  // reserved
   out.push_back(0);  // reserved
   out.push_back(0);  // reserved
+  if (header.version == kProtocolVersion) {
+    append_u64(out, header.trace.trace_id);
+    append_u64(out, header.trace.parent_span_id);
+  }
 }
 
 FrameHeader parse_frame_header(std::span<const u8> bytes, u64 max_payload) {
@@ -119,7 +126,8 @@ FrameHeader parse_frame_header(std::span<const u8> bytes, u64 max_payload) {
                "net: bad frame magic (not a CSNP frame)");
   FrameHeader h;
   h.version = p[4];
-  CERESZ_CHECK(h.version == kProtocolVersion,
+  CERESZ_CHECK(h.version == kProtocolVersion ||
+                   h.version == kProtocolVersionV3,
                "net: unsupported protocol version");
   const u8 op = p[5];
   CERESZ_CHECK(op >= static_cast<u8>(Opcode::kPing) &&
@@ -141,6 +149,12 @@ FrameHeader parse_frame_header(std::span<const u8> bytes, u64 max_payload) {
                "net: unknown frame priority");
   CERESZ_CHECK(p[33] == 0 && p[34] == 0 && p[35] == 0,
                "net: frame header has reserved bytes set");
+  if (h.version == kProtocolVersion) {
+    CERESZ_CHECK(bytes.size() >= kFrameHeaderBytesV4,
+                 "net: v4 frame header is truncated");
+    h.trace.trace_id = read_u64(p + 36);
+    h.trace.parent_span_id = read_u64(p + 44);
+  }
   return h;
 }
 
@@ -247,17 +261,24 @@ void decode_decompress_response(std::span<const u8> payload,
 
 // --- whole frames -----------------------------------------------------------
 
+FrameMeta echo_meta(const FrameHeader& request) {
+  return FrameMeta(request.tenant, request.trace, request.version);
+}
+
 void append_frame(std::vector<u8>& out, Opcode op, Status status,
                   u64 request_id, std::span<const u8> payload,
-                  TenantTag tag) {
+                  FrameMeta meta) {
   FrameHeader h;
+  h.version = meta.version;
   h.opcode = op;
   h.status = status;
   h.request_id = request_id;
   h.payload_bytes = payload.size();
   h.payload_crc = payload.empty() ? 0 : crc32c(payload);
-  h.tenant = tag;
-  out.reserve(out.size() + kFrameHeaderBytes + payload.size());
+  h.tenant = meta.tenant;
+  h.trace = meta.trace;
+  out.reserve(out.size() + frame_header_bytes(meta.version) +
+              payload.size());
   append_frame_header(out, h);
   out.insert(out.end(), payload.begin(), payload.end());
 }
@@ -268,12 +289,12 @@ bool payload_crc_ok(const FrameHeader& header, std::span<const u8> payload) {
 
 void append_error_frame(std::vector<u8>& out, Opcode op, Status status,
                         u64 request_id, std::string_view message,
-                        TenantTag tag) {
+                        FrameMeta meta) {
   append_frame(out, op, status, request_id,
                std::span<const u8>(
                    reinterpret_cast<const u8*>(message.data()),
                    message.size()),
-               tag);
+               meta);
 }
 
 }  // namespace ceresz::net

@@ -3,10 +3,11 @@
 // throughout (matching the .f32/SDRBench and chunk-container
 // conventions of the rest of the codebase).
 //
-// Frame layout (36-byte header, then `payload_bytes` of payload):
+// Frame layout (52-byte v4 header, then `payload_bytes` of payload;
+// the first 36 bytes are the v3 header, byte for byte):
 //
 //   0  u32 magic "CSNP"
-//   4  u8  version (= 3)
+//   4  u8  version (= 4; v3 frames are still accepted)
 //   5  u8  opcode            (Opcode)
 //   6  u16 status            (Status; 0 in requests, result code in
 //                             responses — nonzero = error frame whose
@@ -20,6 +21,11 @@
 //   32 u8  priority          (kPriorityBatch/Standard/Interactive;
 //                             echoed in the response)
 //   33 u8[3] reserved        (must be 0 — strict, like DECOMPRESS flags)
+//   -- v4 trace context (absent from v3 frames) ------------------------
+//   36 u64 trace_id          (distributed-trace id; 0 = untraced — the
+//                             server synthesizes one)
+//   44 u64 parent_span_id    (the sender's span the receiver's work
+//                             nests under; 0 = none)
 //
 // Version history: v1 had a 24-byte header with no payload CRC. v2 added
 // end-to-end payload integrity — every request and response payload is
@@ -36,7 +42,14 @@
 // client that never calls set_tenant behaves exactly like a v2 one.
 // The three reserved bytes must be zero (checked strictly, the same
 // policy as the DECOMPRESS flags word) so future fields cannot be
-// smuggled past old parsers.
+// smuggled past old parsers. v4 adds the 16-byte distributed-trace
+// context (trace id + parent span id) after the reserved bytes, so one
+// request can be followed from a client retry attempt through the
+// server's queue into engine chunks (docs/observability.md,
+// "Distributed tracing"). Both versions are accepted on the wire:
+// servers parse v3 and v4, echo the request's version in the response,
+// and synthesize a server-side trace id for v3 (or zero-trace v4)
+// requests — a v3 client is served byte-identically to before.
 //
 // Opcodes and payloads (request -> response):
 //   PING        empty -> empty. Liveness + RTT probe.
@@ -66,8 +79,24 @@
 
 namespace ceresz::net {
 
-inline constexpr u8 kProtocolVersion = 3;
+inline constexpr u8 kProtocolVersion = 4;
+/// Still accepted on the wire (no trace context); servers echo it back.
+inline constexpr u8 kProtocolVersionV3 = 3;
+/// Size of the v3 header, which is also the common prefix of a v4
+/// header — readers pull this many bytes, peek the version at offset 4,
+/// and read kTraceContextBytes more for v4 frames.
 inline constexpr std::size_t kFrameHeaderBytes = 36;
+inline constexpr std::size_t kTraceContextBytes = 16;
+inline constexpr std::size_t kFrameHeaderBytesV4 =
+    kFrameHeaderBytes + kTraceContextBytes;
+
+/// Full header size of a frame with this version byte. Unknown versions
+/// report the v3 size — enough bytes for parse_frame_header to reject
+/// them with its own typed error.
+constexpr std::size_t frame_header_bytes(u8 version) {
+  return version == kProtocolVersion ? kFrameHeaderBytesV4
+                                     : kFrameHeaderBytes;
+}
 
 // Wire values of the frame priority byte. Kept as named u8 constants
 // (not an enum class) because the net layer only transports them; the
@@ -118,6 +147,16 @@ struct TenantTag {
   u8 priority = kPriorityStandard;
 };
 
+/// The v4 distributed-trace fields. A zero trace_id marks an untraced
+/// request (the server synthesizes an id so its own spans still group);
+/// parent_span_id is the sender-side span the receiver's work nests
+/// under — the client stamps its per-attempt span id here, which is how
+/// the stitcher joins one server span tree to one client attempt.
+struct TraceTag {
+  u64 trace_id = 0;
+  u64 parent_span_id = 0;
+};
+
 struct FrameHeader {
   u8 version = kProtocolVersion;
   Opcode opcode = Opcode::kPing;
@@ -125,13 +164,17 @@ struct FrameHeader {
   u64 request_id = 0;
   u64 payload_bytes = 0;
   u32 payload_crc = 0;  ///< CRC32C of the payload (0 for empty payloads)
-  TenantTag tenant{};   ///< v3: tenant id + priority (0/standard = legacy)
+  TenantTag tenant{};   ///< v3+: tenant id + priority (0/standard = legacy)
+  TraceTag trace{};     ///< v4: trace context (all-zero in v3 frames)
 };
 
-/// Append the 36 header bytes to `out`.
+/// Append the header bytes to `out`: 36 for a v3 header, 52 for v4
+/// (header.version selects; anything else is rejected). A v3 header
+/// silently drops the trace fields — v3 cannot carry them.
 void append_frame_header(std::vector<u8>& out, const FrameHeader& header);
 
-/// Parse and validate a frame header: magic, version, known opcode, and
+/// Parse and validate a frame header: magic, version 3 or 4 (with the
+/// version's full header present in `bytes`), known opcode, and
 /// payload_bytes <= max_payload. Throws ceresz::Error on any violation.
 FrameHeader parse_frame_header(std::span<const u8> bytes, u64 max_payload);
 
@@ -191,13 +234,33 @@ void decode_decompress_response(std::span<const u8> payload,
 
 // --- whole frames -----------------------------------------------------------
 
+/// Everything a frame carries besides opcode/status/id/payload: tenant
+/// routing, trace context, and the wire version to emit. Implicitly
+/// constructible from a bare TenantTag so pre-v4 call sites read
+/// unchanged; servers build one from the request header (echoing its
+/// version and trace) via echo_meta().
+struct FrameMeta {
+  TenantTag tenant{};
+  TraceTag trace{};
+  u8 version = kProtocolVersion;
+
+  FrameMeta() = default;
+  FrameMeta(TenantTag t) : tenant(t) {}  // NOLINT(google-explicit-constructor)
+  FrameMeta(TenantTag t, TraceTag tr, u8 v = kProtocolVersion)
+      : tenant(t), trace(tr), version(v) {}
+};
+
+/// The response meta for a request header: same tenant, same trace,
+/// same wire version — a v3 client gets a byte-identical v3 response.
+FrameMeta echo_meta(const FrameHeader& request);
+
 /// Append a complete frame (header + payload) to `out`; the header's
 /// payload_crc is computed from `payload`, so frames built through this
-/// function always verify. `tag` stamps the tenant fields (defaults to
-/// the untenanted legacy path).
+/// function always verify. `meta` stamps the tenant/trace fields and
+/// picks the wire version (defaults: untenanted, untraced, v4).
 void append_frame(std::vector<u8>& out, Opcode op, Status status,
                   u64 request_id, std::span<const u8> payload,
-                  TenantTag tag = {});
+                  FrameMeta meta = {});
 
 /// Does `payload` match the CRC its header declared? Called by both
 /// peers after the payload read, before any decoding.
@@ -206,6 +269,6 @@ bool payload_crc_ok(const FrameHeader& header, std::span<const u8> payload);
 /// Append a complete error frame whose payload is `message`.
 void append_error_frame(std::vector<u8>& out, Opcode op, Status status,
                         u64 request_id, std::string_view message,
-                        TenantTag tag = {});
+                        FrameMeta meta = {});
 
 }  // namespace ceresz::net

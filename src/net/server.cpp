@@ -14,6 +14,10 @@
 #include "engine/bounded_queue.h"
 #include "net/buffer_pool.h"
 #include "net/socket.h"
+#include "obs/log.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "tenant/coordinator.h"
 
 namespace ceresz::net {
@@ -166,10 +170,10 @@ struct ServiceServer::Impl {
   }
 
   void send_error(Connection& conn, Opcode op, Status status, u64 request_id,
-                  std::string_view message, TenantTag tag = {}) {
+                  std::string_view message, FrameMeta meta = {}) {
     m_.error_responses.add(1);
     PooledBuffer out = pool_.acquire();
-    append_error_frame(*out, op, status, request_id, message, tag);
+    append_error_frame(*out, op, status, request_id, message, meta);
     send(conn, *out);
   }
 
@@ -214,7 +218,7 @@ struct ServiceServer::Impl {
   // --- reader ---------------------------------------------------------------
 
   void reader_loop(std::shared_ptr<Connection> conn) {
-    std::array<u8, kFrameHeaderBytes> hdr_bytes;
+    std::array<u8, kFrameHeaderBytesV4> hdr_bytes;
     for (;;) {
       // Between frames: wait for the next header byte without
       // committing to a read. Idle time is budgeted separately
@@ -226,8 +230,21 @@ struct ServiceServer::Impl {
         m_.idle_reaped.add(1);
         break;
       }
+      // Pull the 36-byte common prefix, peek the version byte, and read
+      // the v4 trace tail when it is there — v3 clients are parsed from
+      // the prefix alone, exactly as before.
+      std::size_t hdr_len = kFrameHeaderBytes;
       try {
-        if (!conn->sock.read_exact_or_eof(hdr_bytes)) break;
+        if (!conn->sock.read_exact_or_eof(
+                std::span<u8>(hdr_bytes.data(), kFrameHeaderBytes))) {
+          break;
+        }
+        hdr_len = frame_header_bytes(hdr_bytes[4]);
+        if (hdr_len > kFrameHeaderBytes) {
+          conn->sock.read_exact(
+              std::span<u8>(hdr_bytes.data() + kFrameHeaderBytes,
+                            hdr_len - kFrameHeaderBytes));
+        }
       } catch (const NetTimeout&) {
         m_.io_timeouts.add(1);  // slow-loris: header dribbled too slowly
         break;
@@ -237,13 +254,19 @@ struct ServiceServer::Impl {
 
       FrameHeader header;
       try {
-        header = parse_frame_header(hdr_bytes, options_.max_frame_payload);
+        header = parse_frame_header(
+            std::span<const u8>(hdr_bytes.data(), hdr_len),
+            options_.max_frame_payload);
       } catch (const Error& e) {
         // Framing is lost — there is no way to find the next frame
         // boundary in a byte stream with a corrupt header. Report and
         // hang up (the anti-bomb payload bound is enforced here too,
         // before any allocation).
         m_.malformed.add(1);
+        if (options_.logger != nullptr) {
+          options_.logger->warn("server.malformed_header",
+                                {{"error", e.what()}});
+        }
         send_error(*conn, Opcode::kPing, Status::kMalformed, 0, e.what());
         break;
       }
@@ -259,7 +282,7 @@ struct ServiceServer::Impl {
         break;  // truncated frame: peer died mid-send
       }
       m_.requests.add(1);
-      m_.request_bytes.add(kFrameHeaderBytes + header.payload_bytes);
+      m_.request_bytes.add(hdr_len + header.payload_bytes);
 
       if (!payload_crc_ok(header, *payload)) {
         // The frame arrived whole but its bytes do not match the CRC the
@@ -267,11 +290,16 @@ struct ServiceServer::Impl {
         // the connection survives — reject just this request, loudly.
         m_.crc_rejected.add(1);
         m_.malformed.add(1);
+        if (options_.logger != nullptr) {
+          options_.logger->warn("server.crc_rejected",
+                                {{"request_id", header.request_id},
+                                 {"tenant_id", header.tenant.tenant_id}});
+        }
         send_error(*conn, header.opcode, Status::kMalformed,
                    header.request_id,
                    "request payload failed its CRC check "
                    "(in-flight corruption)",
-                   header.tenant);
+                   echo_meta(header));
         continue;
       }
 
@@ -288,7 +316,7 @@ struct ServiceServer::Impl {
                        std::span<const u8>(
                            reinterpret_cast<const u8*>(state.data()),
                            state.size()),
-                       header.tenant);
+                       echo_meta(header));
           send(*conn, *out);
           break;
         }
@@ -301,21 +329,40 @@ struct ServiceServer::Impl {
                        std::span<const u8>(
                            reinterpret_cast<const u8*>(json.data()),
                            json.size()),
-                       header.tenant);
+                       echo_meta(header));
           send(*conn, *out);
           break;
         }
         case Opcode::kCompress:
         case Opcode::kDecompress: {
+          // Every work request gets a trace id: v4 frames carry the
+          // client's, v3 (and zero-trace v4) frames get one synthesized
+          // here so server-side spans are always attributable. The
+          // response echoes whatever the request carried, so v3 clients
+          // see byte-identical frames.
+          if (header.trace.trace_id == 0) {
+            header.trace.trace_id = obs::next_trace_id();
+          }
+          const obs::TraceContextScope admit_scope(obs::TraceContext{
+              header.trace.trace_id, header.trace.parent_span_id});
+          const obs::SpanGuard admit_span(
+              options_.tracer, "server.admit", "server", "request_id",
+              static_cast<i64>(header.request_id), "tenant_id",
+              static_cast<i64>(header.tenant.tenant_id));
           if (draining_.load(std::memory_order_acquire)) {
             // Drain mode: finish what was admitted, take nothing new.
             // The reader hangs up after the rejection so lingering
             // keep-alive connections cannot stall the exit.
             m_.drain_rejected.add(1);
+            if (options_.logger != nullptr) {
+              options_.logger->info("server.drain_rejected",
+                                    {{"request_id", header.request_id},
+                                     {"tenant_id", header.tenant.tenant_id}});
+            }
             send_error(*conn, header.opcode, Status::kDraining,
                        header.request_id,
                        "server is draining; no new work accepted",
-                       header.tenant);
+                       echo_meta(header));
             conn->open.store(false, std::memory_order_release);
             conn->sock.shutdown_both();
             m_.active_connections.add(-1.0);
@@ -330,8 +377,15 @@ struct ServiceServer::Impl {
             std::string reason;
             if (!tenant_admitted(header, reason)) {
               m_.tenant_shed.add(1);
+              if (options_.logger != nullptr) {
+                options_.logger->warn(
+                    "server.tenant_shed",
+                    {{"request_id", header.request_id},
+                     {"tenant_id", header.tenant.tenant_id},
+                     {"reason", reason}});
+              }
               send_error(*conn, header.opcode, Status::kBusy,
-                         header.request_id, reason, header.tenant);
+                         header.request_id, reason, echo_meta(header));
               break;
             }
           }
@@ -346,7 +400,7 @@ struct ServiceServer::Impl {
             send_error(*conn, header.opcode, Status::kBusy,
                        header.request_id,
                        "server is at its in-flight request limit",
-                       header.tenant);
+                       echo_meta(header));
             break;
           }
           note_inflight(now_inflight);
@@ -398,6 +452,12 @@ struct ServiceServer::Impl {
   engine::EngineOptions engine_options(u64 deadline_ns) const {
     engine::EngineOptions eopt = options_.engine;
     eopt.metrics = &server_.registry_;
+    if (options_.tracer != nullptr) {
+      // The per-request engine records into the server tracer; its
+      // chunk/pool spans inherit the request's trace id through the
+      // ambient context installed by handle().
+      eopt.tracer = options_.tracer;
+    }
     if (deadline_ns != 0) {
       const u64 now = now_ns();
       const u64 remaining_ms =
@@ -415,6 +475,8 @@ struct ServiceServer::Impl {
     const Opcode op = req.header.opcode;
     const u64 id = req.header.request_id;
     const TenantTag tag = req.header.tenant;
+    const TraceTag trace = req.header.trace;  // trace_id synthesized on admit
+    const FrameMeta meta = echo_meta(req.header);
     Connection& conn = *req.conn;
     obs::Histogram& latency = op == Opcode::kCompress
                                   ? m_.compress_seconds
@@ -422,10 +484,59 @@ struct ServiceServer::Impl {
     (op == Opcode::kCompress ? m_.compress_requests : m_.decompress_requests)
         .add(1);
 
-    const auto finish = [&] {
-      const f64 seconds =
-          static_cast<f64>(now_ns() - req.arrival_ns) * 1e-9;
+    // Server-side span tree for this request: a "server.request" root
+    // (recorded by finish, spanning arrival → response) whose span id
+    // every worker-side span parents to through the ambient context,
+    // and whose parent_span_id is the client attempt span that sent the
+    // frame — the stitcher's join key.
+    const u64 root_span = obs::next_span_id();
+    const obs::TraceContextScope trace_scope(
+        obs::TraceContext{trace.trace_id, root_span});
+    if (options_.tracer != nullptr) {
+      // Queue wait: frame arrival → a worker picked it up (now).
+      obs::TraceEvent qe;
+      qe.name = "server.queue_wait";
+      qe.cat = "server";
+      qe.ts_ns = options_.tracer->to_rel_ns(req.arrival_ns);
+      const u64 picked = options_.tracer->now_rel_ns();
+      qe.dur_ns = picked > qe.ts_ns ? picked - qe.ts_ns : 0;
+      qe.arg1_name = "request_id";
+      qe.arg1 = static_cast<i64>(id);
+      options_.tracer->record(qe);
+    }
+
+    const auto finish = [&](const char* status) {
+      const u64 end_ns = now_ns();
+      const u64 total_ns =
+          end_ns > req.arrival_ns ? end_ns - req.arrival_ns : 0;
+      const f64 seconds = static_cast<f64>(total_ns) * 1e-9;
       latency.observe(seconds);
+      if (options_.tracer != nullptr) {
+        obs::TraceEvent ev;
+        ev.name = "server.request";
+        ev.cat = "server";
+        ev.ts_ns = options_.tracer->to_rel_ns(req.arrival_ns);
+        ev.dur_ns = total_ns;
+        ev.arg1_name = "request_id";
+        ev.arg1 = static_cast<i64>(id);
+        ev.arg2_name = "tenant_id";
+        ev.arg2 = static_cast<i64>(tag.tenant_id);
+        ev.trace_id = trace.trace_id;
+        ev.span_id = root_span;
+        ev.parent_span_id = trace.parent_span_id;
+        options_.tracer->record(ev);
+      }
+      if (options_.span_log != nullptr) {
+        obs::SpanRecord rec;
+        rec.trace_id = trace.trace_id;
+        rec.request_id = id;
+        rec.tenant_id = tag.tenant_id;
+        rec.name = opcode_name(op);
+        rec.status = status;
+        rec.ts_ns = req.arrival_ns;
+        rec.dur_ns = total_ns;
+        options_.span_log->push(rec);
+      }
       if (coordinator_ != nullptr && tag.tenant_id != 0) {
         // Per-tenant accounting next to the coordinator's lease
         // gauges: a queue-inclusive latency histogram and a request
@@ -435,7 +546,8 @@ struct ServiceServer::Impl {
                                                 "requests_total"))
             .add(1);
         server_.registry_
-            .histogram(tenant::tenant_metric_name(tag.tenant_id, "seconds"),
+            .histogram(tenant::tenant_metric_name(
+                           tag.tenant_id, tenant::kTenantRequestSecondsSuffix),
                        obs::MetricsRegistry::default_seconds_buckets())
             .observe(seconds);
       }
@@ -444,54 +556,92 @@ struct ServiceServer::Impl {
     u64 deadline_ns = 0;
     try {
       if (op == Opcode::kCompress) {
-        const CompressRequest creq = decode_compress_request(*req.payload);
+        CompressRequest creq;
+        {
+          const obs::SpanGuard decode_span(options_.tracer, "server.decode",
+                                           "server", "request_id",
+                                           static_cast<i64>(id));
+          creq = decode_compress_request(*req.payload);
+        }
         deadline_ns = deadline_ns_for(creq.deadline_ms, req.arrival_ns);
         if (deadline_ns != 0 && now_ns() >= deadline_ns) {
           m_.deadline_expired.add(1);
           send_error(conn, op, Status::kDeadlineExpired, id,
                      "request deadline expired before execution started",
-                     tag);
-          finish();
+                     meta);
+          finish("DEADLINE_EXPIRED");
           return;
         }
         const engine::ParallelEngine eng(engine_options(deadline_ns));
-        const engine::EngineResult result = eng.compress(creq.data,
-                                                         creq.bound);
+        engine::EngineResult result;
+        {
+          const obs::SpanGuard engine_span(options_.tracer, "server.engine",
+                                           "server", "request_id",
+                                           static_cast<i64>(id));
+          result = eng.compress(creq.data, creq.bound);
+        }
         if (deadline_ns != 0 && now_ns() >= deadline_ns) {
           m_.deadline_expired.add(1);
           send_error(conn, op, Status::kDeadlineExpired, id,
-                     "request deadline expired during compression", tag);
-          finish();
+                     "request deadline expired during compression", meta);
+          finish("DEADLINE_EXPIRED");
           return;
         }
         PooledBuffer out = pool_.acquire();
-        append_frame(*out, op, Status::kOk, id, result.stream, tag);
+        {
+          const obs::SpanGuard encode_span(options_.tracer, "server.encode",
+                                           "server", "request_id",
+                                           static_cast<i64>(id));
+          append_frame(*out, op, Status::kOk, id, result.stream, meta);
+        }
+        const obs::SpanGuard write_span(options_.tracer, "server.write",
+                                        "server", "request_id",
+                                        static_cast<i64>(id));
         send(conn, *out);
       } else {
-        const DecompressRequest dreq =
-            decode_decompress_request(*req.payload);
+        DecompressRequest dreq;
+        {
+          const obs::SpanGuard decode_span(options_.tracer, "server.decode",
+                                           "server", "request_id",
+                                           static_cast<i64>(id));
+          dreq = decode_decompress_request(*req.payload);
+        }
         deadline_ns = deadline_ns_for(dreq.deadline_ms, req.arrival_ns);
         if (deadline_ns != 0 && now_ns() >= deadline_ns) {
           m_.deadline_expired.add(1);
           send_error(conn, op, Status::kDeadlineExpired, id,
                      "request deadline expired before execution started",
-                     tag);
-          finish();
+                     meta);
+          finish("DEADLINE_EXPIRED");
           return;
         }
         const engine::ParallelEngine eng(engine_options(deadline_ns));
-        const engine::DecompressResult result = eng.decompress(dreq.stream);
+        engine::DecompressResult result;
+        {
+          const obs::SpanGuard engine_span(options_.tracer, "server.engine",
+                                           "server", "request_id",
+                                           static_cast<i64>(id));
+          result = eng.decompress(dreq.stream);
+        }
         if (deadline_ns != 0 && now_ns() >= deadline_ns) {
           m_.deadline_expired.add(1);
           send_error(conn, op, Status::kDeadlineExpired, id,
-                     "request deadline expired during decompression", tag);
-          finish();
+                     "request deadline expired during decompression", meta);
+          finish("DEADLINE_EXPIRED");
           return;
         }
         PooledBuffer out = pool_.acquire();
-        std::vector<u8> body;
-        append_decompress_response(body, result.values);
-        append_frame(*out, op, Status::kOk, id, body, tag);
+        {
+          const obs::SpanGuard encode_span(options_.tracer, "server.encode",
+                                           "server", "request_id",
+                                           static_cast<i64>(id));
+          std::vector<u8> body;
+          append_decompress_response(body, result.values);
+          append_frame(*out, op, Status::kOk, id, body, meta);
+        }
+        const obs::SpanGuard write_span(options_.tracer, "server.write",
+                                        "server", "request_id",
+                                        static_cast<i64>(id));
         send(conn, *out);
       }
     } catch (const Error& e) {
@@ -512,11 +662,29 @@ struct ServiceServer::Impl {
       } else {
         status = Status::kInternal;
       }
-      send_error(conn, op, status, id, e.what(), tag);
+      if (options_.logger != nullptr) {
+        options_.logger->warn("server.request_failed",
+                              {{"request_id", id},
+                               {"tenant_id", tag.tenant_id},
+                               {"status", status_name(status)},
+                               {"error", e.what()}});
+      }
+      send_error(conn, op, status, id, e.what(), meta);
+      finish(status_name(status));
+      return;
     } catch (const std::exception& e) {
-      send_error(conn, op, Status::kInternal, id, e.what(), tag);
+      if (options_.logger != nullptr) {
+        options_.logger->error("server.request_failed",
+                               {{"request_id", id},
+                                {"tenant_id", tag.tenant_id},
+                                {"status", "INTERNAL"},
+                                {"error", e.what()}});
+      }
+      send_error(conn, op, Status::kInternal, id, e.what(), meta);
+      finish("INTERNAL");
+      return;
     }
-    finish();
+    finish("OK");
   }
 
   // --- lifecycle ------------------------------------------------------------
@@ -564,11 +732,22 @@ struct ServiceServer::Impl {
       workers_.emplace_back([this] { worker_loop(); });
     }
     accept_thread_ = std::thread([this] { accept_loop(); });
+    if (options_.logger != nullptr) {
+      options_.logger->info("server.started",
+                            {{"port", listener_->port()},
+                             {"workers", options_.workers},
+                             {"max_inflight", max_inflight_}});
+    }
   }
 
   void drain() {
     if (draining_.exchange(true, std::memory_order_acq_rel)) return;
     m_.draining.set(1.0);
+    if (options_.logger != nullptr) {
+      options_.logger->info(
+          "server.draining",
+          {{"inflight", inflight_.load(std::memory_order_acquire)}});
+    }
     // Stop accepting: the accept loop exits on the invalid socket; the
     // listener itself is closed later by stop(). Existing readers keep
     // running so in-flight work can answer and PING can say DRAINING.
@@ -607,6 +786,9 @@ struct ServiceServer::Impl {
     }
     workers_.clear();
     if (listener_) listener_->close();
+    if (options_.logger != nullptr) {
+      options_.logger->info("server.stopped", {});
+    }
   }
 };
 

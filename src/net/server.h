@@ -56,6 +56,12 @@ namespace ceresz::tenant {
 class WaferCoordinator;
 }  // namespace ceresz::tenant
 
+namespace ceresz::obs {
+class Logger;
+class SpanLog;
+class Tracer;
+}  // namespace ceresz::obs
+
 namespace ceresz::net {
 
 // Canonical server metric names (Prometheus families; see
@@ -151,10 +157,30 @@ struct ServerOptions {
   u32 idle_timeout_ms = 0;
 
   /// Engine configuration used for every request. `metrics` is
-  /// overridden to point at the server's registry; `tracer` is passed
-  /// through (null by default). `faults` is kept — chaos tests inject
-  /// engine faults to exercise the service's deadline/error paths.
+  /// overridden to point at the server's registry; `tracer` is
+  /// overridden by the server-level `tracer` below when that is set.
+  /// `faults` is kept — chaos tests inject engine faults to exercise
+  /// the service's deadline/error paths.
   engine::EngineOptions engine;
+
+  /// Distributed tracing (docs/observability.md). When set (and
+  /// outliving the server), every COMPRESS/DECOMPRESS request records a
+  /// span tree — queue-wait / decode / admission / engine-run / encode /
+  /// write — tagged with the request id, tenant id, and the trace
+  /// context from the v4 frame header (v3 and zero-trace requests get a
+  /// synthesized server-side trace id). The per-request engine runs
+  /// record into the same tracer, so chunk spans inherit the trace id.
+  obs::Tracer* tracer = nullptr;
+
+  /// Structured JSON-lines log for server lifecycle and error paths
+  /// (replaces ad-hoc stderr prints). Null disables. Must outlive the
+  /// server.
+  obs::Logger* logger = nullptr;
+
+  /// Recent-span ring fed with one record per completed request, served
+  /// by the telemetry endpoint's /tracez. Null disables. Must outlive
+  /// the server.
+  obs::SpanLog* span_log = nullptr;
 
   /// Multi-tenant wafer coordination (docs/tenancy.md). When enabled,
   /// COMPRESS/DECOMPRESS frames carrying a nonzero tenant id (CSNP v3)

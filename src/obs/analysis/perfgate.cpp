@@ -1,7 +1,11 @@
 #include "obs/analysis/perfgate.h"
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <map>
 
 #include "common/error.h"
@@ -48,9 +52,15 @@ std::string HistoryRecord::to_jsonl() const {
   std::snprintf(num, sizeof(num), "%.17g", value);
   char nz[64];
   std::snprintf(nz, sizeof(nz), "%.6g", noise);
-  return "{\"bench\": " + esc(bench) + ", \"metric\": " + esc(metric) +
-         ", \"value\": " + num + ", \"unit\": " + esc(unit) +
-         ", \"better\": " + esc(better) + ", \"noise\": " + nz + "}";
+  std::string line = "{\"bench\": " + esc(bench) +
+                     ", \"metric\": " + esc(metric) + ", \"value\": " + num +
+                     ", \"unit\": " + esc(unit) +
+                     ", \"better\": " + esc(better) + ", \"noise\": " + nz;
+  if (!timestamp.empty()) line += ", \"timestamp\": " + esc(timestamp);
+  if (!git_sha.empty()) line += ", \"git_sha\": " + esc(git_sha);
+  if (!host.empty()) line += ", \"host\": " + esc(host);
+  line += "}";
+  return line;
 }
 
 std::vector<HistoryRecord> parse_history_jsonl(std::string_view text) {
@@ -72,9 +82,31 @@ std::vector<HistoryRecord> parse_history_jsonl(std::string_view text) {
                  "history: \"better\" must be \"higher\" or \"lower\"");
     r.noise = line.number_or("noise", 0.10);
     CERESZ_CHECK(r.noise >= 0.0, "history: \"noise\" must be >= 0");
+    r.timestamp = line.string_or("timestamp", "");
+    r.git_sha = line.string_or("git_sha", "");
+    r.host = line.string_or("host", "");
     out.push_back(std::move(r));
   }
   return out;
+}
+
+void stamp_history_metadata(HistoryRecord& record) {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  if (gmtime_r(&now, &utc) != nullptr) {
+    char buf[32];
+    if (std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc) > 0) {
+      record.timestamp = buf;
+    }
+  }
+  const char* sha = std::getenv("GITHUB_SHA");
+  if (sha == nullptr || sha[0] == '\0') sha = std::getenv("CERESZ_GIT_SHA");
+  if (sha != nullptr && sha[0] != '\0') record.git_sha = sha;
+  char hostname[256];
+  if (gethostname(hostname, sizeof(hostname)) == 0) {
+    hostname[sizeof(hostname) - 1] = '\0';
+    record.host = hostname;
+  }
 }
 
 GateReport evaluate_gate(const std::vector<HistoryRecord>& baseline,

@@ -33,14 +33,26 @@ struct HistoryRecord {
   std::string better = "higher";
   /// Relative noise band, e.g. 0.10 for +-10%.
   f64 noise = 0.10;
+  // Provenance metadata (empty = omitted from the JSONL line). Carried
+  // for humans diffing history files; the gate never compares it, and
+  // the parser treats these — like any other unknown key — as optional,
+  // so old and new history files interoperate both ways.
+  std::string timestamp;  ///< ISO-8601 UTC, e.g. "2026-02-07T12:00:00Z"
+  std::string git_sha;
+  std::string host;
 
   std::string key() const { return bench + "/" + metric; }
   std::string to_jsonl() const;  ///< one line, no trailing newline
 };
 
 /// Parse history JSONL. Lines missing "bench"/"metric"/"value" throw;
-/// "better" defaults to "higher" and "noise" to 0.10.
+/// "better" defaults to "higher" and "noise" to 0.10. Unknown keys are
+/// ignored, so records from newer writers always parse.
 std::vector<HistoryRecord> parse_history_jsonl(std::string_view text);
+
+/// Fill a record's provenance fields from the environment: UTC wall
+/// clock, $GITHUB_SHA / $CERESZ_GIT_SHA (first set wins), gethostname.
+void stamp_history_metadata(HistoryRecord& record);
 
 enum class GateStatus : u8 { kOk, kWarn, kFail, kMissing };
 

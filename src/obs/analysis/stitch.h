@@ -1,0 +1,111 @@
+// Trace stitching: merge a CLIENT-side Chrome trace and a SERVER-side
+// Chrome trace of the same traffic into one cross-process view, joined
+// by the distributed trace context (obs/trace_context.h) that the CSNP
+// v4 frame header carries across the wire.
+//
+// The join key is structural, not temporal: every "client.attempt" span
+// carries its own span id, the frame it sends carries that id as
+// parent_span_id, and the server's "server.request" root records it
+// back — so each RETRIED attempt of one logical request matches its own
+// server-side tree 1:1, and a request the server never saw (connect
+// refused, frame lost) simply has no match. From a matched pair the
+// stitcher derives the paper-facing latency decomposition:
+//
+//   network  = client attempt duration - server request duration
+//              (wire + kernel + scheduling on both sides; clamped >= 0)
+//   queue    = the server's "server.queue_wait" span (arrival -> worker)
+//   engine   = the server's "server.engine" span (ParallelEngine run)
+//   retry    = client request duration - final attempt duration
+//              (time burned on failed attempts + backoff)
+//
+// Clock domains: client and server timestamps are each relative to
+// their OWN tracer epoch and are never compared directly — only
+// durations cross the domain boundary. The merged Chrome trace aligns
+// the two domains with the median midpoint offset over matched pairs,
+// which is exact enough for visual inspection (the structural join does
+// not depend on it).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/analysis/perfgate.h"
+#include "obs/analysis/trace_analysis.h"
+
+namespace ceresz::obs::analysis {
+
+/// One client wire attempt, with its server-side tree when matched.
+struct StitchedAttempt {
+  u64 span_id = 0;        ///< the client attempt's span id (join key)
+  i64 attempt = 0;        ///< 1-based attempt number within the request
+  u64 client_ts_ns = 0;   ///< client-clock
+  u64 client_dur_ns = 0;
+  bool matched = false;   ///< a server.request with our span id exists
+  u64 server_ts_ns = 0;   ///< server-clock (not comparable to client ts)
+  u64 server_dur_ns = 0;  ///< the server.request root span
+  u64 queue_wait_ns = 0;
+  u64 decode_ns = 0;
+  u64 engine_ns = 0;
+  u64 encode_ns = 0;
+  u64 write_ns = 0;
+  u64 network_ns = 0;     ///< client_dur - server_dur, clamped to >= 0
+};
+
+/// One logical client request ("client.request" root) and its attempts.
+struct StitchedRequest {
+  u64 trace_id = 0;
+  u64 request_id = 0;
+  u32 tenant_id = 0;
+  u64 client_ts_ns = 0;
+  u64 client_dur_ns = 0;      ///< whole logical request, retries included
+  u64 retry_overhead_ns = 0;  ///< client_dur - final attempt (0 if one shot)
+  std::vector<StitchedAttempt> attempts;  ///< ts-ordered
+};
+
+/// Aggregates over the whole stitch (means are over matched attempts,
+/// except the request-level means which are over requests).
+struct StitchTotals {
+  u64 requests = 0;
+  u64 attempts = 0;
+  u64 matched_attempts = 0;
+  u64 server_roots = 0;       ///< server.request spans in the server trace
+  f64 match_rate = 0.0;       ///< matched_attempts / attempts (1.0 when 0)
+  f64 server_coverage = 0.0;  ///< request_span_coverage(server)
+  f64 mean_network_ns = 0.0;
+  f64 mean_queue_wait_ns = 0.0;
+  f64 mean_engine_ns = 0.0;
+  f64 mean_server_ns = 0.0;
+  f64 mean_request_ns = 0.0;
+  f64 mean_retry_overhead_ns = 0.0;
+};
+
+struct StitchReport {
+  std::vector<StitchedRequest> requests;  ///< ordered by client start
+  StitchTotals totals;
+};
+
+/// Join `client` and `server` traces on the wire trace context.
+StitchReport stitch_traces(const TraceData& client, const TraceData& server);
+
+/// Fraction of the server's busy wall time covered by request-tagged
+/// spans: over every host-pid span-tree root, the share of total root
+/// duration whose root (or any descendant) carries a nonzero trace_id
+/// arg. The acceptance bar for "every expensive thing is attributable".
+f64 request_span_coverage(const TraceData& server);
+
+/// Human-readable per-request table plus the aggregate breakdown.
+std::string render_stitch_report(const StitchReport& report);
+
+/// Perfgate history records under bench "service_trace": match rate,
+/// span coverage, and the mean breakdown components.
+std::vector<HistoryRecord> stitch_history_records(const StitchReport& report);
+
+/// One Chrome trace with both processes: client host events under pid 1
+/// ("ceresz_client"), server host events under pid 3 ("ceresz_server")
+/// shifted onto the client clock by the median matched-pair offset.
+std::string merged_chrome_trace_json(const TraceData& client,
+                                     const TraceData& server,
+                                     const StitchReport& report);
+
+}  // namespace ceresz::obs::analysis

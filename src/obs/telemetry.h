@@ -1,0 +1,122 @@
+// Live telemetry plane: a recent-span ring (SpanLog) and a tiny HTTP
+// endpoint (TelemetryEndpoint) that serves it next to the metrics
+// registry, so a running daemon can be inspected with nothing but curl:
+//
+//   GET /metrics  -> Prometheus text exposition of the live registry
+//   GET /healthz  -> 200 "ok" (503 "draining" once drain begins)
+//   GET /tracez   -> JSON dump of the most recent completed request
+//                    spans (trace id, request id, tenant, timing, status)
+//
+// The Tracer's per-thread rings are single-writer and cannot be read
+// while the server records into them, so /tracez is fed by SpanLog — a
+// small mutex-guarded ring the server pushes one summary record into
+// per completed request. That keeps the live path safe and bounds the
+// dump size by construction.
+//
+// The listener is deliberately minimal: loopback-only POSIX sockets, a
+// poll loop with a stop flag, one request per connection, GET only. It
+// lives in src/obs (not src/net) because ceresz_net links ceresz_obs —
+// reusing net::Socket here would cycle the layering.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ceresz::obs {
+
+class MetricsRegistry;
+class Logger;
+
+/// Summary of one completed request span, as shown by /tracez.
+struct SpanRecord {
+  u64 trace_id = 0;
+  u64 request_id = 0;
+  u32 tenant_id = 0;
+  std::string name;    ///< e.g. "server.request"
+  std::string status;  ///< "ok" or the error class
+  u64 ts_ns = 0;       ///< start, tracer-relative
+  u64 dur_ns = 0;
+};
+
+/// Thread-safe fixed-capacity ring of recently completed spans
+/// (drop-oldest). Unlike the Tracer rings this is safe to read while
+/// writers are active — /tracez depends on that.
+class SpanLog {
+ public:
+  explicit SpanLog(std::size_t capacity = 256);
+
+  void push(SpanRecord rec);
+
+  /// Surviving records, oldest first.
+  std::vector<SpanRecord> snapshot() const;
+
+  /// Records ever pushed (monotonic).
+  u64 pushed() const;
+
+  /// {"spans":[...],"pushed":N} for /tracez.
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> slots_;
+  u64 count_ = 0;
+};
+
+struct TelemetryOptions {
+  u16 port = 0;  ///< 0 = kernel-assigned ephemeral port
+  /// Scraped by /metrics. May be null (404 then). Must outlive the
+  /// endpoint; snapshot() is safe against concurrent updates.
+  MetricsRegistry* metrics = nullptr;
+  /// Dumped by /tracez. May be null (404 then). Must outlive the
+  /// endpoint.
+  SpanLog* spans = nullptr;
+  /// Optional request/error log. Must outlive the endpoint.
+  Logger* logger = nullptr;
+};
+
+class TelemetryEndpoint {
+ public:
+  explicit TelemetryEndpoint(TelemetryOptions options);
+  ~TelemetryEndpoint();
+
+  TelemetryEndpoint(const TelemetryEndpoint&) = delete;
+  TelemetryEndpoint& operator=(const TelemetryEndpoint&) = delete;
+
+  /// Bind 127.0.0.1, listen, and start the serving thread. Throws
+  /// common::Error on bind failure.
+  void start();
+
+  /// The bound port (valid after start()).
+  u16 port() const { return port_; }
+
+  /// Flip /healthz to 503 "draining" (idempotent).
+  void set_draining(bool draining) {
+    draining_.store(draining, std::memory_order_release);
+  }
+
+  /// Stop serving and join the thread (idempotent).
+  void stop();
+
+  u64 requests_served() const {
+    return served_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  TelemetryOptions options_;
+  int listen_fd_ = -1;
+  u16 port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<u64> served_{0};
+};
+
+}  // namespace ceresz::obs

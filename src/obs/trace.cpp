@@ -8,6 +8,7 @@
 #include "common/error.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 
 namespace ceresz::obs {
 
@@ -100,6 +101,16 @@ u32 Tracer::thread_id() { return local_entry().tid; }
 void Tracer::record(TraceEvent ev) {
   const TlsEntry& e = local_entry();
   if (ev.tid == 0) ev.tid = e.tid;
+  if (ev.trace_id == 0) {
+    // Inherit the thread's ambient distributed-trace context so engine
+    // chunk spans, pool task wrappers, and fabric band spans are
+    // attributable to the request that caused them.
+    const TraceContext& ctx = current_trace_context();
+    if (ctx.active()) {
+      ev.trace_id = ctx.trace_id;
+      if (ev.parent_span_id == 0) ev.parent_span_id = ctx.span_id;
+    }
+  }
   e.ring->push(ev);
 }
 
@@ -207,14 +218,33 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
        << ",\"ts\":" << fmt_us(ev.ts_ns);
     if (ev.phase == 'X') os << ",\"dur\":" << fmt_us(ev.dur_ns);
     if (ev.phase == 'i') os << ",\"s\":\"t\"";
-    if (ev.arg1_name || ev.arg2_name) {
+    if (ev.arg1_name || ev.arg2_name || ev.trace_id != 0 ||
+        ev.span_id != 0 || ev.parent_span_id != 0) {
       os << ",\"args\":{";
+      bool first_arg = true;
+      auto arg_sep = [&] {
+        if (!first_arg) os << ",";
+        first_arg = false;
+      };
       if (ev.arg1_name) {
+        arg_sep();
         os << "\"" << json_escape(ev.arg1_name) << "\":" << ev.arg1;
       }
       if (ev.arg2_name) {
-        if (ev.arg1_name) os << ",";
+        arg_sep();
         os << "\"" << json_escape(ev.arg2_name) << "\":" << ev.arg2;
+      }
+      if (ev.trace_id != 0) {
+        arg_sep();
+        os << "\"trace_id\":" << ev.trace_id;
+      }
+      if (ev.span_id != 0) {
+        arg_sep();
+        os << "\"span_id\":" << ev.span_id;
+      }
+      if (ev.parent_span_id != 0) {
+        arg_sep();
+        os << "\"parent_span_id\":" << ev.parent_span_id;
       }
       os << "}";
     }

@@ -63,6 +63,14 @@ struct TraceEvent {
   i64 arg1 = 0;
   const char* arg2_name = nullptr;
   i64 arg2 = 0;
+  // Distributed-trace identity (obs/trace_context.h). A zero trace_id
+  // is filled from the recording thread's ambient context by record();
+  // span_id is only set on spans that other spans reference (client
+  // attempts, server request roots). Exported into the Chrome-trace
+  // args object when nonzero.
+  u64 trace_id = 0;
+  u64 span_id = 0;
+  u64 parent_span_id = 0;
 };
 
 class TraceRing;
@@ -116,6 +124,14 @@ class Tracer {
 
   /// Nanoseconds since this tracer was constructed (host clock).
   u64 now_rel_ns() const;
+
+  /// Convert an absolute now_ns() reading into this tracer's relative
+  /// timeline (clamped to 0 for readings that predate the tracer). Lets
+  /// callers stamp spans from timestamps captured elsewhere, e.g. a
+  /// request's arrival time captured before the span's name is known.
+  u64 to_rel_ns(u64 abs_ns) const {
+    return abs_ns > epoch_ns_ ? abs_ns - epoch_ns_ : 0;
+  }
 
   /// Small stable id of the calling thread within this tracer (>= 1).
   u32 thread_id();

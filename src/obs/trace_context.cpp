@@ -1,0 +1,60 @@
+#include "obs/trace_context.h"
+
+#include <unistd.h>
+
+#include <atomic>
+
+#include "common/timer.h"
+
+namespace ceresz::obs {
+
+namespace {
+
+thread_local TraceContext g_ambient;
+
+// Seed the trace-id sequence from the wall clock and pid so two
+// processes started together (client and server in the same CI step)
+// draw from disjoint ranges. The low 16 bits are a per-process counter,
+// the upper bits the seed, the whole thing masked to 48 bits — see the
+// header for why 48.
+u64 trace_id_seed() {
+  static const u64 seed = [] {
+    u64 s = now_ns();
+    s ^= static_cast<u64>(::getpid()) << 24;
+    // splitmix-style finalizer to spread the entropy across the word.
+    s ^= s >> 30;
+    s *= 0xbf58476d1ce4e5b9ull;
+    s ^= s >> 27;
+    s *= 0x94d049bb133111ebull;
+    s ^= s >> 31;
+    return s;
+  }();
+  return seed;
+}
+
+std::atomic<u64> g_next_trace{1};
+std::atomic<u64> g_next_span{1};
+
+}  // namespace
+
+u64 next_trace_id() {
+  // 24 seed bits + 24 counter bits = 48: 16M ids per process before the
+  // sequence wraps, with distinct processes almost surely disjoint.
+  const u64 n = g_next_trace.fetch_add(1, std::memory_order_relaxed);
+  const u64 id = ((trace_id_seed() & 0xffffff) << 24) | (n & 0xffffff);
+  return id != 0 ? id : 1;  // 0 is the "no trace" sentinel
+}
+
+u64 next_span_id() {
+  return g_next_span.fetch_add(1, std::memory_order_relaxed);
+}
+
+const TraceContext& current_trace_context() { return g_ambient; }
+
+TraceContextScope::TraceContextScope(TraceContext ctx) : prev_(g_ambient) {
+  g_ambient = ctx;
+}
+
+TraceContextScope::~TraceContextScope() { g_ambient = prev_; }
+
+}  // namespace ceresz::obs

@@ -1,0 +1,59 @@
+// Ambient trace context: the (trace id, span id) pair that links every
+// event a thread records — engine chunk spans, fabric band spans, pool
+// task wrappers — back to the originating service request.
+//
+// The context is thread-local. Establish it with a TraceContextScope at
+// the point where a request enters a thread (server worker picking up a
+// PendingRequest, pool worker starting a captured task) and everything
+// recorded underneath inherits it without any API plumbing:
+// Tracer::record() stamps events whose trace_id is still zero with the
+// ambient context. Crossing threads is explicit — capture
+// current_trace_context() where the work is *submitted* and re-scope it
+// where the work *runs* (engine::ThreadPool does this for every task).
+//
+// Ids: trace ids are bounded to 48 bits so they survive a round trip
+// through JSON tooling that stores numbers as doubles (2^53 mantissa);
+// span ids come from a process-wide counter and are unique within a
+// process, which is all the stitcher needs (it matches on the
+// (trace_id, span_id) pair, never on a span id alone).
+#pragma once
+
+#include "common/types.h"
+
+namespace ceresz::obs {
+
+/// The propagated pair. trace_id == 0 means "no active trace".
+struct TraceContext {
+  u64 trace_id = 0;  ///< whole-request identity, 48-bit
+  u64 span_id = 0;   ///< the span that is the parent of new work
+
+  bool active() const { return trace_id != 0; }
+};
+
+/// New 48-bit trace id, unique within this process and seeded so
+/// concurrent processes (client vs server) almost surely disagree.
+u64 next_trace_id();
+
+/// New span id, unique within this process (never 0).
+u64 next_span_id();
+
+/// The calling thread's ambient context ({0,0} when none is active).
+const TraceContext& current_trace_context();
+
+/// RAII: installs `ctx` as the calling thread's ambient context for the
+/// guard's lifetime and restores the previous context on destruction.
+/// Scopes nest; an inactive ctx (trace_id == 0) still installs (useful
+/// for deliberately clearing the context on a reused thread).
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext ctx);
+  ~TraceContextScope();
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+}  // namespace ceresz::obs

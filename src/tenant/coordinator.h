@@ -178,10 +178,21 @@ inline constexpr const char* kMetricTenantQuotaViolations =
 inline constexpr const char* kMetricTenantActive = "ceresz_tenant_active";
 
 /// Per-tenant metric name: "ceresz_tenant_<id>_<suffix>". The registry
-/// has no labels, so tenant identity is encoded in the family name —
-/// "ceresz_tenant_7_lease_pes", "ceresz_tenant_7_requests_total",
-/// "ceresz_tenant_7_seconds".
+/// has no labels, so tenant identity is encoded in the family name.
+/// Suffixes in use (keep this list in sync with docs/tenancy.md):
+///   lease_pes        gauge, live PEs in the tenant's lease
+///   requests_total   counter, wafer runs the coordinator executed
+///   seconds          histogram, wafer-run time only (coordinator-side)
+///   request_seconds  histogram, END-TO-END service latency per request
+///                    (decode -> engine -> encode -> write), recorded by
+///                    ServiceServer for every tenant-tagged request —
+///                    the SLO-grade quantile a /metrics scraper alarms
+///                    on (bench_tenant_mix --warn-p95-ms mirrors it)
 std::string tenant_metric_name(TenantId id, std::string_view suffix);
+
+/// The ServiceServer-side per-tenant histogram suffix; shared constant
+/// so server and benches cannot drift apart on the name.
+inline constexpr const char* kTenantRequestSecondsSuffix = "request_seconds";
 
 /// Pre-create the aggregate ceresz_tenant_* families at zero (the
 /// declare-at-zero pattern of declare_server_metrics). Per-tenant

@@ -75,6 +75,10 @@ Fabric& WaferSimulator::fabric_for_row(u32 row) {
 }
 
 void WaferSimulator::run_group_task(std::size_t i) {
+  // Band work inherits the trace context of the request that called
+  // run(), whatever thread executes it (pool worker, inline drain, or
+  // the caller itself), so fabric spans stay request-attributable.
+  const obs::TraceContextScope scope(run_ctx_);
   try {
     groups_[i]->run();
   } catch (...) {
@@ -93,6 +97,7 @@ void WaferSimulator::run_group_task(std::size_t i) {
 RunStats WaferSimulator::run() {
   CERESZ_CHECK(!ran_, "WaferSimulator::run may only be called once");
   ran_ = true;
+  run_ctx_ = obs::current_trace_context();
 
   engine::ThreadPool* pool = options_.pool;
   std::unique_ptr<engine::ThreadPool> owned;

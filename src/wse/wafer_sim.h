@@ -149,6 +149,9 @@ class WaferSimulator {
   std::vector<ResultRecord> results_;
   RunStats run_stats_;
   bool ran_ = false;
+  /// Trace context captured at run() entry; re-installed around every
+  /// band so fabric spans inherit the originating request's trace id.
+  obs::TraceContext run_ctx_;
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -29,15 +29,18 @@ TEST(Protocol, FrameHeaderRoundTrip) {
   h.status = Status::kBusy;
   h.request_id = 0x0123456789abcdefull;
   h.payload_bytes = 12345;
+  h.trace = TraceTag{0x123456789abcull, 42};
   std::vector<u8> bytes;
   append_frame_header(bytes, h);
-  ASSERT_EQ(bytes.size(), kFrameHeaderBytes);
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytesV4);
   const FrameHeader back = parse_frame_header(bytes, kDefaultMaxPayload);
   EXPECT_EQ(back.version, kProtocolVersion);
   EXPECT_EQ(back.opcode, Opcode::kCompress);
   EXPECT_EQ(back.status, Status::kBusy);
   EXPECT_EQ(back.request_id, h.request_id);
   EXPECT_EQ(back.payload_bytes, h.payload_bytes);
+  EXPECT_EQ(back.trace.trace_id, h.trace.trace_id);
+  EXPECT_EQ(back.trace.parent_span_id, h.trace.parent_span_id);
 }
 
 TEST(Protocol, HeaderRejectsBadMagicVersionOpcodeAndOversize) {

@@ -353,6 +353,7 @@ TEST(Coordinator, FaultsOnFreeRowsSteerLaterPlacements) {
 
 TEST(ProtocolV3, TenantTagRoundTrips) {
   net::FrameHeader h;
+  h.version = net::kProtocolVersionV3;
   h.opcode = net::Opcode::kCompress;
   h.request_id = 77;
   h.payload_bytes = 0;

@@ -5,9 +5,24 @@
 //   ceresz_report --trace trace.json [--metrics metrics.json]
 //                 [--format text|json] [--out report.txt]
 //
+//   ceresz_report --stitch --client client.json --server server.json
+//                 [--merged-out merged.json] [--history-out FILE]
+//                 [--out report.txt]
+//
 // `--trace` is a Chrome trace file written by any --trace-out flag;
 // `--metrics` is the JSON metrics export (required for the cost-model
 // section — without it the report marks the model "unavailable").
+//
+// `--stitch` joins a CLIENT-side trace (bench_service_load --trace-out,
+// or any CereszClient with a tracer) and a SERVER-side trace
+// (ceresz_server --trace-out) on the CSNP v4 trace context into one
+// cross-process view: per-request network / queue-wait / engine /
+// retry-amplification breakdown, the attempt match rate, and the
+// server's request-tagged span coverage. --merged-out additionally
+// writes both processes as one Chrome trace on a single aligned
+// timeline; --history-out appends perfgate records under the
+// "service_trace" bench (docs/observability.md).
+//
 // Exit codes: 0 success, 1 bad input file, 2 usage error.
 #include <cstdio>
 #include <fstream>
@@ -17,6 +32,7 @@
 
 #include "common/error.h"
 #include "obs/analysis/report.h"
+#include "obs/analysis/stitch.h"
 
 namespace {
 
@@ -28,11 +44,19 @@ struct Args {
   std::string metrics_path;
   std::string format = "text";
   std::string out_path;  ///< empty = stdout
+  bool stitch = false;
+  std::string client_path;
+  std::string server_path;
+  std::string merged_out;
+  std::string history_out;
 };
 
 void usage(std::ostream& os) {
   os << "usage: ceresz_report --trace trace.json [--metrics metrics.json]\n"
-        "                     [--format text|json] [--out FILE]\n";
+        "                     [--format text|json] [--out FILE]\n"
+        "       ceresz_report --stitch --client client.json\n"
+        "                     --server server.json [--merged-out FILE]\n"
+        "                     [--history-out FILE] [--out FILE]\n";
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -52,12 +76,25 @@ bool parse_args(int argc, char** argv, Args& args) {
       if (args.format != "text" && args.format != "json") return false;
     } else if (a == "--out") {
       if (!value(args.out_path)) return false;
+    } else if (a == "--stitch") {
+      args.stitch = true;
+    } else if (a == "--client") {
+      if (!value(args.client_path)) return false;
+    } else if (a == "--server") {
+      if (!value(args.server_path)) return false;
+    } else if (a == "--merged-out") {
+      if (!value(args.merged_out)) return false;
+    } else if (a == "--history-out") {
+      if (!value(args.history_out)) return false;
     } else if (a == "--help" || a == "-h") {
       usage(std::cout);
       std::exit(0);
     } else {
       return false;
     }
+  }
+  if (args.stitch) {
+    return !args.client_path.empty() && !args.server_path.empty();
   }
   return !args.trace_path.empty();
 }
@@ -71,6 +108,42 @@ std::string read_file(const std::string& path) {
   return ss.str();
 }
 
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  CERESZ_CHECK(out.good(), "cannot open " + path);
+  out << content;
+  CERESZ_CHECK(out.good(), "error writing " + path);
+}
+
+void emit(const Args& args, const std::string& rendered) {
+  if (args.out_path.empty()) {
+    std::cout << rendered;
+  } else {
+    write_file(args.out_path, rendered);
+  }
+}
+
+int run_stitch(const Args& args) {
+  const TraceData client = load_chrome_trace(read_file(args.client_path));
+  const TraceData server = load_chrome_trace(read_file(args.server_path));
+  const StitchReport report = stitch_traces(client, server);
+  emit(args, render_stitch_report(report));
+  if (!args.merged_out.empty()) {
+    write_file(args.merged_out,
+               merged_chrome_trace_json(client, server, report));
+  }
+  if (!args.history_out.empty()) {
+    std::ofstream out(args.history_out, std::ios::app | std::ios::binary);
+    CERESZ_CHECK(out.good(), "cannot open " + args.history_out);
+    for (HistoryRecord rec : stitch_history_records(report)) {
+      stamp_history_metadata(rec);
+      out << rec.to_jsonl() << "\n";
+    }
+    CERESZ_CHECK(out.good(), "error writing " + args.history_out);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -80,6 +153,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
+    if (args.stitch) return run_stitch(args);
     const TraceData trace = load_chrome_trace(read_file(args.trace_path));
     obs::MetricsSnapshot metrics;
     if (!args.metrics_path.empty()) {
@@ -88,14 +162,7 @@ int main(int argc, char** argv) {
     const Report report = build_report(trace, metrics);
     const std::string rendered =
         args.format == "json" ? render_json(report) : render_text(report);
-    if (args.out_path.empty()) {
-      std::cout << rendered;
-    } else {
-      std::ofstream out(args.out_path, std::ios::binary);
-      CERESZ_CHECK(out.good(), "cannot open " + args.out_path);
-      out << rendered;
-      CERESZ_CHECK(out.good(), "error writing " + args.out_path);
-    }
+    emit(args, rendered);
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "ceresz_report: " << e.what() << "\n";

@@ -5,6 +5,8 @@
 //                 [--max-frame-mb MB] [--io-timeout-ms T]
 //                 [--idle-timeout-ms T] [--drain-ms T]
 //                 [--metrics-out FILE]
+//                 [--telemetry-port P] [--trace-out FILE]
+//                 [--log-level LEVEL] [--log-rate N]
 //                 [--tenants N] [--tenant-quota-gbps Q]
 //                 [--wafer-rows R] [--wafer-cols C]
 //
@@ -13,12 +15,25 @@
 // DECOMPRESS / STATS / PING with engine::ParallelEngine behind a
 // bounded in-flight limit.
 //
+// Observability (docs/observability.md):
+//   --telemetry-port starts a loopback HTTP endpoint next to the CSNP
+//     port — GET /metrics (Prometheus), /healthz (200, or 503 while
+//     draining), /tracez (recent completed-request spans as JSON).
+//   --trace-out records every request's distributed span tree (CSNP v4
+//     trace context; v3 clients get server-synthesized trace ids) and
+//     writes a Chrome trace on exit, stitchable against a client trace
+//     with `ceresz_report --stitch`.
+//   Lifecycle and error-path events go to stderr as JSON lines through
+//   the rate-limited obs::Logger (--log-level, --log-rate); the
+//   "listening on" line CI greps stays on stdout.
+//
 // Shutdown: SIGTERM drains — the server stops accepting, rejects new
-// work with DRAINING frames, finishes what is in flight (bounded by
-// --drain-ms), then exits; the orchestrator-friendly path. SIGINT stops
-// immediately. With --metrics-out the final registry snapshot is
-// written on exit (Prometheus text when FILE ends in .prom, JSON
-// otherwise) — the same registry the STATS opcode serves live.
+// work with DRAINING frames (and /healthz flips to 503), finishes what
+// is in flight (bounded by --drain-ms), then exits; the
+// orchestrator-friendly path. SIGINT stops immediately. With
+// --metrics-out the final registry snapshot is written on exit
+// (Prometheus text when FILE ends in .prom, JSON otherwise) — the same
+// registry the STATS opcode serves live.
 //
 // Exit codes (matching the README table's convention): 0 clean
 // shutdown, 1 runtime error (cannot bind, I/O failure), 2 usage error.
@@ -30,10 +45,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "net/server.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -69,6 +88,15 @@ int usage() {
       "                    before stopping (default 10000)\n"
       "  --metrics-out F   write the final metrics snapshot on shutdown\n"
       "                    (.prom = Prometheus text, else JSON)\n"
+      "  --telemetry-port P  serve GET /metrics, /healthz, /tracez over\n"
+      "                    HTTP on 127.0.0.1:P (0 picks an ephemeral\n"
+      "                    port; printed on startup; default off)\n"
+      "  --trace-out F     record per-request distributed span trees and\n"
+      "                    write a Chrome trace file on shutdown\n"
+      "  --log-level L     stderr JSON-lines log level: debug, info,\n"
+      "                    warn, error (default info)\n"
+      "  --log-rate N      non-error log records per second before the\n"
+      "                    limiter sheds (default 200, 0 = unlimited)\n"
       "  --tenants N       enable multi-tenant wafer coordination with up\n"
       "                    to N concurrent tenants (docs/tenancy.md);\n"
       "                    CSNP v3 frames with a nonzero tenant id are\n"
@@ -107,6 +135,10 @@ int main(int argc, char** argv) {
   opt.io_timeout_ms = 30'000;  // daemons default to slow-loris defense
   u32 drain_ms = 10'000;
   std::string metrics_out;
+  std::string trace_out;
+  bool telemetry = false;
+  u16 telemetry_port = 0;
+  obs::LoggerOptions log_opt;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -158,6 +190,22 @@ int main(int argc, char** argv) {
       const char* s = value();
       if (!s) return usage();
       metrics_out = s;
+    } else if (a == "--telemetry-port") {
+      const char* s = value();
+      if (!s || !parse_u64(s, v) || v > 0xffff) return usage();
+      telemetry = true;
+      telemetry_port = static_cast<u16>(v);
+    } else if (a == "--trace-out") {
+      const char* s = value();
+      if (!s) return usage();
+      trace_out = s;
+    } else if (a == "--log-level") {
+      const char* s = value();
+      if (!s || !obs::parse_log_level(s, log_opt.min_level)) return usage();
+    } else if (a == "--log-rate") {
+      const char* s = value();
+      if (!s || !parse_u64(s, v) || v > 0xffffffffull) return usage();
+      log_opt.max_events_per_sec = static_cast<u32>(v);
     } else if (a == "--tenants") {
       const char* s = value();
       if (!s || !parse_u64(s, v) || v == 0 || v > 1024) return usage();
@@ -186,8 +234,33 @@ int main(int argc, char** argv) {
   }
 
   try {
+    obs::Logger logger(log_opt);
+    obs::SpanLog span_log;
+    std::unique_ptr<obs::Tracer> tracer;
+    if (!trace_out.empty()) {
+      tracer = std::make_unique<obs::Tracer>();
+      tracer->set_process_name(obs::kHostPid, "ceresz_server");
+    }
+    opt.logger = &logger;
+    opt.span_log = &span_log;
+    opt.tracer = tracer.get();
+
     net::ServiceServer server(std::move(opt));
     server.start();
+
+    std::unique_ptr<obs::TelemetryEndpoint> endpoint;
+    if (telemetry) {
+      obs::TelemetryOptions topt;
+      topt.port = telemetry_port;
+      topt.metrics = &server.metrics();
+      topt.spans = &span_log;
+      topt.logger = &logger;
+      endpoint = std::make_unique<obs::TelemetryEndpoint>(topt);
+      endpoint->start();
+      std::printf("ceresz_server telemetry on 127.0.0.1:%u "
+                  "(/metrics /healthz /tracez)\n",
+                  static_cast<unsigned>(endpoint->port()));
+    }
     std::printf("ceresz_server listening on 127.0.0.1:%u "
                 "(workers=%u, max-inflight=%llu, deadline-ms=%u)\n",
                 static_cast<unsigned>(server.port()),
@@ -215,6 +288,7 @@ int main(int argc, char** argv) {
       std::printf("ceresz_server: draining (up to %u ms)\n",
                   static_cast<unsigned>(drain_ms));
       std::fflush(stdout);
+      if (endpoint) endpoint->set_draining(true);
       server.drain();
       if (!server.wait_idle(drain_ms)) {
         std::fprintf(stderr,
@@ -226,6 +300,18 @@ int main(int argc, char** argv) {
     std::printf("ceresz_server: shutting down\n");
     std::fflush(stdout);
     server.stop();
+    if (endpoint) endpoint->stop();
+
+    if (tracer != nullptr && !trace_out.empty()) {
+      obs::export_trace_metrics(*tracer, server.metrics());
+      std::ofstream out(trace_out, std::ios::binary);
+      if (!out.good()) {
+        std::fprintf(stderr, "ceresz_server: cannot write %s\n",
+                     trace_out.c_str());
+        return 1;
+      }
+      tracer->write_chrome_trace(out);
+    }
 
     if (!metrics_out.empty()) {
       const obs::MetricsSnapshot snap = server.metrics().snapshot();
